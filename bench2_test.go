@@ -1,0 +1,177 @@
+// Benchmarks for the extension experiments: the three-phase baseline,
+// lossy links, the hub topology, the adaptive BTP controller and the
+// collective layer. Like bench_test.go, each reports its experiment's
+// headline metric as a custom unit.
+package main
+
+import (
+	"testing"
+
+	"pushpull/internal/adapt"
+	"pushpull/internal/bench"
+	"pushpull/internal/cluster"
+	"pushpull/internal/collective"
+	"pushpull/internal/gbn"
+	"pushpull/internal/pushpull"
+	"pushpull/internal/sim"
+	"pushpull/internal/smp"
+)
+
+// BenchmarkThreePhaseBaseline: the §1 motivation — the classical
+// handshake's short-message penalty over full-opt Push-Pull.
+func BenchmarkThreePhaseBaseline(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		opts := pushpull.DefaultOptions()
+		opts.Mode = pushpull.ThreePhase
+		opts.MaskTranslation = false
+		opts.OverlapAck = false
+		opts.UserTrigger = false
+		cfg := cluster.DefaultConfig()
+		cfg.Opts = opts
+		tp := bench.SingleTrip(bench.Workload{Cluster: cfg, Size: 4, Iters: benchIters}).TrimmedMean
+		pp := bench.SingleTrip(bench.Workload{Cluster: paperConfig(pushpull.PushPull, 4096), Size: 4, Iters: benchIters}).TrimmedMean
+		gap = tp - pp
+	}
+	b.ReportMetric(gap, "µs-handshake-penalty@4B")
+}
+
+// BenchmarkLossRecovery: 8 KB bandwidth at 5% frame loss (RTO 2 ms),
+// exercising go-back-N end to end.
+func BenchmarkLossRecovery(b *testing.B) {
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		opts := pushpull.DefaultOptions()
+		opts.GBN = gbn.Config{Window: 8, RTO: 2 * sim.Millisecond}
+		cfg := cluster.DefaultConfig()
+		cfg.Opts = opts
+		cfg.Net.LossRate = 0.05
+		mbps = bench.Bandwidth(bench.Workload{Cluster: cfg, Size: 8192, Iters: 100})
+	}
+	b.ReportMetric(mbps, "MB/s@5%loss")
+}
+
+// BenchmarkHubTopology: the half-duplex penalty — 8 KB single-trip
+// latency over a hub relative to back-to-back cabling.
+func BenchmarkHubTopology(b *testing.B) {
+	var hub float64
+	for i := 0; i < b.N; i++ {
+		cfg := cluster.DefaultConfig()
+		cfg.UseHub = true
+		hub = bench.SingleTrip(bench.Workload{Cluster: cfg, Size: 8192, Iters: benchIters}).TrimmedMean
+	}
+	b.ReportMetric(hub, "µs/8KB-trip-hub")
+}
+
+// BenchmarkAdaptiveBTP: wire bytes a late receiver wastes per message
+// under the AIMD controller (static BTP=760 wastes 680 B/message into a
+// one-slot pushed buffer).
+func BenchmarkAdaptiveBTP(b *testing.B) {
+	var wastedPerMsg float64
+	for i := 0; i < b.N; i++ {
+		const msgs = 100
+		cfg := cluster.DefaultConfig()
+		cfg.Opts.PushedBufBytes = 2048
+		c := cluster.New(cfg)
+		ac := adapt.DefaultConfig()
+		ac.Max = 2048
+		c.Stacks[0].SetAdapter(adapt.NewController(ac))
+		sender := c.Endpoint(0, 0)
+		receiver := c.Endpoint(1, 0)
+		msg := make([]byte, 3000)
+		credit := []byte{1}
+		src := sender.Alloc(3000)
+		creditDst := sender.Alloc(1)
+		dst := receiver.Alloc(3000)
+		creditSrc := receiver.Alloc(1)
+		c.Nodes[0].Spawn("sender", sender.CPU, func(t *smp.Thread) {
+			for j := 0; j < msgs; j++ {
+				if _, err := sender.Recv(t, receiver.ID, creditDst, 1); err != nil {
+					b.Error(err)
+					return
+				}
+				if err := sender.Send(t, receiver.ID, src, msg); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		c.Nodes[1].Spawn("receiver", receiver.CPU, func(t *smp.Thread) {
+			for j := 0; j < msgs; j++ {
+				if err := receiver.Send(t, sender.ID, creditSrc, credit); err != nil {
+					b.Error(err)
+					return
+				}
+				t.Compute(60_000) // persistently late receiver
+				if _, err := receiver.Recv(t, sender.ID, dst, 3000); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		c.Run()
+		wastedPerMsg = float64(c.Stacks[1].DiscardedBytes()) / msgs
+	}
+	b.ReportMetric(wastedPerMsg, "wasted-B/msg(static:680)")
+}
+
+// BenchmarkCollectiveAllReduce: 4-node 1 KB allreduce by recursive
+// doubling under full-opt Push-Pull.
+func BenchmarkCollectiveAllReduce(b *testing.B) {
+	var perOp float64
+	for i := 0; i < b.N; i++ {
+		const iters = 30
+		cfg := cluster.DefaultConfig()
+		cfg.Nodes = 4
+		cfg.Opts.PushedBufBytes = 64 << 10
+		w := collective.NewWorld(cluster.New(cfg))
+		var start, end sim.Time
+		w.Run(func(r *collective.Rank) {
+			data := make([]byte, 1024)
+			r.Barrier()
+			if r.ID() == 0 {
+				start = r.Thread().Now()
+			}
+			for j := 0; j < iters; j++ {
+				r.AllReduceRD(data, collective.XorBytes)
+			}
+			r.Barrier()
+			if r.ID() == 0 {
+				end = r.Thread().Now()
+			}
+		})
+		perOp = end.Sub(start).Microseconds() / iters
+	}
+	b.ReportMetric(perOp, "µs/allreduce-1KB-4nodes")
+}
+
+// BenchmarkScaleAllGather: 8 KB ring allgather on a six-node switched
+// COMP — the multi-node scaling the paper's conclusion reaches toward.
+func BenchmarkScaleAllGather(b *testing.B) {
+	var perOp float64
+	for i := 0; i < b.N; i++ {
+		const iters = 10
+		cfg := cluster.DefaultConfig()
+		cfg.Nodes = 6
+		cfg.UseSwitch = true
+		cfg.Opts.PushedBufBytes = 64 << 10
+		w := collective.NewWorld(cluster.New(cfg))
+		var start, end sim.Time
+		w.Run(func(r *collective.Rank) {
+			data := make([]byte, 8192)
+			r.Barrier()
+			if r.ID() == 0 {
+				start = r.Thread().Now()
+			}
+			for j := 0; j < iters; j++ {
+				r.AllGather(data, 8192)
+			}
+			r.Barrier()
+			if r.ID() == 0 {
+				end = r.Thread().Now()
+			}
+		})
+		perOp = end.Sub(start).Microseconds() / iters
+	}
+	b.ReportMetric(perOp, "µs/allgather-8KB-6nodes")
+}

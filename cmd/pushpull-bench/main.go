@@ -1,0 +1,80 @@
+// Command pushpull-bench regenerates the paper's tables and figures (and
+// this repository's ablations) on the simulated testbed.
+//
+// Usage:
+//
+//	pushpull-bench [-iters N] [-csv] [experiment ...]
+//	pushpull-bench -list
+//
+// With no experiment arguments, every experiment runs in order. Each
+// experiment prints one or more tables whose rows correspond to the
+// paper's figure axes; EXPERIMENTS.md records the side-by-side
+// paper-vs-measured readings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pushpull/internal/bench"
+)
+
+func main() {
+	iters := flag.Int("iters", 1000, "timed iterations per point (paper: 1000)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range bench.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	params := bench.Params{Iters: *iters}
+	for _, id := range ids {
+		e, err := bench.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, "run with -list to see available experiments")
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables := e.Run(params)
+		for _, tab := range tables {
+			if *csv {
+				fmt.Print(tab.CSV())
+			} else {
+				fmt.Println(tab.Render())
+			}
+		}
+		if !*csv {
+			fmt.Printf("# paper: %s\n# (%s, wall time %.1fs)\n\n", e.Paper, e.ID, time.Since(start).Seconds())
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `pushpull-bench: regenerate the evaluation of
+"Push-Pull Messaging" (Wong & Wang, ICPP 1999) on the simulated testbed.
+
+usage: pushpull-bench [-iters N] [-csv] [experiment ...]
+
+`)
+	flag.PrintDefaults()
+	fmt.Fprintf(os.Stderr, "\nexperiments:\n")
+	for _, e := range bench.All() {
+		fmt.Fprintf(os.Stderr, "  %-20s %s\n", e.ID, e.Title)
+	}
+}

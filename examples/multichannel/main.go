@@ -1,0 +1,128 @@
+// Multichannel exercises the part of the design the paper motivates but
+// cannot show on a two-node testbed: many concurrent channels on a larger
+// COMP, sharing NICs and pushed buffers, with symmetric interrupts
+// spreading reception handling across each node's processors.
+//
+// Four quad-CPU nodes hang off a store-and-forward switch. Every node
+// runs three processes; each process sends a burst of messages to one
+// process on every other node and receives the symmetric traffic. The
+// run reports per-node handler distribution across CPUs (the symmetric-
+// interrupt load balancing at work) and verifies that every channel
+// delivered its messages in order and intact.
+//
+// Run with: go run ./examples/multichannel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pushpull/internal/cluster"
+	"pushpull/internal/pushpull"
+	"pushpull/internal/sim"
+	"pushpull/internal/smp"
+)
+
+const (
+	nodes     = 4
+	procs     = 3 // per node
+	msgsPer   = 5 // per channel
+	msgSize   = 2048
+	pushedBuf = 64 << 10
+)
+
+func main() {
+	opts := pushpull.DefaultOptions()
+	opts.PushedBufBytes = pushedBuf
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.ProcsPerNode = procs
+	cfg.Opts = opts
+	cfg.UseSwitch = true
+	c := cluster.New(cfg)
+
+	payload := func(fromNode, fromProc, seq int) []byte {
+		b := make([]byte, msgSize)
+		for i := range b {
+			b[i] = byte(fromNode*31 + fromProc*7 + seq + i)
+		}
+		return b
+	}
+
+	checked := 0
+	for node := 0; node < nodes; node++ {
+		for proc := 0; proc < procs; proc++ {
+			self := c.Endpoint(node, proc)
+			node, proc := node, proc
+
+			// Sender thread: a burst to the same-numbered process on
+			// every other node.
+			src := self.Alloc(msgSize)
+			c.Spawn(node, self.CPU, fmt.Sprintf("tx-n%dp%d", node, proc), func(t *smp.Thread) {
+				for dst := 0; dst < nodes; dst++ {
+					if dst == node {
+						continue
+					}
+					to := c.Endpoint(dst, proc).ID
+					for seq := 0; seq < msgsPer; seq++ {
+						if err := self.Send(t, to, src, payload(node, proc, seq)); err != nil {
+							log.Fatal(err)
+						}
+					}
+				}
+			})
+
+			// Receiver thread: drain every inbound channel in order.
+			dstBuf := self.Alloc(msgSize)
+			c.Spawn(node, self.CPU, fmt.Sprintf("rx-n%dp%d", node, proc), func(t *smp.Thread) {
+				for srcNode := 0; srcNode < nodes; srcNode++ {
+					if srcNode == node {
+						continue
+					}
+					from := c.Endpoint(srcNode, proc).ID
+					for seq := 0; seq < msgsPer; seq++ {
+						got, err := self.Recv(t, from, dstBuf, msgSize)
+						if err != nil {
+							log.Fatal(err)
+						}
+						want := payload(srcNode, proc, seq)
+						for i := range want {
+							if got[i] != want[i] {
+								log.Fatalf("corruption on %v->n%d.p%d message %d", from, node, proc, seq)
+							}
+						}
+						checked++
+					}
+				}
+			})
+		}
+	}
+
+	end := c.Run()
+	total := nodes * procs * (nodes - 1) * msgsPer
+	fmt.Printf("delivered %d/%d messages (%d channels) intact in %v of virtual time\n",
+		checked, total, nodes*procs*(nodes-1), end)
+
+	fmt.Println("\nper-node CPU busy time (handler work spread by symmetric interrupts):")
+	for i, n := range c.Nodes {
+		fmt.Printf("  node %d:", i)
+		for _, cpu := range n.CPUs {
+			fmt.Printf("  cpu%d %8v", cpu.ID, cpu.BusyTime())
+		}
+		fmt.Println()
+	}
+
+	var retrans uint64
+	for i := range c.Stacks {
+		for j := range c.Stacks {
+			if i == j {
+				continue
+			}
+			snd, _ := c.Stacks[i].Session(j)
+			retrans += snd.Retransmissions()
+		}
+	}
+	fmt.Printf("\ngo-back-N retransmissions across all %d sessions: %d\n", nodes*(nodes-1), retrans)
+	fmt.Printf("switch drops: %d\n", c.Switch.Dropped())
+	_ = sim.Time(0)
+}

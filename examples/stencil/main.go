@@ -1,0 +1,100 @@
+// Stencil runs the kind of parallel program the paper's introduction
+// motivates COMPs with: an iterative 1-D stencil (Jacobi-style) sweep
+// whose slab boundaries are exchanged between neighbouring nodes every
+// iteration — a classic compute-then-communicate loop where sender and
+// receiver are never perfectly synchronized.
+//
+// Four quad-CPU nodes hang off a Fast Ethernet switch. Each iteration
+// every node computes on its slab, then exchanges halo rows with both
+// neighbours. The program reports the total virtual runtime under the
+// three messaging mechanisms: Push-Pull's steadiness under timing skew is
+// exactly the paper's closing claim ("Push-Pull Messaging could flexibly
+// adapt to the cluster environment with different computation load").
+//
+// Run with: go run ./examples/stencil
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pushpull/internal/cluster"
+	"pushpull/internal/pushpull"
+	"pushpull/internal/sim"
+	"pushpull/internal/smp"
+)
+
+const (
+	numNodes   = 4
+	iterations = 20
+	haloBytes  = 8192 // two pages of boundary data per neighbour
+	// computeCycles per iteration; slightly unbalanced across ranks so
+	// receives are genuinely early on some nodes and late on others.
+	baseCompute = 300_000
+	skewCompute = 60_000
+)
+
+func run(mode pushpull.Mode) sim.Time {
+	opts := pushpull.DefaultOptions()
+	opts.Mode = mode
+	opts.PushedBufBytes = 4096 // the paper's Fig. 6 budget
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = numNodes
+	cfg.ProcsPerNode = 1
+	cfg.Opts = opts
+	cfg.UseSwitch = true
+	c := cluster.New(cfg)
+
+	halo := make([]byte, haloBytes)
+	for rank := 0; rank < numNodes; rank++ {
+		rank := rank
+		self := c.Endpoint(rank, 0)
+		left, right := rank-1, rank+1
+		sendL, sendR := self.Alloc(haloBytes), self.Alloc(haloBytes)
+		recvL, recvR := self.Alloc(haloBytes), self.Alloc(haloBytes)
+		c.Spawn(rank, 0, fmt.Sprintf("rank%d", rank), func(t *smp.Thread) {
+			for it := 0; it < iterations; it++ {
+				// Compute phase: rank-dependent load imbalance.
+				t.Compute(int64(baseCompute + rank*skewCompute))
+				// Halo exchange: eager sends, then receives.
+				if left >= 0 {
+					if err := self.Send(t, c.Endpoint(left, 0).ID, sendL, halo); err != nil {
+						log.Fatal(err)
+					}
+				}
+				if right < numNodes {
+					if err := self.Send(t, c.Endpoint(right, 0).ID, sendR, halo); err != nil {
+						log.Fatal(err)
+					}
+				}
+				if left >= 0 {
+					if _, err := self.Recv(t, c.Endpoint(left, 0).ID, recvL, haloBytes); err != nil {
+						log.Fatal(err)
+					}
+				}
+				if right < numNodes {
+					if _, err := self.Recv(t, c.Endpoint(right, 0).ID, recvR, haloBytes); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+	return c.Run()
+}
+
+func main() {
+	fmt.Printf("1-D stencil, %d nodes, %d iterations, %d B halos, skewed compute\n\n",
+		numNodes, iterations, haloBytes)
+	fmt.Printf("%-12s %16s %18s\n", "mechanism", "total runtime", "per iteration")
+	for _, mode := range []pushpull.Mode{pushpull.PushZero, pushpull.PushPull, pushpull.PushAll} {
+		total := run(mode)
+		per := sim.Duration(total) / iterations
+		fmt.Printf("%-12s %16v %18v\n", mode, total, per)
+	}
+	fmt.Println("\nWith 8 KB halos and the paper's 4 KB pushed buffers, Push-All's eager")
+	fmt.Println("fragments overflow whenever a neighbour is still computing, and only")
+	fmt.Println("go-back-N timeouts recover them. Push-Pull pushes one fragment per")
+	fmt.Println("message — within budget — and pulls the rest when the receive posts,")
+	fmt.Println("which is the paper's robustness argument for real parallel programs.")
+}

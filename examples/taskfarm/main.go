@@ -1,0 +1,131 @@
+// Taskfarm runs a master-worker farm — the other classic COMP
+// application shape besides the stencil — over Push-Pull Messaging.
+// A master on node 0 deals variable-sized work items to self-scheduling
+// workers spread across the cluster's remaining processors; each worker
+// returns its result and implicitly requests the next item. Irregular
+// task sizes mean workers' receives are never synchronized with the
+// master's sends — the exact asynchrony the paper's early/late receiver
+// tests (§5.3) probe, and the pushed buffer absorbs.
+//
+// Run with: go run ./examples/taskfarm
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pushpull/internal/cluster"
+	"pushpull/internal/pushpull"
+	"pushpull/internal/sim"
+	"pushpull/internal/smp"
+)
+
+const (
+	numNodes   = 3
+	numTasks   = 48
+	resultSize = 2048 // each worker returns a 2 KB result
+)
+
+// taskCycles returns the irregular compute cost of task i.
+func taskCycles(i int) int64 {
+	return int64(40_000 + (i*2654435761)%360_000) // 0.2 .. 2 ms
+}
+
+func run(mode pushpull.Mode) (makespan sim.Time, perWorker []int) {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = numNodes
+	cfg.ProcsPerNode = 2
+	cfg.Opts.Mode = mode
+	cfg.Opts.PushedBufBytes = 16 << 10
+	c := cluster.New(cfg)
+
+	master := c.Endpoint(0, 0)
+	var workers []*pushpull.Endpoint
+	for n := 0; n < numNodes; n++ {
+		for p := 0; p < 2; p++ {
+			if n == 0 && p == 0 {
+				continue // the master's slot
+			}
+			workers = append(workers, c.Endpoint(n, p))
+		}
+	}
+	perWorker = make([]int, len(workers))
+
+	// Master: deal tasks on demand; a result doubles as a work request.
+	c.Nodes[0].Spawn("master", master.CPU, func(t *smp.Thread) {
+		task := make([]byte, 8)
+		taskBuf := master.Alloc(8)
+		dst := master.Alloc(resultSize)
+		next := 0
+		// Prime every worker with one task.
+		for w := range workers {
+			binary.LittleEndian.PutUint64(task, uint64(next))
+			next++
+			if err := master.Send(t, workers[w].ID, taskBuf, task); err != nil {
+				panic(err)
+			}
+		}
+		done := 0
+		for done < numTasks {
+			// Any result releases the next task; receive in round-robin
+			// probe order (channels are per-worker FIFO).
+			w := done % len(workers)
+			if _, err := master.Recv(t, workers[w].ID, dst, resultSize); err != nil {
+				panic(err)
+			}
+			perWorker[w]++
+			done++
+			binary.LittleEndian.PutUint64(task, uint64(next))
+			var payload []byte
+			if next < numTasks {
+				payload = task
+			} else {
+				payload = []byte{0xFF} // poison pill: 1-byte stop marker
+			}
+			next++
+			if err := master.Send(t, workers[w].ID, taskBuf, payload); err != nil {
+				panic(err)
+			}
+		}
+		makespan = t.Now()
+	})
+
+	for w := range workers {
+		w := w
+		ep := workers[w]
+		c.Nodes[ep.ID.Node].Spawn(fmt.Sprintf("worker%d", w), ep.CPU, func(t *smp.Thread) {
+			taskDst := ep.Alloc(8)
+			result := make([]byte, resultSize)
+			resultBuf := ep.Alloc(resultSize)
+			for {
+				b, err := ep.Recv(t, master.ID, taskDst, 8)
+				if err != nil {
+					panic(err)
+				}
+				if len(b) == 1 {
+					return // poison pill
+				}
+				id := int(binary.LittleEndian.Uint64(b))
+				t.Compute(taskCycles(id))
+				if err := ep.Send(t, master.ID, resultBuf, result); err != nil {
+					panic(err)
+				}
+			}
+		})
+	}
+	c.Run()
+	return makespan, perWorker
+}
+
+func main() {
+	fmt.Printf("%d irregular tasks (0.2-2 ms), %d workers on %d quad-CPU nodes, 2 KB results\n\n",
+		numTasks, numNodes*2-1, numNodes)
+	fmt.Printf("%-14s %12s   %s\n", "mode", "makespan", "tasks per worker")
+	for _, mode := range []pushpull.Mode{pushpull.PushPull, pushpull.PushZero, pushpull.PushAll, pushpull.ThreePhase} {
+		makespan, per := run(mode)
+		fmt.Printf("%-14s %12v   %v\n", mode, makespan, per)
+	}
+	fmt.Println("\nThe farm's self-scheduling keeps workers busy regardless of mechanism;")
+	fmt.Println("the messaging mode decides how much of the task hand-off latency the")
+	fmt.Println("workers eat between tasks — the three-phase handshake pays twice per task.")
+}

@@ -1,0 +1,173 @@
+// Package adapt implements an online Bytes-To-Push controller for
+// Push-Pull Messaging, realizing the paper's §3 remark that
+// "applications can dynamically change the size of the pushed buffer to
+// adapt to the runtime environment".
+//
+// The controller runs AIMD per channel on the only feedback the send
+// side observes — the receiver's pull requests:
+//
+//   - A pull request reporting discarded pushed bytes means the receiver
+//     was so late its pushed buffer overflowed; pushing those bytes was
+//     wasted wire time. The BTP is halved (multiplicative decrease).
+//   - A clean pull request means every pushed byte did useful work —
+//     copied straight to the destination (early receiver) or prefetched
+//     into the pushed buffer (late receiver; the paper's §5.3: "Push-Pull
+//     had sent BTP bytes ... therefore during the pull phase, shorter
+//     message was delivered"). The BTP grows additively, faster on
+//     early-receiver feedback (direct copies are pure win) than on late
+//     (parked bytes cost a second copy), probing the buffer's capacity.
+//
+// The result is the classic AIMD sawtooth around the receiver's pushed-
+// buffer capacity — the dynamic adaptation §3 gestures at. A "fast" pull
+// request (early receiver) is one bounded by wire and interrupt latency
+// rather than by the receiver's compute phase.
+package adapt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pushpull/internal/pushpull"
+	"pushpull/internal/sim"
+)
+
+// Config parameterizes the controller.
+type Config struct {
+	// Initial is the starting BTP per channel (paper: 760).
+	Initial int
+	// Min and Max bound the BTP. Max should not exceed the receiver's
+	// pushed buffer.
+	Min, Max int
+	// Increase is the additive step on early-receiver feedback.
+	Increase int
+	// LateIncrease is the (gentler) additive step on late-but-undropped
+	// feedback; zero holds the BTP steady on late receivers.
+	LateIncrease int
+	// EarlyThreshold classifies a pull request as "receiver was
+	// waiting": round trips at or under it trigger additive increase.
+	EarlyThreshold sim.Duration
+}
+
+// DefaultConfig matches the paper's testbed: start at the tuned 760 B,
+// bound by one fragment and the 4 KB pushed buffer, classify round
+// trips under 100 µs (a few wire-plus-interrupt times) as early.
+func DefaultConfig() Config {
+	return Config{
+		Initial:        760,
+		Min:            0,
+		Max:            4096,
+		Increase:       256,
+		LateIncrease:   64,
+		EarlyThreshold: 100 * sim.Microsecond,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Initial < 0 || c.Min < 0 || c.Max < c.Min {
+		return fmt.Errorf("adapt: inconsistent BTP bounds min %d max %d initial %d", c.Min, c.Max, c.Initial)
+	}
+	if c.Increase <= 0 || c.LateIncrease < 0 {
+		return fmt.Errorf("adapt: non-positive increase %d or negative late increase %d", c.Increase, c.LateIncrease)
+	}
+	if c.EarlyThreshold <= 0 {
+		return fmt.Errorf("adapt: non-positive early threshold %v", c.EarlyThreshold)
+	}
+	return nil
+}
+
+// Controller is a per-channel AIMD BTP policy. It implements
+// pushpull.BTPAdapter. Controllers are not safe for concurrent use;
+// like everything in the simulation they run under the engine's
+// one-event-at-a-time execution.
+type Controller struct {
+	cfg   Config
+	chans map[pushpull.ChannelID]*state
+}
+
+type state struct {
+	btp      int
+	early    uint64
+	late     uint64
+	overflow uint64
+}
+
+// NewController returns a controller with cfg; it panics on invalid
+// configuration (controllers are built from code, not user input).
+func NewController(cfg Config) *Controller {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Controller{cfg: cfg, chans: make(map[pushpull.ChannelID]*state)}
+}
+
+func (c *Controller) state(ch pushpull.ChannelID) *state {
+	st, ok := c.chans[ch]
+	if !ok {
+		st = &state{btp: c.clamp(c.cfg.Initial)}
+		c.chans[ch] = st
+	}
+	return st
+}
+
+func (c *Controller) clamp(btp int) int {
+	if btp < c.cfg.Min {
+		return c.cfg.Min
+	}
+	if btp > c.cfg.Max {
+		return c.cfg.Max
+	}
+	return btp
+}
+
+// BTP implements pushpull.BTPAdapter.
+func (c *Controller) BTP(ch pushpull.ChannelID, total int) int {
+	return c.state(ch).btp
+}
+
+// OnPullRequest implements pushpull.BTPAdapter: AIMD on the three
+// feedback classes.
+func (c *Controller) OnPullRequest(ch pushpull.ChannelID, redoBytes int, sinceSend sim.Duration) {
+	st := c.state(ch)
+	switch {
+	case redoBytes > 0:
+		st.overflow++
+		st.btp = c.clamp(st.btp / 2)
+	case sinceSend <= c.cfg.EarlyThreshold:
+		st.early++
+		st.btp = c.clamp(st.btp + c.cfg.Increase)
+	default:
+		st.late++
+		st.btp = c.clamp(st.btp + c.cfg.LateIncrease)
+	}
+}
+
+// Current reports the channel's present BTP (the initial value for a
+// channel never seen).
+func (c *Controller) Current(ch pushpull.ChannelID) int { return c.state(ch).btp }
+
+// Counts reports how many pull requests were classified early / late /
+// overflow for ch.
+func (c *Controller) Counts(ch pushpull.ChannelID) (early, late, overflow uint64) {
+	st := c.state(ch)
+	return st.early, st.late, st.overflow
+}
+
+// String summarizes every channel's state, sorted, for reports.
+func (c *Controller) String() string {
+	keys := make([]pushpull.ChannelID, 0, len(c.chans))
+	for ch := range c.chans {
+		keys = append(keys, ch)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
+	})
+	var b strings.Builder
+	for _, ch := range keys {
+		st := c.chans[ch]
+		fmt.Fprintf(&b, "%v: btp=%d early=%d late=%d overflow=%d\n",
+			ch, st.btp, st.early, st.late, st.overflow)
+	}
+	return b.String()
+}

@@ -1,0 +1,223 @@
+package adapt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pushpull/internal/cluster"
+	"pushpull/internal/pushpull"
+	"pushpull/internal/sim"
+	"pushpull/internal/smp"
+)
+
+var chAB = pushpull.ChannelID{
+	From: pushpull.ProcessID{Node: 0, Proc: 0},
+	To:   pushpull.ProcessID{Node: 1, Proc: 0},
+}
+
+func TestControllerStartsAtInitial(t *testing.T) {
+	c := NewController(DefaultConfig())
+	if got := c.BTP(chAB, 10000); got != 760 {
+		t.Errorf("initial BTP = %d, want 760", got)
+	}
+}
+
+func TestAdditiveIncreaseOnEarlyReceiver(t *testing.T) {
+	cfg := DefaultConfig()
+	c := NewController(cfg)
+	for i := 0; i < 3; i++ {
+		c.OnPullRequest(chAB, 0, 50*sim.Microsecond)
+	}
+	want := cfg.Initial + 3*cfg.Increase
+	if got := c.Current(chAB); got != want {
+		t.Errorf("BTP after 3 early = %d, want %d", got, want)
+	}
+	early, late, overflow := c.Counts(chAB)
+	if early != 3 || late != 0 || overflow != 0 {
+		t.Errorf("counts = %d/%d/%d, want 3/0/0", early, late, overflow)
+	}
+}
+
+func TestMultiplicativeDecreaseOnOverflow(t *testing.T) {
+	c := NewController(DefaultConfig())
+	c.OnPullRequest(chAB, 1400, 500*sim.Microsecond)
+	if got := c.Current(chAB); got != 380 {
+		t.Errorf("BTP after overflow = %d, want 380", got)
+	}
+	c.OnPullRequest(chAB, 700, 500*sim.Microsecond)
+	if got := c.Current(chAB); got != 190 {
+		t.Errorf("BTP after second overflow = %d, want 190", got)
+	}
+}
+
+func TestGentleIncreaseOnLateReceiver(t *testing.T) {
+	// A clean late-receiver pull request still means every pushed byte
+	// was useful (prefetched into the pushed buffer, §5.3), so the BTP
+	// probes upward — just more cautiously than on early feedback.
+	cfg := DefaultConfig()
+	c := NewController(cfg)
+	c.OnPullRequest(chAB, 0, 5*sim.Millisecond)
+	if got := c.Current(chAB); got != cfg.Initial+cfg.LateIncrease {
+		t.Errorf("BTP after late = %d, want %d", got, cfg.Initial+cfg.LateIncrease)
+	}
+	if cfg.LateIncrease >= cfg.Increase {
+		t.Error("late step should be gentler than early step")
+	}
+}
+
+func TestClampingAtBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Min = 100
+	cfg.Max = 1000
+	c := NewController(cfg)
+	for i := 0; i < 50; i++ {
+		c.OnPullRequest(chAB, 0, sim.Microsecond)
+	}
+	if got := c.Current(chAB); got != 1000 {
+		t.Errorf("BTP not clamped at max: %d", got)
+	}
+	for i := 0; i < 50; i++ {
+		c.OnPullRequest(chAB, 999, sim.Second)
+	}
+	if got := c.Current(chAB); got != 100 {
+		t.Errorf("BTP not clamped at min: %d", got)
+	}
+}
+
+func TestChannelsAreIndependent(t *testing.T) {
+	other := pushpull.ChannelID{
+		From: pushpull.ProcessID{Node: 1, Proc: 0},
+		To:   pushpull.ProcessID{Node: 0, Proc: 0},
+	}
+	c := NewController(DefaultConfig())
+	c.OnPullRequest(chAB, 2000, sim.Millisecond)
+	if c.Current(other) != 760 {
+		t.Error("feedback on one channel leaked into another")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Initial: -1, Max: 100, Increase: 1, EarlyThreshold: 1},
+		{Initial: 10, Min: 50, Max: 40, Increase: 1, EarlyThreshold: 1},
+		{Initial: 10, Max: 100, Increase: 0, EarlyThreshold: 1},
+		{Initial: 10, Max: 100, Increase: 1, EarlyThreshold: 0},
+		{Initial: 10, Max: 100, Increase: 1, LateIncrease: -1, EarlyThreshold: 1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("config %d validated", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestStringSummarizes(t *testing.T) {
+	c := NewController(DefaultConfig())
+	c.OnPullRequest(chAB, 0, sim.Microsecond)
+	if s := c.String(); !strings.Contains(s, "btp=") || !strings.Contains(s, "early=1") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: the BTP never leaves [Min, Max] under any feedback sequence.
+func TestBoundsInvariantProperty(t *testing.T) {
+	f := func(redos []uint16, delays []uint16) bool {
+		cfg := DefaultConfig()
+		cfg.Min = 128
+		cfg.Max = 2048
+		c := NewController(cfg)
+		n := len(redos)
+		if len(delays) < n {
+			n = len(delays)
+		}
+		for i := 0; i < n; i++ {
+			c.OnPullRequest(chAB, int(redos[i])%3000, sim.Duration(delays[i])*sim.Microsecond)
+			if btp := c.Current(chAB); btp < cfg.Min || btp > cfg.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// End-to-end: a persistently late receiver must drive the BTP down, an
+// early receiver must drive it up, and integrity holds throughout.
+func TestAdaptsToReceiverTiming(t *testing.T) {
+	run := func(recvLate bool) (btp int, overflow uint64) {
+		cfg := cluster.DefaultConfig()
+		cfg.Opts.PushedBufBytes = 2048 // small buffer so late receivers overflow
+		c := cluster.New(cfg)
+		ctl := NewController(DefaultConfig())
+		c.Stacks[0].SetAdapter(ctl)
+
+		sender := c.Endpoint(0, 0)
+		receiver := c.Endpoint(1, 0)
+		const msgs = 12
+		const size = 3000
+		data := pattern(size)
+		src := sender.Alloc(size)
+		dst := receiver.Alloc(size)
+
+		c.Nodes[0].Spawn("sender", sender.CPU, func(th *smp.Thread) {
+			for i := 0; i < msgs; i++ {
+				if err := sender.Send(th, receiver.ID, src, data); err != nil {
+					t.Errorf("send %d: %v", i, err)
+				}
+				th.Compute(200_000) // 1 ms between messages
+			}
+		})
+		c.Nodes[1].Spawn("receiver", receiver.CPU, func(th *smp.Thread) {
+			for i := 0; i < msgs; i++ {
+				if recvLate {
+					th.Compute(260_000) // arrive ~300 µs after the push
+				}
+				b, err := receiver.Recv(th, sender.ID, dst, size)
+				if err != nil {
+					t.Errorf("recv %d: %v", i, err)
+					return
+				}
+				if !bytes.Equal(b, data) {
+					t.Errorf("recv %d: bytes differ", i)
+				}
+				if !recvLate {
+					// Early receiver: already parked in Recv when the
+					// next message arrives.
+					continue
+				}
+			}
+		})
+		c.Run()
+		e, l, o := ctl.Counts(pushpull.ChannelID{From: sender.ID, To: receiver.ID})
+		_ = e
+		_ = l
+		return ctl.Current(pushpull.ChannelID{From: sender.ID, To: receiver.ID}), o
+	}
+
+	lateBTP, _ := run(true)
+	earlyBTP, earlyOverflow := run(false)
+	if lateBTP >= 760 {
+		t.Errorf("late receiver: BTP %d did not shrink below the initial 760", lateBTP)
+	}
+	if earlyBTP <= 760 {
+		t.Errorf("early receiver: BTP %d did not grow beyond the initial 760", earlyBTP)
+	}
+	if earlyOverflow != 0 {
+		t.Errorf("early receiver provoked %d overflows", earlyOverflow)
+	}
+}
+
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 13)
+	}
+	return b
+}

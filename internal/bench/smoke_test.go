@@ -1,0 +1,16 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSmokeAll(t *testing.T) {
+	p := Params{Iters: 30}
+	for _, e := range All() {
+		tabs := e.Run(p)
+		for _, tab := range tabs {
+			fmt.Println(tab.Render())
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package cluster assembles complete simulated COMPs (Clusters Of
+// Multi-Processors): SMP nodes with NICs, joined back-to-back or through
+// a store-and-forward switch, each running a Push-Pull Messaging stack.
+// It is the top-level entry point the examples and the benchmark harness
+// build on.
+package cluster
+
+import (
+	"fmt"
+
+	"pushpull/internal/ether"
+	"pushpull/internal/nic"
+	"pushpull/internal/pushpull"
+	"pushpull/internal/sim"
+	"pushpull/internal/smp"
+	"pushpull/internal/trace"
+)
+
+// Config describes a cluster to build. DefaultConfig reproduces the
+// paper's testbed: two quad Pentium Pro nodes, DEC 21140 Fast Ethernet
+// back-to-back, symmetric interrupts, fully optimized Push-Pull.
+type Config struct {
+	Nodes        int
+	ProcsPerNode int
+	SMP          smp.Config
+	NIC          nic.Config
+	Net          ether.Config
+	Opts         pushpull.Options
+	Policy       smp.Policy
+	PolicyTarget int
+	// Rails is the number of NICs (and back-to-back links) per node —
+	// the paper's §6 outlook of driving multiple network interfaces with
+	// multiple processors. Values above 1 require a two-node,
+	// switch-less cluster. Zero means one.
+	Rails int
+	// UseSwitch inserts a store-and-forward switch; required (and
+	// defaulted) for more than two nodes. Two-node clusters default to a
+	// back-to-back link, like the paper's testbed.
+	UseSwitch bool
+	// UseHub joins all nodes on one shared half-duplex segment instead of
+	// a switch or back-to-back link — the hub-vs-switch ablation.
+	// Mutually exclusive with UseSwitch and Rails > 1.
+	UseHub bool
+	// SwitchForward is the switch's forwarding latency.
+	SwitchForward sim.Duration
+	// SwitchQueueFrames bounds each switch output queue (0 = unbounded).
+	SwitchQueueFrames int
+	Seed              uint64
+}
+
+// DefaultConfig is the paper's two-node testbed.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:             2,
+		ProcsPerNode:      1,
+		SMP:               smp.DefaultConfig(),
+		NIC:               nic.DEC21140(),
+		Net:               ether.FastEthernet(),
+		Opts:              pushpull.DefaultOptions(),
+		Policy:            smp.Symmetric,
+		SwitchForward:     3 * sim.Microsecond,
+		SwitchQueueFrames: 64,
+		Seed:              1,
+	}
+}
+
+// Cluster is a built simulation: engine, nodes, stacks, endpoints.
+type Cluster struct {
+	Engine *sim.Engine
+	Nodes  []*smp.Node
+	Stacks []*pushpull.Stack
+	NICs   []*nic.NIC
+	Switch *ether.Switch
+	Hub    *ether.Hub
+	Links  []*ether.Link // back-to-back links, rail-major (empty otherwise)
+}
+
+// New builds a cluster. It panics on inconsistent configuration — the
+// callers are experiment definitions, not user input.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes < 1 {
+		panic("cluster: need at least one node")
+	}
+	if cfg.ProcsPerNode < 1 {
+		panic("cluster: need at least one process per node")
+	}
+	if cfg.Nodes > 2 && !cfg.UseHub {
+		cfg.UseSwitch = true
+	}
+	if cfg.UseHub && cfg.UseSwitch {
+		panic("cluster: UseHub and UseSwitch are mutually exclusive")
+	}
+	if cfg.UseHub && cfg.Rails > 1 {
+		panic("cluster: multi-rail requires point-to-point links, not a hub")
+	}
+	e := sim.NewEngine(cfg.Seed)
+	c := &Cluster{Engine: e}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		n := smp.NewNode(e, i, cfg.SMP)
+		n.IRQ.SetPolicy(cfg.Policy, cfg.PolicyTarget)
+		st := pushpull.NewStack(n, cfg.Opts)
+		for p := 0; p < cfg.ProcsPerNode; p++ {
+			st.NewEndpoint(p, p%cfg.SMP.NumCPUs)
+		}
+		c.Nodes = append(c.Nodes, n)
+		c.Stacks = append(c.Stacks, st)
+	}
+
+	if cfg.Nodes == 1 {
+		return c // intranode-only cluster: no network
+	}
+
+	rails := cfg.Rails
+	if rails <= 0 {
+		rails = 1
+	}
+	if rails > 1 && (cfg.Nodes != 2 || cfg.UseSwitch) {
+		panic("cluster: multi-rail requires a two-node back-to-back topology")
+	}
+
+	// NICs are laid out node-major: node i's rail r is NICs[i*rails+r].
+	for i, n := range c.Nodes {
+		for r := 0; r < rails; r++ {
+			nc := nic.New(n, cfg.NIC)
+			c.NICs = append(c.NICs, nc)
+			c.Stacks[i].AttachNIC(nc)
+		}
+	}
+
+	switch {
+	case cfg.UseHub:
+		c.Hub = ether.NewHub(e, cfg.Net)
+		for _, nc := range c.NICs {
+			c.Hub.Attach(nc)
+			nc.AttachLink(c.Hub)
+		}
+	case !cfg.UseSwitch && cfg.Nodes == 2:
+		for r := 0; r < rails; r++ {
+			a, b := c.NICs[r], c.NICs[rails+r]
+			link := ether.NewLink(e, cfg.Net, a, b)
+			a.AttachLink(link)
+			b.AttachLink(link)
+			c.Links = append(c.Links, link)
+		}
+	default:
+		c.Switch = ether.NewSwitch(e, cfg.Net, cfg.SwitchForward)
+		for _, nc := range c.NICs {
+			nc.AttachLink(c.Switch.Attach(nc, cfg.SwitchQueueFrames))
+		}
+	}
+
+	for i := range c.Stacks {
+		for j := range c.Stacks {
+			if i != j {
+				c.Stacks[i].AddPeer(j)
+			}
+		}
+	}
+	return c
+}
+
+// Endpoint returns process proc on node node.
+func (c *Cluster) Endpoint(node, proc int) *pushpull.Endpoint {
+	ep := c.Stacks[node].Endpoint(proc)
+	if ep == nil {
+		panic(fmt.Sprintf("cluster: no endpoint %d on node %d", proc, node))
+	}
+	return ep
+}
+
+// Spawn starts an application thread named name on node's CPU cpu.
+func (c *Cluster) Spawn(node, cpu int, name string, body func(t *smp.Thread)) {
+	c.Nodes[node].Spawn(name, cpu, body)
+}
+
+// Run drives the simulation to completion and returns the final virtual
+// time.
+func (c *Cluster) Run() sim.Time { return c.Engine.Run() }
+
+// SetRecorder attaches one structured trace recorder to every stack (and
+// through them every NIC and go-back-N session) in the cluster.
+func (c *Cluster) SetRecorder(rec *trace.Recorder) {
+	for _, st := range c.Stacks {
+		st.SetRecorder(rec)
+	}
+}

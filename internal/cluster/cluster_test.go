@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"testing"
+
+	"pushpull/internal/smp"
+)
+
+func TestDefaultConfigIsPaperTestbed(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Nodes != 2 {
+		t.Errorf("nodes = %d, want 2", cfg.Nodes)
+	}
+	if cfg.SMP.NumCPUs != 4 {
+		t.Errorf("CPUs per node = %d, want 4 (quad Pentium Pro)", cfg.SMP.NumCPUs)
+	}
+	if cfg.Net.BitsPerSec != 100_000_000 {
+		t.Errorf("link = %d bit/s, want Fast Ethernet", cfg.Net.BitsPerSec)
+	}
+	if cfg.Policy != smp.Symmetric {
+		t.Error("default policy should be symmetric interrupt (the paper's optimized setup)")
+	}
+	if err := cfg.Opts.Validate(); err != nil {
+		t.Errorf("default options invalid: %v", err)
+	}
+}
+
+func TestTwoNodeDirectLink(t *testing.T) {
+	c := New(DefaultConfig())
+	if c.Switch != nil {
+		t.Error("two-node default should be back-to-back, not switched")
+	}
+	if len(c.NICs) != 2 {
+		t.Errorf("NICs = %d, want 2", len(c.NICs))
+	}
+	if c.Endpoint(0, 0) == nil || c.Endpoint(1, 0) == nil {
+		t.Error("endpoints missing")
+	}
+}
+
+func TestMoreNodesForcesSwitch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 3
+	c := New(cfg)
+	if c.Switch == nil {
+		t.Error("three-node cluster must use a switch")
+	}
+	if len(c.NICs) != 3 {
+		t.Errorf("NICs = %d, want 3", len(c.NICs))
+	}
+}
+
+func TestSingleNodeHasNoNetwork(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 1
+	cfg.ProcsPerNode = 2
+	c := New(cfg)
+	if len(c.NICs) != 0 || c.Switch != nil {
+		t.Error("intranode-only cluster should have no NICs or switch")
+	}
+	if c.Stacks[0].NIC() != nil {
+		t.Error("stack reports a NIC on a networkless node")
+	}
+}
+
+func TestRailsLayout(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rails = 3
+	c := New(cfg)
+	if len(c.NICs) != 6 {
+		t.Fatalf("NICs = %d, want 6 (3 rails x 2 nodes)", len(c.NICs))
+	}
+	for i, nc := range c.NICs {
+		wantNode := i / 3
+		if nc.Node().ID != wantNode {
+			t.Errorf("NIC %d on node %d, want %d (node-major layout)", i, nc.Node().ID, wantNode)
+		}
+	}
+	if c.Stacks[0].Rails() != 3 || c.Stacks[1].Rails() != 3 {
+		t.Error("stacks do not report 3 rails")
+	}
+}
+
+func TestBadConfigsPanic(t *testing.T) {
+	cases := map[string]Config{
+		"zero nodes": func() Config { c := DefaultConfig(); c.Nodes = 0; return c }(),
+		"zero procs": func() Config { c := DefaultConfig(); c.ProcsPerNode = 0; return c }(),
+		"rails with 3 nodes": func() Config {
+			c := DefaultConfig()
+			c.Nodes = 3
+			c.Rails = 2
+			return c
+		}(),
+	}
+	for name, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: New did not panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestEndpointMissingPanics(t *testing.T) {
+	c := New(DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("missing endpoint lookup did not panic")
+		}
+	}()
+	c.Endpoint(0, 99)
+}
+
+func TestSpawnRunsOnRequestedCPU(t *testing.T) {
+	c := New(DefaultConfig())
+	var cpu = -1
+	c.Spawn(1, 2, "probe", func(th *smp.Thread) { cpu = th.CPU.ID })
+	c.Run()
+	if cpu != 2 {
+		t.Errorf("thread ran on CPU %d, want 2", cpu)
+	}
+}
+
+func TestAllPairsSessionsExist(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 3
+	c := New(cfg)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == j {
+				continue
+			}
+			snd, rcv := c.Stacks[i].Session(j)
+			if snd == nil || rcv == nil {
+				t.Errorf("missing session %d->%d", i, j)
+			}
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() int64 {
+		cfg := DefaultConfig()
+		c := New(cfg)
+		a, b := c.Endpoint(0, 0), c.Endpoint(1, 0)
+		src, dst := a.Alloc(5000), b.Alloc(5000)
+		msg := make([]byte, 5000)
+		c.Spawn(0, 0, "s", func(th *smp.Thread) {
+			if err := a.Send(th, b.ID, src, msg); err != nil {
+				t.Error(err)
+			}
+		})
+		c.Spawn(1, 0, "r", func(th *smp.Thread) {
+			if _, err := b.Recv(th, a.ID, dst, 5000); err != nil {
+				t.Error(err)
+			}
+		})
+		return int64(c.Run())
+	}
+	if run() != run() {
+		t.Error("identical clusters produced different final times")
+	}
+}

@@ -1,0 +1,175 @@
+// Package collective implements MPI-style collective operations —
+// barrier, broadcast, reduce, allreduce, scatter, gather, allgather,
+// all-to-all — on top of Push-Pull Messaging endpoints.
+//
+// The paper positions Push-Pull as the messaging layer for parallel
+// programs on COMPs ("a typical compute-then-communicate parallel
+// program", §5.3); this package is that program layer: the collectives a
+// real application would call, built purely from the point-to-point
+// public API (Send/Recv/Isend/Irecv), with the classic algorithms of the
+// era — binomial trees, recursive doubling, rings. Collectives therefore
+// inherit whatever messaging mode the cluster is configured with, which
+// is what makes mode ablations at the application level possible.
+package collective
+
+import (
+	"fmt"
+
+	"pushpull/internal/cluster"
+	"pushpull/internal/pushpull"
+	"pushpull/internal/sim"
+	"pushpull/internal/smp"
+	"pushpull/internal/vm"
+)
+
+// World maps collective ranks onto the endpoints of a cluster,
+// node-major: rank r is process r%procs on node r/procs.
+type World struct {
+	c     *cluster.Cluster
+	ranks []*pushpull.Endpoint
+}
+
+// NewWorld builds the rank space over every endpoint of the cluster.
+func NewWorld(c *cluster.Cluster) *World {
+	w := &World{c: c}
+	for n := range c.Stacks {
+		p := 0
+		for {
+			ep := c.Stacks[n].Endpoint(p)
+			if ep == nil {
+				break
+			}
+			w.ranks = append(w.ranks, ep)
+			p++
+		}
+	}
+	if len(w.ranks) == 0 {
+		panic("collective: cluster has no endpoints")
+	}
+	return w
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Cluster returns the underlying cluster.
+func (w *World) Cluster() *cluster.Cluster { return w.c }
+
+// Run starts one thread per rank executing body and drives the
+// simulation until every rank returns, returning the final virtual time.
+// It panics if any rank's collective fails: collectives are programming
+// errors when they fail, not runtime conditions.
+func (w *World) Run(body func(r *Rank)) sim.Time {
+	for i, ep := range w.ranks {
+		r := &Rank{w: w, id: i, ep: ep}
+		node := w.c.Nodes[ep.ID.Node]
+		node.Spawn(fmt.Sprintf("rank%d", i), ep.CPU, func(t *smp.Thread) {
+			r.t = t
+			body(r)
+		})
+	}
+	return w.c.Run()
+}
+
+// Rank is one process's handle inside a running World. All methods must
+// be called from the rank's own thread (inside the Run body).
+type Rank struct {
+	w  *World
+	id int
+	ep *pushpull.Endpoint
+	t  *smp.Thread
+
+	sendBufs map[int]buf
+	recvBufs map[int]buf
+}
+
+type buf struct {
+	addr vm.VirtAddr
+	cap  int
+}
+
+// ID reports this rank's number; Size the world size.
+func (r *Rank) ID() int   { return r.id }
+func (r *Rank) Size() int { return r.w.Size() }
+
+// Thread exposes the rank's thread for application compute phases.
+func (r *Rank) Thread() *smp.Thread { return r.t }
+
+// Compute burns application cycles (the paper's NOP loops).
+func (r *Rank) Compute(cycles int64) { r.t.Compute(cycles) }
+
+// sendBuf returns a reusable registered send buffer toward peer, at
+// least n bytes long. One buffer per peer suffices: a rank has at most
+// one outstanding send per peer inside a collective step.
+func (r *Rank) sendBuf(peer, n int) vm.VirtAddr {
+	if r.sendBufs == nil {
+		r.sendBufs = make(map[int]buf)
+	}
+	return growBuf(r.sendBufs, r.ep, peer, n)
+}
+
+// recvBuf is sendBuf's receive-side counterpart.
+func (r *Rank) recvBuf(peer, n int) vm.VirtAddr {
+	if r.recvBufs == nil {
+		r.recvBufs = make(map[int]buf)
+	}
+	return growBuf(r.recvBufs, r.ep, peer, n)
+}
+
+func growBuf(m map[int]buf, ep *pushpull.Endpoint, peer, n int) vm.VirtAddr {
+	b, ok := m[peer]
+	if !ok || b.cap < n {
+		// Round up generously so repeated collectives reuse one buffer.
+		c := 1024
+		for c < n {
+			c *= 2
+		}
+		b = buf{addr: ep.Alloc(c), cap: c}
+		m[peer] = b
+	}
+	return b.addr
+}
+
+// Send transmits data to rank to (blocking, like pushpull.Send: returns
+// when the local send completes).
+func (r *Rank) Send(to int, data []byte) {
+	addr := r.sendBuf(to, len(data))
+	if err := r.ep.Send(r.t, r.w.ranks[to].ID, addr, data); err != nil {
+		panic(fmt.Sprintf("collective: rank %d send to %d: %v", r.id, to, err))
+	}
+}
+
+// Isend starts a nonblocking send to rank to.
+func (r *Rank) Isend(to int, data []byte) *pushpull.Request {
+	addr := r.sendBuf(to, len(data))
+	return r.ep.Isend(r.t, r.w.ranks[to].ID, addr, data)
+}
+
+// Recv blocks until the next message from rank from arrives and returns
+// its bytes. n bounds the expected size.
+func (r *Rank) Recv(from, n int) []byte {
+	addr := r.recvBuf(from, n)
+	b, err := r.ep.Recv(r.t, r.w.ranks[from].ID, addr, n)
+	if err != nil {
+		panic(fmt.Sprintf("collective: rank %d recv from %d: %v", r.id, from, err))
+	}
+	return b
+}
+
+// Irecv starts a nonblocking receive of up to n bytes from rank from.
+func (r *Rank) Irecv(from, n int) *pushpull.Request {
+	addr := r.recvBuf(from, n)
+	return r.ep.Irecv(r.t, r.w.ranks[from].ID, addr, n)
+}
+
+// SendRecv exchanges messages with two peers concurrently (send to one,
+// receive from the other) — the ring-step primitive. Using a nonblocking
+// send is what makes rings deadlock-free under synchronous modes.
+func (r *Rank) SendRecv(to int, data []byte, from, n int) []byte {
+	sreq := r.Isend(to, data)
+	got := r.Recv(from, n)
+	if _, err := sreq.Wait(r.t); err != nil {
+		panic(fmt.Sprintf("collective: rank %d sendrecv to %d: %v", r.id, to, err))
+	}
+	return got
+}

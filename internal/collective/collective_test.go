@@ -1,0 +1,321 @@
+package collective
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"pushpull/internal/cluster"
+	"pushpull/internal/pushpull"
+	"pushpull/internal/sim"
+)
+
+// newWorld builds a world of nodes×procs ranks in the given mode.
+func newWorld(nodes, procs int, mode pushpull.Mode) *World {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.ProcsPerNode = procs
+	cfg.Opts.Mode = mode
+	cfg.Opts.PushedBufBytes = 64 << 10
+	return NewWorld(cluster.New(cfg))
+}
+
+// fill builds rank-specific payloads.
+func fill(rank, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rank*131 + i*7)
+	}
+	return b
+}
+
+func TestWorldSizeAndMapping(t *testing.T) {
+	w := newWorld(2, 3, pushpull.PushPull)
+	if w.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", w.Size())
+	}
+	// Node-major: ranks 0-2 on node 0, ranks 3-5 on node 1.
+	seen := make(map[int][2]int)
+	w.Run(func(r *Rank) {
+		seen[r.ID()] = [2]int{r.ep.ID.Node, r.ep.ID.Proc}
+	})
+	for rank := 0; rank < 6; rank++ {
+		want := [2]int{rank / 3, rank % 3}
+		if seen[rank] != want {
+			t.Errorf("rank %d on %v, want %v", rank, seen[rank], want)
+		}
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, shape := range [][2]int{{2, 1}, {2, 2}, {3, 1}, {4, 2}} {
+		w := newWorld(shape[0], shape[1], pushpull.PushPull)
+		size := w.Size()
+		enter := make([]sim.Time, size)
+		exit := make([]sim.Time, size)
+		w.Run(func(r *Rank) {
+			// Stagger arrivals so the barrier has real work to do.
+			r.Compute(int64(r.ID()) * 50_000)
+			enter[r.ID()] = r.Thread().Now()
+			r.Barrier()
+			exit[r.ID()] = r.Thread().Now()
+		})
+		var maxEnter, minExit sim.Time
+		minExit = 1 << 62
+		for i := 0; i < size; i++ {
+			if enter[i] > maxEnter {
+				maxEnter = enter[i]
+			}
+			if exit[i] < minExit {
+				minExit = exit[i]
+			}
+		}
+		if minExit < maxEnter {
+			t.Errorf("%dx%d: rank left the barrier at %v before the last arrival at %v",
+				shape[0], shape[1], minExit, maxEnter)
+		}
+	}
+}
+
+func TestBcastFromEveryRoot(t *testing.T) {
+	const n = 3000
+	w := newWorld(3, 2, pushpull.PushPull)
+	size := w.Size()
+	for root := 0; root < size; root++ {
+		w := newWorld(3, 2, pushpull.PushPull)
+		payload := fill(root, n)
+		got := make([][]byte, size)
+		w.Run(func(r *Rank) {
+			var data []byte
+			if r.ID() == root {
+				data = payload
+			}
+			got[r.ID()] = r.Bcast(root, data, n)
+		})
+		for i := 0; i < size; i++ {
+			if !bytes.Equal(got[i], payload) {
+				t.Errorf("root %d: rank %d received wrong data", root, i)
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	const elems = 64
+	w := newWorld(2, 2, pushpull.PushPull)
+	size := w.Size()
+	var res []byte
+	w.Run(func(r *Rank) {
+		vals := make([]int64, elems)
+		for i := range vals {
+			vals[i] = int64(r.ID()*1000 + i)
+		}
+		if out := r.Reduce(1, FromInt64s(vals), SumInt64); r.ID() == 1 {
+			res = out
+		} else if out != nil {
+			t.Errorf("non-root rank %d got a reduce result", r.ID())
+		}
+	})
+	got := Int64s(res)
+	for i := 0; i < elems; i++ {
+		var want int64
+		for rank := 0; rank < size; rank++ {
+			want += int64(rank*1000 + i)
+		}
+		if got[i] != want {
+			t.Fatalf("element %d = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestAllReduceBothAlgorithmsAgree(t *testing.T) {
+	// Include non-power-of-two world sizes: the recursive-doubling
+	// fold-in/fold-out fixup is the part worth testing.
+	for _, shape := range [][2]int{{2, 1}, {3, 1}, {2, 2}, {5, 1}, {3, 2}, {4, 2}} {
+		shape := shape
+		t.Run(fmt.Sprintf("%dx%d", shape[0], shape[1]), func(t *testing.T) {
+			const elems = 16
+			run := func(rd bool) [][]byte {
+				w := newWorld(shape[0], shape[1], pushpull.PushPull)
+				out := make([][]byte, w.Size())
+				w.Run(func(r *Rank) {
+					vals := make([]int64, elems)
+					for i := range vals {
+						vals[i] = int64((r.ID() + 1) * (i + 1))
+					}
+					if rd {
+						out[r.ID()] = r.AllReduceRD(FromInt64s(vals), SumInt64)
+					} else {
+						out[r.ID()] = r.AllReduce(FromInt64s(vals), SumInt64)
+					}
+				})
+				return out
+			}
+			tree := run(false)
+			rd := run(true)
+			size := len(tree)
+			var want []int64
+			{
+				want = make([]int64, elems)
+				for i := range want {
+					for rank := 0; rank < size; rank++ {
+						want[i] += int64((rank + 1) * (i + 1))
+					}
+				}
+			}
+			for rank := 0; rank < size; rank++ {
+				tv, rv := Int64s(tree[rank]), Int64s(rd[rank])
+				for i := 0; i < elems; i++ {
+					if tv[i] != want[i] {
+						t.Fatalf("tree rank %d elem %d = %d, want %d", rank, i, tv[i], want[i])
+					}
+					if rv[i] != want[i] {
+						t.Fatalf("RD rank %d elem %d = %d, want %d", rank, i, rv[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	const n = 500
+	w := newWorld(2, 2, pushpull.PushPull)
+	size := w.Size()
+	const root = 2
+	var gathered [][]byte
+	scattered := make([][]byte, size)
+	w.Run(func(r *Rank) {
+		// Gather everyone's block on root, then scatter it back.
+		g := r.Gather(root, fill(r.ID(), n), n)
+		if r.ID() == root {
+			gathered = g
+		}
+		scattered[r.ID()] = r.Scatter(root, g, n)
+	})
+	for i := 0; i < size; i++ {
+		if !bytes.Equal(gathered[i], fill(i, n)) {
+			t.Errorf("gather: block %d wrong", i)
+		}
+		if !bytes.Equal(scattered[i], fill(i, n)) {
+			t.Errorf("scatter: rank %d got wrong block back", i)
+		}
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	const n = 700
+	for _, shape := range [][2]int{{2, 1}, {3, 1}, {2, 2}, {3, 2}} {
+		w := newWorld(shape[0], shape[1], pushpull.PushPull)
+		size := w.Size()
+		out := make([][][]byte, size)
+		w.Run(func(r *Rank) {
+			out[r.ID()] = r.AllGather(fill(r.ID(), n), n)
+		})
+		for rank := 0; rank < size; rank++ {
+			for i := 0; i < size; i++ {
+				if !bytes.Equal(out[rank][i], fill(i, n)) {
+					t.Errorf("%dx%d: rank %d block %d wrong", shape[0], shape[1], rank, i)
+				}
+			}
+		}
+	}
+}
+
+func TestAllToAllTransposes(t *testing.T) {
+	const n = 256
+	w := newWorld(3, 1, pushpull.PushPull)
+	size := w.Size()
+	block := func(from, to int) []byte { return fill(from*size+to, n) }
+	out := make([][][]byte, size)
+	w.Run(func(r *Rank) {
+		blocks := make([][]byte, size)
+		for to := 0; to < size; to++ {
+			blocks[to] = block(r.ID(), to)
+		}
+		out[r.ID()] = r.AllToAll(blocks, n)
+	})
+	for rank := 0; rank < size; rank++ {
+		for from := 0; from < size; from++ {
+			if !bytes.Equal(out[rank][from], block(from, rank)) {
+				t.Errorf("rank %d: block from %d wrong", rank, from)
+			}
+		}
+	}
+}
+
+// Collectives run unchanged on every messaging mode, including the
+// synchronous three-phase baseline (the nonblocking ring primitive is
+// what keeps them deadlock-free).
+func TestCollectivesAcrossModes(t *testing.T) {
+	for _, mode := range []pushpull.Mode{pushpull.PushPull, pushpull.PushZero, pushpull.PushAll, pushpull.ThreePhase} {
+		w := newWorld(2, 2, mode)
+		size := w.Size()
+		out := make([][]byte, size)
+		w.Run(func(r *Rank) {
+			r.Barrier()
+			vals := []int64{int64(r.ID()), 7}
+			out[r.ID()] = r.AllReduce(FromInt64s(vals), SumInt64)
+			r.Barrier()
+		})
+		want := int64(size * (size - 1) / 2)
+		for rank := 0; rank < size; rank++ {
+			got := Int64s(out[rank])
+			if got[0] != want || got[1] != int64(7*size) {
+				t.Errorf("mode %v rank %d: allreduce = %v", mode, rank, got)
+			}
+		}
+	}
+}
+
+// Property: XOR-allreduce of arbitrary contributions equals the XOR of
+// them all, on every rank, for arbitrary world shapes and both
+// algorithms.
+func TestAllReduceXorProperty(t *testing.T) {
+	f := func(nodes, procs uint8, vecLen uint8, seed byte, rd bool) bool {
+		nn := int(nodes)%3 + 1 // 1..3 nodes
+		pp := int(procs)%2 + 1 // 1..2 procs
+		if nn == 1 && pp == 1 {
+			pp = 2
+		}
+		n := (int(vecLen)%32 + 1) * 8
+		w := newWorld(nn, pp, pushpull.PushPull)
+		size := w.Size()
+		want := make([]byte, n)
+		inputs := make([][]byte, size)
+		for rank := 0; rank < size; rank++ {
+			inputs[rank] = fill(rank+int(seed), n)
+			want = XorBytes(want, inputs[rank])
+		}
+		out := make([][]byte, size)
+		w.Run(func(r *Rank) {
+			if rd {
+				out[r.ID()] = r.AllReduceRD(inputs[r.ID()], XorBytes)
+			} else {
+				out[r.ID()] = r.AllReduce(inputs[r.ID()], XorBytes)
+			}
+		})
+		for rank := 0; rank < size; rank++ {
+			if !bytes.Equal(out[rank], want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBcastRootValidation(t *testing.T) {
+	w := newWorld(2, 1, pushpull.PushPull)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range root did not panic")
+		}
+	}()
+	w.Run(func(r *Rank) {
+		r.Bcast(99, nil, 8)
+	})
+}

@@ -1,0 +1,217 @@
+package collective
+
+import "fmt"
+
+// Op combines two reduction operands into one. Ops must be associative
+// and commutative (the tree and recursive-doubling algorithms reorder
+// combinations freely) and must not retain their arguments.
+type Op func(a, b []byte) []byte
+
+// Barrier blocks until every rank has entered it (dissemination
+// algorithm: ceil(log2 n) rounds of token exchange).
+func (r *Rank) Barrier() {
+	size := r.Size()
+	token := []byte{1}
+	for k := 1; k < size; k <<= 1 {
+		to := (r.id + k) % size
+		from := (r.id - k + size) % size
+		r.SendRecv(to, token, from, 1)
+	}
+}
+
+// Bcast distributes root's data to every rank over a binomial tree and
+// returns the received copy (root returns data itself). Every rank must
+// pass the same n, the message length; non-root ranks may pass nil data.
+func (r *Rank) Bcast(root int, data []byte, n int) []byte {
+	size := r.Size()
+	if root < 0 || root >= size {
+		panic(fmt.Sprintf("collective: bcast root %d out of range", root))
+	}
+	if r.id == root && len(data) != n {
+		panic(fmt.Sprintf("collective: bcast root has %d bytes, promised %d", len(data), n))
+	}
+	rel := (r.id - root + size) % size
+	abs := func(relrank int) int { return (relrank + root) % size }
+
+	// Climb the mask until this rank's receive level is found.
+	mask := 1
+	for mask < size {
+		if rel&mask != 0 {
+			data = r.Recv(abs(rel-mask), n)
+			break
+		}
+		mask <<= 1
+	}
+	// Fan out to the subtree below that level.
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < size {
+			r.Send(abs(rel+mask), data)
+		}
+		mask >>= 1
+	}
+	return data
+}
+
+// Reduce combines every rank's data with op over a binomial tree; the
+// result lands on root (other ranks return nil). All contributions must
+// have the same length.
+func (r *Rank) Reduce(root int, data []byte, op Op) []byte {
+	size := r.Size()
+	if root < 0 || root >= size {
+		panic(fmt.Sprintf("collective: reduce root %d out of range", root))
+	}
+	n := len(data)
+	rel := (r.id - root + size) % size
+	abs := func(relrank int) int { return (relrank + root) % size }
+
+	acc := append([]byte(nil), data...)
+	for mask := 1; mask < size; mask <<= 1 {
+		if rel&mask != 0 {
+			r.Send(abs(rel-mask), acc)
+			return nil
+		}
+		if rel+mask < size {
+			acc = op(acc, r.Recv(abs(rel+mask), n))
+		}
+	}
+	if r.id != root {
+		return nil
+	}
+	return acc
+}
+
+// AllReduce combines every rank's data with op and returns the result on
+// every rank, via reduce-to-zero plus broadcast. See AllReduceRD for the
+// recursive-doubling alternative benchmarked against it.
+func (r *Rank) AllReduce(data []byte, op Op) []byte {
+	res := r.Reduce(0, data, op)
+	return r.Bcast(0, res, len(data))
+}
+
+// AllReduceRD is allreduce by recursive doubling: log2(n) bidirectional
+// exchange rounds, with the standard fold-in/fold-out fixup for
+// non-power-of-two world sizes. Latency-optimal for short vectors, and
+// the classic victim of ack-latency — which is why it makes a good
+// showcase for Push-and-Acknowledge Overlapping.
+func (r *Rank) AllReduceRD(data []byte, op Op) []byte {
+	size := r.Size()
+	n := len(data)
+	acc := append([]byte(nil), data...)
+
+	pof2 := 1
+	for pof2*2 <= size {
+		pof2 *= 2
+	}
+	rem := size - pof2
+
+	// Fold the surplus ranks into their even partners.
+	newID := -1
+	switch {
+	case r.id < 2*rem && r.id%2 == 0:
+		r.Send(r.id+1, acc)
+		// This rank sits out the doubling and gets the result afterward.
+	case r.id < 2*rem:
+		acc = op(acc, r.Recv(r.id-1, n))
+		newID = r.id / 2
+	default:
+		newID = r.id - rem
+	}
+
+	if newID >= 0 {
+		for mask := 1; mask < pof2; mask <<= 1 {
+			peerNew := newID ^ mask
+			peer := peerNew + rem
+			if peerNew < rem {
+				peer = peerNew*2 + 1
+			}
+			acc = op(acc, r.SendRecv(peer, acc, peer, n))
+		}
+	}
+
+	// Unfold: partners return the final result to the ranks that sat out.
+	if r.id < 2*rem {
+		if r.id%2 == 0 {
+			acc = r.Recv(r.id+1, n)
+		} else {
+			r.Send(r.id-1, acc)
+		}
+	}
+	return acc
+}
+
+// Gather collects every rank's data on root, which returns the
+// contributions indexed by rank (other ranks return nil). All
+// contributions must have length n.
+func (r *Rank) Gather(root int, data []byte, n int) [][]byte {
+	size := r.Size()
+	if r.id != root {
+		r.Send(root, data)
+		return nil
+	}
+	out := make([][]byte, size)
+	out[r.id] = append([]byte(nil), data...)
+	// Receive in rank order; FIFO channels make this deterministic.
+	for from := 0; from < size; from++ {
+		if from == root {
+			continue
+		}
+		out[from] = r.Recv(from, n)
+	}
+	return out
+}
+
+// Scatter distributes root's per-rank chunks; every rank returns its own
+// chunk. Every rank must pass the same n, the chunk length; non-root
+// ranks may pass nil chunks.
+func (r *Rank) Scatter(root int, chunks [][]byte, n int) []byte {
+	size := r.Size()
+	if r.id == root {
+		if len(chunks) != size {
+			panic(fmt.Sprintf("collective: scatter root has %d chunks for %d ranks", len(chunks), size))
+		}
+		for to := 0; to < size; to++ {
+			if to != root {
+				r.Send(to, chunks[to])
+			}
+		}
+		return append([]byte(nil), chunks[root]...)
+	}
+	return r.Recv(root, n)
+}
+
+// AllGather collects every rank's n-byte contribution on every rank
+// (ring algorithm: size-1 neighbour exchanges, bandwidth-optimal).
+func (r *Rank) AllGather(data []byte, n int) [][]byte {
+	size := r.Size()
+	out := make([][]byte, size)
+	out[r.id] = append([]byte(nil), data...)
+	right := (r.id + 1) % size
+	left := (r.id - 1 + size) % size
+	blk := r.id // whose block travels out of this rank this step
+	for step := 1; step < size; step++ {
+		got := r.SendRecv(right, out[blk], left, n)
+		blk = (blk - 1 + size) % size // the block that just arrived
+		out[blk] = got
+	}
+	return out
+}
+
+// AllToAll sends blocks[j] to rank j and returns the blocks received,
+// indexed by source rank. All blocks must have length n. The rotation
+// schedule pairs distinct partners each step, so no two messages to the
+// same destination ever contend.
+func (r *Rank) AllToAll(blocks [][]byte, n int) [][]byte {
+	size := r.Size()
+	if len(blocks) != size {
+		panic(fmt.Sprintf("collective: alltoall has %d blocks for %d ranks", len(blocks), size))
+	}
+	out := make([][]byte, size)
+	out[r.id] = append([]byte(nil), blocks[r.id]...)
+	for step := 1; step < size; step++ {
+		dst := (r.id + step) % size
+		src := (r.id - step + size) % size
+		out[src] = r.SendRecv(dst, blocks[dst], src, n)
+	}
+	return out
+}

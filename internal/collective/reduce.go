@@ -1,0 +1,78 @@
+package collective
+
+import "encoding/binary"
+
+// Reduction helpers over vectors of little-endian int64 elements — the
+// element type the examples and benchmarks use. Each returns a fresh
+// slice and requires equal-length, 8-byte-multiple operands.
+
+// Int64s decodes a reduction buffer into its elements.
+func Int64s(b []byte) []int64 {
+	if len(b)%8 != 0 {
+		panic("collective: reduction buffer not a multiple of 8 bytes")
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// FromInt64s encodes elements into a reduction buffer.
+func FromInt64s(vals []int64) []byte {
+	out := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], uint64(v))
+	}
+	return out
+}
+
+func zipInt64(a, b []byte, f func(x, y int64) int64) []byte {
+	if len(a) != len(b) {
+		panic("collective: reduction operands differ in length")
+	}
+	av, bv := Int64s(a), Int64s(b)
+	out := make([]int64, len(av))
+	for i := range out {
+		out[i] = f(av[i], bv[i])
+	}
+	return FromInt64s(out)
+}
+
+// SumInt64 adds element-wise.
+func SumInt64(a, b []byte) []byte {
+	return zipInt64(a, b, func(x, y int64) int64 { return x + y })
+}
+
+// MaxInt64 takes the element-wise maximum.
+func MaxInt64(a, b []byte) []byte {
+	return zipInt64(a, b, func(x, y int64) int64 {
+		if x > y {
+			return x
+		}
+		return y
+	})
+}
+
+// MinInt64 takes the element-wise minimum.
+func MinInt64(a, b []byte) []byte {
+	return zipInt64(a, b, func(x, y int64) int64 {
+		if x < y {
+			return x
+		}
+		return y
+	})
+}
+
+// XorBytes combines operands bitwise — order-insensitive and lossless,
+// which makes it the property-test workhorse.
+func XorBytes(a, b []byte) []byte {
+	if len(a) != len(b) {
+		panic("collective: reduction operands differ in length")
+	}
+	out := make([]byte, len(a))
+	for i := range out {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}

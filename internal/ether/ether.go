@@ -1,0 +1,147 @@
+// Package ether models the cluster interconnect: 100 Mbit/s Fast Ethernet
+// links (and optionally a store-and-forward switch) carrying Ethernet
+// frames between NICs. Serialization time, framing overhead and the
+// minimum frame size bound the achievable bandwidth exactly as on the
+// paper's testbed, where 12.1 MB/s of the theoretical 12.5 MB/s payload
+// rate was reached.
+package ether
+
+import (
+	"fmt"
+
+	"pushpull/internal/sim"
+)
+
+// Ethernet geometry. WireOverheadBytes covers preamble+SFD (8), MAC
+// header (14), FCS (4) and a short interframe gap allowance.
+const (
+	MTU               = 1500 // max payload carried in one frame
+	WireOverheadBytes = 30
+	MinFrameBytes     = 64 // payload shorter than this is padded on the wire
+)
+
+// Config describes one link technology.
+type Config struct {
+	BitsPerSec  int64
+	Propagation sim.Duration // cable + PHY latency, one way
+	// LossRate is the probability that a fully serialized frame is lost
+	// on the wire (bad cable, electrical noise). Zero on the paper's
+	// back-to-back testbed; non-zero values exercise the go-back-N
+	// recovery path. Draws come from the engine's deterministic RNG, so
+	// runs remain exactly reproducible.
+	LossRate float64
+}
+
+// FastEthernet is the paper's interconnect: 100 Mbit/s, back-to-back.
+func FastEthernet() Config {
+	return Config{
+		BitsPerSec:  100_000_000,
+		Propagation: 1000 * sim.Nanosecond,
+	}
+}
+
+// Frame is one Ethernet frame in flight. Payload is the link-client
+// protocol message (opaque here); PayloadBytes is its size on the wire
+// including any protocol headers the client counts.
+type Frame struct {
+	Src, Dst     int // node IDs
+	PayloadBytes int
+	Payload      any
+}
+
+// WireTime reports how long serializing a frame with n payload bytes
+// occupies the wire.
+func (c Config) WireTime(n int) sim.Duration {
+	if n < MinFrameBytes {
+		n = MinFrameBytes
+	}
+	bits := int64(n+WireOverheadBytes) * 8
+	return sim.Duration(bits * int64(sim.Second) / c.BitsPerSec)
+}
+
+// PayloadRate reports the steady-state payload bandwidth (bytes/s) for
+// back-to-back frames of n payload bytes — the ceiling any protocol on
+// this link can reach.
+func (c Config) PayloadRate(n int) float64 {
+	return float64(n) / c.WireTime(n).Seconds()
+}
+
+// Port is the attachment point of a NIC: frames delivered to the port are
+// handed to the receive callback.
+type Port interface {
+	// NodeID identifies the attached node.
+	NodeID() int
+	// DeliverFrame hands a fully received frame to the NIC. It runs in
+	// event context at the instant the last bit arrives.
+	DeliverFrame(f Frame)
+}
+
+// Medium is anything a NIC can transmit frames on: a point-to-point Link,
+// a switch port's link, or a shared-medium Hub.
+type Medium interface {
+	// Transmit serializes f on behalf of process p, blocking p for the
+	// serialization (and, on shared media, contention) time, and delivers
+	// the frame to its destination after the propagation delay.
+	Transmit(p *sim.Process, from Port, f Frame)
+	// Config reports the medium's link technology.
+	Config() Config
+}
+
+// Link is a full-duplex point-to-point Fast Ethernet segment between two
+// ports. Each direction serializes independently (full duplex), so data
+// and acknowledgement traffic do not contend.
+type Link struct {
+	e    *sim.Engine
+	cfg  Config
+	a, b Port
+	dirA *sim.Resource // a -> b serialization
+	dirB *sim.Resource // b -> a
+	sent uint64
+	lost uint64
+}
+
+// NewLink connects two ports back-to-back.
+func NewLink(e *sim.Engine, cfg Config, a, b Port) *Link {
+	return &Link{
+		e:    e,
+		cfg:  cfg,
+		a:    a,
+		b:    b,
+		dirA: sim.NewResource(e, fmt.Sprintf("wire %d->%d", a.NodeID(), b.NodeID())),
+		dirB: sim.NewResource(e, fmt.Sprintf("wire %d->%d", b.NodeID(), a.NodeID())),
+	}
+}
+
+// Config reports the link technology.
+func (l *Link) Config() Config { return l.cfg }
+
+// FramesSent reports the number of frames fully serialized onto the link.
+func (l *Link) FramesSent() uint64 { return l.sent }
+
+// FramesLost reports frames dropped by the configured loss rate.
+func (l *Link) FramesLost() uint64 { return l.lost }
+
+// Transmit serializes f onto the wire on behalf of process p (the
+// transmitting port's engine), blocking p for the serialization time, and
+// delivers the frame to the far port after the propagation delay. from
+// identifies which end is transmitting.
+func (l *Link) Transmit(p *sim.Process, from Port, f Frame) {
+	var wire *sim.Resource
+	var dst Port
+	switch from {
+	case l.a:
+		wire, dst = l.dirA, l.b
+	case l.b:
+		wire, dst = l.dirB, l.a
+	default:
+		panic(fmt.Sprintf("ether: transmit from foreign port on link %d<->%d", l.a.NodeID(), l.b.NodeID()))
+	}
+	wire.Use(p, l.cfg.WireTime(f.PayloadBytes))
+	l.sent++
+	if l.cfg.LossRate > 0 && l.e.Rand().Float64() < l.cfg.LossRate {
+		l.lost++
+		return // the frame corrupts on the wire; reliability recovers it
+	}
+	frame := f
+	l.e.Schedule(l.cfg.Propagation, func() { dst.DeliverFrame(frame) })
+}

@@ -1,0 +1,77 @@
+package ether
+
+import (
+	"fmt"
+
+	"pushpull/internal/sim"
+)
+
+// Switch is a store-and-forward Fast Ethernet switch. Each attached node
+// hangs off its own full-duplex link to a switch port; a frame is fully
+// received, looked up, queued on the destination port (dropping on queue
+// overflow, as real switches do) and re-serialized toward its target.
+//
+// The paper's two-machine testbed is connected back-to-back, so the base
+// experiments do not use a switch; it exists for the multi-node example
+// topologies and scalability ablations.
+type Switch struct {
+	e       *sim.Engine
+	cfg     Config
+	fwd     sim.Duration // lookup/forwarding latency after last bit in
+	ports   map[int]*switchPort
+	dropped uint64
+}
+
+// NewSwitch creates a switch with the given per-port link technology and
+// forwarding latency.
+func NewSwitch(e *sim.Engine, cfg Config, forwarding sim.Duration) *Switch {
+	return &Switch{e: e, cfg: cfg, fwd: forwarding, ports: make(map[int]*switchPort)}
+}
+
+// Dropped reports frames lost to output-queue overflow.
+func (s *Switch) Dropped() uint64 { return s.dropped }
+
+// switchPort is the switch end of one attached link.
+type switchPort struct {
+	sw     *Switch
+	nodeID int
+	link   *Link
+	outQ   *sim.Queue[Frame]
+}
+
+// NodeID implements Port; the switch port answers for the attached node's
+// position on the link (it is "the other end" of node nodeID's link).
+func (p *switchPort) NodeID() int { return p.nodeID }
+
+// DeliverFrame receives a fully arrived frame from the attached node and
+// forwards it toward its destination port.
+func (p *switchPort) DeliverFrame(f Frame) {
+	dst, ok := p.sw.ports[f.Dst]
+	if !ok {
+		p.sw.dropped++ // unknown destination: flood suppressed, count as drop
+		return
+	}
+	p.sw.e.Schedule(p.sw.fwd, func() {
+		if !dst.outQ.TryPut(f) {
+			p.sw.dropped++
+		}
+	})
+}
+
+// Attach connects a node-side port to the switch and returns the link the
+// node's NIC should transmit on. outQueue bounds the per-port output
+// queue in frames (0 = unbounded).
+func (s *Switch) Attach(nodePort Port, outQueue int) *Link {
+	sp := &switchPort{sw: s, nodeID: nodePort.NodeID(), outQ: sim.NewQueue[Frame](s.e, outQueue)}
+	link := NewLink(s.e, s.cfg, nodePort, sp)
+	sp.link = link
+	s.ports[nodePort.NodeID()] = sp
+	// Per-port transmitter: drains the output queue onto the node's link.
+	s.e.Go(fmt.Sprintf("switch-tx/%d", nodePort.NodeID()), func(proc *sim.Process) {
+		for {
+			f := sp.outQ.Get(proc)
+			link.Transmit(proc, sp, f)
+		}
+	})
+	return link
+}

@@ -1,0 +1,40 @@
+package mem
+
+import "pushpull/internal/sim"
+
+// Bus is the node's shared memory bus. Block transfers (copies, DMA)
+// acquire the bus for their transfer duration, so concurrent transfers on
+// one node serialize and contention is visible in latency, as on the real
+// machine.
+type Bus struct {
+	cfg Config
+	res *sim.Resource
+}
+
+// NewBus returns a bus for the given memory configuration.
+func NewBus(e *sim.Engine, cfg Config) *Bus {
+	return &Bus{cfg: cfg, res: sim.NewResource(e, "membus")}
+}
+
+// Config returns the memory configuration backing the bus.
+func (b *Bus) Config() Config { return b.cfg }
+
+// TransferTime reports how long moving n bytes at rate bytesPerSec holds
+// the bus, excluding fixed startup.
+func TransferTime(n int, bytesPerSec int64) sim.Duration {
+	if n <= 0 || bytesPerSec <= 0 {
+		return 0
+	}
+	return sim.Duration(int64(n) * int64(sim.Second) / bytesPerSec)
+}
+
+// Occupy holds the bus for d. It is the building block for copies and DMA.
+func (b *Bus) Occupy(p *sim.Process, d sim.Duration) {
+	b.res.Use(p, d)
+}
+
+// BusyTime reports cumulative bus occupancy, for utilization accounting.
+func (b *Bus) BusyTime() sim.Duration { return b.res.BusyTime() }
+
+// Contended reports how many transfers had to wait for the bus.
+func (b *Bus) Contended() uint64 { return b.res.Contended() }

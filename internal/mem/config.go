@@ -1,0 +1,63 @@
+// Package mem models the memory system of one SMP node: a shared memory
+// bus with finite bandwidth and FIFO contention, and a copy-cost model for
+// the memcpy-style block transfers that dominate messaging overhead.
+//
+// The model is calibrated to the paper's testbed, an ALR Revolution 6X6
+// with four 200 MHz Pentium Pro processors and a 533 MB/s system bus
+// (66 MHz x 64 bit). Reported intranode one-copy bandwidth peaks at
+// 350.9 MB/s, about 66 % of the theoretical bus rate; the effective copy
+// stream rate below accounts for the read+write bus crossings of a copy.
+package mem
+
+import "pushpull/internal/sim"
+
+// Config describes a node's memory system.
+type Config struct {
+	// CPUClockHz is the processor clock; one NOP costs one cycle.
+	CPUClockHz int64
+	// BusBytesPerSec is the peak system bus bandwidth.
+	BusBytesPerSec int64
+	// CopyBytesPerSec is the effective streaming rate of a single memory
+	// copy (read + write crossings included).
+	CopyBytesPerSec int64
+	// CopyStartup is the fixed cost of initiating a block copy (function
+	// call, alignment setup, first cache line fill).
+	CopyStartup sim.Duration
+	// PIOBytesPerSec is the programmed-I/O rate for CPU stores into
+	// uncached device memory (copying a pushed fragment into the NIC's
+	// outgoing FIFO from user space).
+	PIOBytesPerSec int64
+	// CacheLineBytes is the cache line size (Pentium Pro: 32 bytes).
+	CacheLineBytes int
+	// L2Bytes is the unified L2 cache size; copies whose working set
+	// exceeds it lose the cache-resident bonus.
+	L2Bytes int
+	// CacheBonus scales the copy rate up when source and destination both
+	// fit in L2 (expressed as a multiplier, e.g. 1.25).
+	CacheBonus float64
+}
+
+// PentiumPro200 is the paper's machine: 200 MHz Pentium Pro, 256 MB RAM,
+// 533 MB/s bus, 8 KB L1 I/D caches, 512 KB unified L2.
+func PentiumPro200() Config {
+	return Config{
+		CPUClockHz:      200_000_000,
+		BusBytesPerSec:  533_000_000,
+		CopyBytesPerSec: 440_000_000,
+		CopyStartup:     300 * sim.Nanosecond,
+		PIOBytesPerSec:  133_000_000,
+		CacheLineBytes:  32,
+		L2Bytes:         512 << 10,
+		CacheBonus:      1.18,
+	}
+}
+
+// CycleTime is the duration of one CPU cycle.
+func (c Config) CycleTime() sim.Duration {
+	return sim.Duration(int64(sim.Second) / c.CPUClockHz)
+}
+
+// Cycles converts a cycle count to a duration.
+func (c Config) Cycles(n int64) sim.Duration {
+	return sim.Duration(n * int64(sim.Second) / c.CPUClockHz)
+}

@@ -1,0 +1,56 @@
+package mem
+
+import "pushpull/internal/sim"
+
+// Copier performs timed memory copies on behalf of simulation processes.
+// A copy occupies both the calling thread (the caller blocks for the copy
+// duration) and the memory bus (concurrent copies on one node serialize).
+type Copier struct {
+	bus *Bus
+}
+
+// NewCopier returns a copier bound to bus.
+func NewCopier(bus *Bus) *Copier { return &Copier{bus: bus} }
+
+// CopyCost reports the duration of copying n bytes, without performing it.
+// Small cache-resident copies run slightly faster than bus-limited streams.
+func (c *Copier) CopyCost(n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	cfg := c.bus.cfg
+	rate := cfg.CopyBytesPerSec
+	if 2*n <= cfg.L2Bytes && cfg.CacheBonus > 1 {
+		rate = int64(float64(rate) * cfg.CacheBonus)
+	}
+	return cfg.CopyStartup + TransferTime(n, rate)
+}
+
+// Copy blocks p for the time it takes to copy n bytes, holding the bus.
+func (c *Copier) Copy(p *sim.Process, n int) {
+	if n <= 0 {
+		return
+	}
+	c.bus.Occupy(p, c.CopyCost(n))
+}
+
+// PIOCost reports the duration of a programmed-I/O store of n bytes into
+// uncached device memory (e.g. user-level copy into the NIC outgoing FIFO).
+func (c *Copier) PIOCost(n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	cfg := c.bus.cfg
+	return cfg.CopyStartup + TransferTime(n, cfg.PIOBytesPerSec)
+}
+
+// PIO blocks p for a programmed-I/O transfer of n bytes, holding the bus.
+func (c *Copier) PIO(p *sim.Process, n int) {
+	if n <= 0 {
+		return
+	}
+	c.bus.Occupy(p, c.PIOCost(n))
+}
+
+// Bus returns the bus the copier charges transfers to.
+func (c *Copier) Bus() *Bus { return c.bus }

@@ -1,0 +1,198 @@
+// Package nic models the network interface card (the paper's testbed used
+// D-Link 500TX cards with the DEC 21140 controller): an outgoing FIFO
+// drained by a transmit engine, host-memory DMA that contends for the
+// node's memory bus, an incoming ring, and handler invocation through the
+// node's interrupt controller.
+//
+// Two transmit trigger paths exist, because Address Translation Overhead
+// Masking depends on the cheap one: the control registers and FIFO can be
+// mapped into user space, letting the send process copy a pushed fragment
+// into the outgoing FIFO and trigger transmission without a system call
+// (paper §4.3, cf. DP, GAMMA, U-Net); or transmission can be triggered
+// from kernel context after a host-memory DMA.
+package nic
+
+import (
+	"fmt"
+
+	"pushpull/internal/ether"
+	"pushpull/internal/sim"
+	"pushpull/internal/smp"
+	"pushpull/internal/trace"
+)
+
+// Config describes one NIC.
+type Config struct {
+	// TxRingFrames / RxRingFrames bound the on-card FIFOs.
+	TxRingFrames int
+	RxRingFrames int
+	// TxSetup is the per-frame cost of the transmit engine (descriptor
+	// fetch, FIFO management) before serialization starts.
+	TxSetup sim.Duration
+	// RxSetup is the per-frame receive-side DMA setup cost.
+	RxSetup sim.Duration
+	// DMABytesPerSec is the card's host-memory DMA rate.
+	DMABytesPerSec int64
+	// RxProcess is the driver's per-frame receive processing (ring
+	// bookkeeping, header inspection) executed in handler context.
+	RxProcess sim.Duration
+	// TriggerUser is the cost of the mapped control-register write that
+	// starts transmission from user space.
+	TriggerUser sim.Duration
+	// TriggerKernel is the driver transmit path taken without the mapped
+	// registers: descriptor setup, ring bookkeeping (syscall cost is
+	// charged separately by the protocol layer). Eliminating this per-
+	// frame cost is what user-level triggering buys (cf. U-Net, GAMMA,
+	// DP).
+	TriggerKernel sim.Duration
+}
+
+// DEC21140 approximates the paper's 100 Mbit/s D-Link 500TX (DEC 21140
+// "Tulip" controller) on a 33 MHz PCI bus.
+func DEC21140() Config {
+	return Config{
+		TxRingFrames:   32,
+		RxRingFrames:   64,
+		TxSetup:        2500 * sim.Nanosecond,
+		RxSetup:        2800 * sim.Nanosecond,
+		DMABytesPerSec: 120_000_000,
+		RxProcess:      4500 * sim.Nanosecond,
+		TriggerUser:    200 * sim.Nanosecond,
+		TriggerKernel:  5500 * sim.Nanosecond,
+	}
+}
+
+// TxRequest is one frame queued for transmission.
+type TxRequest struct {
+	Frame ether.Frame
+	// Preloaded marks frames whose payload is already in the outgoing
+	// FIFO (copied there by the user-level trigger path); they skip the
+	// host-memory DMA.
+	Preloaded bool
+}
+
+// NIC is one network interface attached to a node and a link.
+type NIC struct {
+	node *smp.Node
+	cfg  Config
+	link ether.Medium
+	txQ  *sim.Queue[TxRequest]
+	onRx func(t *smp.Thread, f ether.Frame)
+
+	// Rec, when set, receives nic-tx / nic-rx / nic-drop trace events.
+	Rec *trace.Recorder
+
+	rxInFlight int
+	txFrames   uint64
+	rxFrames   uint64
+	rxDropped  uint64
+}
+
+// New creates a NIC on node n. Attach a link with AttachLink before
+// sending.
+func New(n *smp.Node, cfg Config) *NIC {
+	nc := &NIC{node: n, cfg: cfg}
+	nc.txQ = sim.NewQueue[TxRequest](n.Engine, cfg.TxRingFrames)
+	n.Engine.Go(fmt.Sprintf("nic-tx/n%d", n.ID), nc.txLoop)
+	return nc
+}
+
+// AttachLink connects the NIC to its transmit medium — a point-to-point
+// link, a switch port's link, or a shared hub.
+func (nc *NIC) AttachLink(l ether.Medium) { nc.link = l }
+
+// SetReceiveHandler registers the protocol entry point invoked (in
+// interrupt or polling context, per the node's policy) for every received
+// frame.
+func (nc *NIC) SetReceiveHandler(fn func(t *smp.Thread, f ether.Frame)) { nc.onRx = fn }
+
+// Node returns the owning node.
+func (nc *NIC) Node() *smp.Node { return nc.node }
+
+// Config returns the NIC's configuration.
+func (nc *NIC) Config() Config { return nc.cfg }
+
+// NodeID implements ether.Port.
+func (nc *NIC) NodeID() int { return nc.node.ID }
+
+// TxFrames reports frames handed to the wire.
+func (nc *NIC) TxFrames() uint64 { return nc.txFrames }
+
+// RxFrames reports frames delivered to the protocol handler.
+func (nc *NIC) RxFrames() uint64 { return nc.rxFrames }
+
+// RxDropped reports frames lost to incoming-ring overflow.
+func (nc *NIC) RxDropped() uint64 { return nc.rxDropped }
+
+// Send queues a frame for transmission, blocking the calling thread while
+// the outgoing FIFO is full (the driver spins on ring space).
+func (nc *NIC) Send(p *sim.Process, req TxRequest) {
+	nc.txQ.Put(p, req)
+}
+
+// TriggerCost reports the cost of the user-level doorbell write.
+func (nc *NIC) TriggerCost() sim.Duration { return nc.cfg.TriggerUser }
+
+// KernelTriggerCost reports the per-frame driver transmit path cost when
+// transmission is initiated from kernel context.
+func (nc *NIC) KernelTriggerCost() sim.Duration { return nc.cfg.TriggerKernel }
+
+// txLoop is the card's transmit engine: it drains the outgoing FIFO and
+// DMAs payloads from host memory when they are not preloaded. Wire
+// serialization happens on a separate stage so the engine can fetch the
+// next frame while the current one is still on the wire — the link's FIFO
+// resource keeps frames in order, and the wire (not the DMA engine) is
+// the steady-state bottleneck, as on the real card.
+func (nc *NIC) txLoop(p *sim.Process) {
+	for {
+		req := nc.txQ.Get(p)
+		p.Sleep(nc.cfg.TxSetup)
+		if !req.Preloaded {
+			// DMA the payload across the host bus into the FIFO.
+			d := dmaTime(req.Frame.PayloadBytes, nc.cfg.DMABytesPerSec)
+			nc.node.Bus.Occupy(p, d)
+		}
+		if nc.link == nil {
+			panic(fmt.Sprintf("nic: node %d transmitting with no link attached", nc.node.ID))
+		}
+		frame := req.Frame
+		nc.node.Engine.Go(fmt.Sprintf("nic-wire/n%d", nc.node.ID), func(tx *sim.Process) {
+			nc.link.Transmit(tx, nc, frame)
+			nc.txFrames++
+			nc.Rec.Recordf(tx.Now(), nc.node.ID, trace.KindNICTx, "frame %d->%d %dB on wire", frame.Src, frame.Dst, frame.PayloadBytes)
+		})
+	}
+}
+
+// DeliverFrame implements ether.Port: the last bit of a frame has arrived
+// in the card's incoming buffer.
+func (nc *NIC) DeliverFrame(f ether.Frame) {
+	if nc.rxInFlight >= nc.cfg.RxRingFrames {
+		nc.rxDropped++
+		nc.Rec.Recordf(nc.node.Engine.Now(), nc.node.ID, trace.KindNICDrop, "frame %d->%d %dB lost to rx-ring overflow", f.Src, f.Dst, f.PayloadBytes)
+		return
+	}
+	nc.rxInFlight++
+	e := nc.node.Engine
+	// Receive-side DMA into the host ring, then handler invocation.
+	e.Go(fmt.Sprintf("nic-rx/n%d", nc.node.ID), func(p *sim.Process) {
+		d := nc.cfg.RxSetup + dmaTime(f.PayloadBytes, nc.cfg.DMABytesPerSec)
+		nc.node.Bus.Occupy(p, d)
+		nc.rxFrames++
+		nc.Rec.Recordf(p.Now(), nc.node.ID, trace.KindNICRx, "frame %d->%d %dB in host ring", f.Src, f.Dst, f.PayloadBytes)
+		nc.node.IRQ.Raise("nic-rx", func(t *smp.Thread) {
+			t.Exec(nc.cfg.RxProcess)
+			nc.rxInFlight--
+			if nc.onRx != nil {
+				nc.onRx(t, f)
+			}
+		})
+	})
+}
+
+func dmaTime(n int, rate int64) sim.Duration {
+	if n <= 0 || rate <= 0 {
+		return 0
+	}
+	return sim.Duration(int64(n) * int64(sim.Second) / rate)
+}

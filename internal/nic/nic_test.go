@@ -1,0 +1,208 @@
+package nic
+
+import (
+	"testing"
+
+	"pushpull/internal/ether"
+	"pushpull/internal/sim"
+	"pushpull/internal/smp"
+)
+
+// pair builds two nodes with NICs joined by a direct link.
+func pair(e *sim.Engine) (*NIC, *NIC) {
+	na := smp.NewNode(e, 0, smp.DefaultConfig())
+	nb := smp.NewNode(e, 1, smp.DefaultConfig())
+	a := New(na, DEC21140())
+	b := New(nb, DEC21140())
+	l := ether.NewLink(e, ether.FastEthernet(), a, b)
+	a.AttachLink(l)
+	b.AttachLink(l)
+	return a, b
+}
+
+func TestSendDelivers(t *testing.T) {
+	e := sim.NewEngine(1)
+	a, b := pair(e)
+	var got []ether.Frame
+	b.SetReceiveHandler(func(th *smp.Thread, f ether.Frame) { got = append(got, f) })
+	e.Go("app", func(p *sim.Process) {
+		a.Send(p, TxRequest{Frame: ether.Frame{Src: 0, Dst: 1, PayloadBytes: 256, Payload: "msg"}})
+	})
+	e.Run()
+	if len(got) != 1 || got[0].Payload != "msg" {
+		t.Fatalf("received %v", got)
+	}
+	if a.TxFrames() != 1 || b.RxFrames() != 1 {
+		t.Errorf("tx=%d rx=%d, want 1/1", a.TxFrames(), b.RxFrames())
+	}
+}
+
+func TestHandlerRunsInInterruptContext(t *testing.T) {
+	e := sim.NewEngine(1)
+	a, b := pair(e)
+	b.Node().IRQ.SetPolicy(smp.Asymmetric, 2)
+	var cpu = -1
+	b.SetReceiveHandler(func(th *smp.Thread, f ether.Frame) { cpu = th.CPU.ID })
+	e.Go("app", func(p *sim.Process) {
+		a.Send(p, TxRequest{Frame: ether.Frame{Src: 0, Dst: 1, PayloadBytes: 64}})
+	})
+	e.Run()
+	if cpu != 2 {
+		t.Errorf("handler CPU = %d, want 2 (asymmetric target)", cpu)
+	}
+}
+
+func TestPreloadedSkipsHostDMA(t *testing.T) {
+	latency := func(preloaded bool) sim.Duration {
+		e := sim.NewEngine(1)
+		a, b := pair(e)
+		var at sim.Time
+		b.SetReceiveHandler(func(th *smp.Thread, f ether.Frame) { at = th.Now() })
+		e.Go("app", func(p *sim.Process) {
+			a.Send(p, TxRequest{
+				Frame:     ether.Frame{Src: 0, Dst: 1, PayloadBytes: 1400},
+				Preloaded: preloaded,
+			})
+		})
+		e.Run()
+		return sim.Duration(at)
+	}
+	if latency(true) >= latency(false) {
+		t.Errorf("preloaded latency %v not below DMA latency %v", latency(true), latency(false))
+	}
+}
+
+func TestPipelinedFramesSpacedByWireTime(t *testing.T) {
+	e := sim.NewEngine(1)
+	a, b := pair(e)
+	var times []sim.Time
+	b.SetReceiveHandler(func(th *smp.Thread, f ether.Frame) { times = append(times, th.Now()) })
+	e.Go("app", func(p *sim.Process) {
+		for i := 0; i < 5; i++ {
+			a.Send(p, TxRequest{Frame: ether.Frame{Src: 0, Dst: 1, PayloadBytes: 1484}})
+		}
+	})
+	e.Run()
+	if len(times) != 5 {
+		t.Fatalf("delivered %d frames, want 5", len(times))
+	}
+	wire := ether.FastEthernet().WireTime(1484)
+	for i := 1; i < len(times); i++ {
+		gap := times[i].Sub(times[i-1])
+		// The steady-state gap must be within a small tolerance of wire
+		// time: the link is the bottleneck, not the NIC.
+		if gap < wire || gap > wire+wire/4 {
+			t.Errorf("frame %d gap = %v, want ~%v (wire-limited)", i, gap, wire)
+		}
+	}
+}
+
+func TestRxRingOverflowDrops(t *testing.T) {
+	e := sim.NewEngine(1)
+	na := smp.NewNode(e, 0, smp.DefaultConfig())
+	nb := smp.NewNode(e, 1, smp.DefaultConfig())
+	cfg := DEC21140()
+	a := New(na, cfg)
+	small := cfg
+	small.RxRingFrames = 2
+	// Stall handler invocation entirely so the ring cannot drain.
+	b := New(nb, small)
+	l := ether.NewLink(e, ether.FastEthernet(), a, b)
+	a.AttachLink(l)
+	b.AttachLink(l)
+	// Deliver frames directly (bypassing the wire) at the same instant so
+	// the ring cannot drain between arrivals.
+	for i := 0; i < 5; i++ {
+		b.DeliverFrame(ether.Frame{Src: 0, Dst: 1, PayloadBytes: 1484})
+	}
+	if b.RxDropped() != 3 {
+		t.Errorf("dropped = %d, want 3 of 5 with a 2-frame ring", b.RxDropped())
+	}
+}
+
+func TestDMAChargesHostBus(t *testing.T) {
+	e := sim.NewEngine(1)
+	a, b := pair(e)
+	b.SetReceiveHandler(func(th *smp.Thread, f ether.Frame) {})
+	e.Go("app", func(p *sim.Process) {
+		a.Send(p, TxRequest{Frame: ether.Frame{Src: 0, Dst: 1, PayloadBytes: 1400}})
+	})
+	e.Run()
+	if a.Node().Bus.BusyTime() == 0 {
+		t.Error("TX DMA did not charge the sender's bus")
+	}
+	if b.Node().Bus.BusyTime() == 0 {
+		t.Error("RX DMA did not charge the receiver's bus")
+	}
+}
+
+func TestSendWithoutLinkPanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := smp.NewNode(e, 0, smp.DefaultConfig())
+	nc := New(n, DEC21140())
+	e.Go("app", func(p *sim.Process) {
+		nc.Send(p, TxRequest{Frame: ether.Frame{Src: 0, Dst: 1, PayloadBytes: 64}})
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("transmit with no link did not panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestTriggerCosts(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := smp.NewNode(e, 0, smp.DefaultConfig())
+	nc := New(n, DEC21140())
+	if nc.TriggerCost() <= 0 || nc.KernelTriggerCost() <= 0 {
+		t.Error("trigger costs must be positive")
+	}
+	if nc.KernelTriggerCost() <= nc.TriggerCost() {
+		t.Error("the kernel driver path must cost more than the mapped doorbell")
+	}
+}
+
+func TestPollingDeliversFrames(t *testing.T) {
+	e := sim.NewEngine(1)
+	a, b := pair(e)
+	b.Node().IRQ.SetPolicy(smp.Polling, 0)
+	var got int
+	b.SetReceiveHandler(func(th *smp.Thread, f ether.Frame) { got++ })
+	e.Go("app", func(p *sim.Process) {
+		for i := 0; i < 3; i++ {
+			a.Send(p, TxRequest{Frame: ether.Frame{Src: 0, Dst: 1, PayloadBytes: 200}})
+		}
+	})
+	e.Run()
+	if got != 3 {
+		t.Errorf("polling delivered %d of 3 frames", got)
+	}
+}
+
+func TestRxRingReleasedAfterHandling(t *testing.T) {
+	e := sim.NewEngine(1)
+	na := smp.NewNode(e, 0, smp.DefaultConfig())
+	nb := smp.NewNode(e, 1, smp.DefaultConfig())
+	cfg := DEC21140()
+	small := cfg
+	small.RxRingFrames = 2
+	a := New(na, cfg)
+	b := New(nb, small)
+	l := ether.NewLink(e, ether.FastEthernet(), a, b)
+	a.AttachLink(l)
+	b.AttachLink(l)
+	var got int
+	b.SetReceiveHandler(func(th *smp.Thread, f ether.Frame) { got++ })
+	// Frames arrive spaced by wire time, so the 2-slot ring drains
+	// between arrivals and nothing drops.
+	e.Go("app", func(p *sim.Process) {
+		for i := 0; i < 6; i++ {
+			a.Send(p, TxRequest{Frame: ether.Frame{Src: 0, Dst: 1, PayloadBytes: 1400}})
+		}
+	})
+	e.Run()
+	if got != 6 || b.RxDropped() != 0 {
+		t.Errorf("delivered %d dropped %d; ring should recycle", got, b.RxDropped())
+	}
+}

@@ -1,0 +1,32 @@
+package pushpull
+
+import "pushpull/internal/sim"
+
+// BTPAdapter lets a policy object choose the Bytes-To-Push per message
+// and learn from the protocol's feedback, realizing the paper's §3
+// remark that "applications can dynamically change the size of the
+// pushed buffer to adapt to the runtime environment".
+//
+// The adapter is consulted on the internode PushPull path only: the
+// other modes' BTP is their defining constant, and the intranode push
+// (16 B) is not worth adapting.
+//
+// Feedback is what the send side can actually observe: every pull
+// request reveals how long the receiver took to claim the message and
+// how many pushed bytes it had to discard for lack of pushed-buffer
+// space. Fully pushed messages produce no pull request and hence no
+// feedback.
+type BTPAdapter interface {
+	// BTP returns the bytes to push eagerly for a message of total
+	// bytes on ch. The stack clamps the result to [0, total].
+	BTP(ch ChannelID, total int) int
+	// OnPullRequest reports a received pull request for ch: redoBytes
+	// pushed bytes were discarded by the receiver, and the request
+	// arrived sinceSend after the send operation started.
+	OnPullRequest(ch ChannelID, redoBytes int, sinceSend sim.Duration)
+}
+
+// SetAdapter installs (or, with nil, removes) the BTP policy. Safe to
+// call between messages; a message in flight keeps the BTP it was sent
+// with.
+func (s *Stack) SetAdapter(a BTPAdapter) { s.Adapter = a }

@@ -1,0 +1,47 @@
+// Package pushpull implements Push-Pull Messaging (Wong & Wang, ICPP
+// 1999): a high-performance message-passing protocol for clusters of SMP
+// machines, together with its two baselines (Push-Zero and Push-All) and
+// its three optimizations (Cross-Space Zero Buffer, Address Translation
+// Overhead Masking, Push-and-Acknowledge Overlapping).
+//
+// # Protocol
+//
+// A send first *pushes* the leading BTP (Bytes-To-Push) bytes toward the
+// receiver. When the receive operation has been posted and the pushed
+// fragment has arrived, the receive side *pulls* the remainder by sending
+// an acknowledgement that doubles as a pull request; the sender answers
+// with the rest of the message. Messages no longer than BTP complete in
+// the push phase alone, so short transfers avoid the rendezvous round
+// trip entirely, while long transfers never overflow intermediate buffers
+// — the two properties the paper combines from eager and three-phase
+// protocols.
+//
+//   - Push-Zero (BTP = 0) degenerates to a rendezvous / three-phase
+//     protocol: a zero-byte announcement, then pull.
+//   - Push-All (BTP = message length) degenerates to a fully eager
+//     protocol that stakes everything on receiver buffering.
+//
+// # Optimizations
+//
+//   - Cross-Space Zero Buffer: buffers are registered as scatter lists of
+//     physical (address, length) pairs so a kernel thread (intranode) or
+//     the reception handler (internode) moves data straight into the
+//     destination user buffer — one copy, no shared-segment double copy.
+//   - Address Translation Overhead Masking: the pushed bytes are copied
+//     into the NIC FIFO from user space (mapped control registers), so
+//     transmission starts before the source buffer is translated; the
+//     translation then overlaps wire time instead of preceding it.
+//   - Push-and-Acknowledge Overlapping: BTP is split into BTP(1)+BTP(2);
+//     the receiver's pull request is sent as soon as the first fragment
+//     arrives and overlaps the second fragment's transmission, hiding the
+//     acknowledgement latency.
+//
+// # Use
+//
+// Build a Stack per node, register Endpoints (one per communicating
+// process), connect stacks either intranode (same node) or through
+// NIC/link pairs (see package cluster for assembly), then call
+// Endpoint.Send and Endpoint.Recv from application threads. All calls
+// take the calling smp.Thread, which is charged the CPU time the
+// corresponding protocol stage costs on the simulated machine.
+package pushpull

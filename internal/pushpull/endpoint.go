@@ -1,0 +1,307 @@
+package pushpull
+
+import (
+	"fmt"
+
+	"pushpull/internal/sim"
+	"pushpull/internal/smp"
+	"pushpull/internal/trace"
+	"pushpull/internal/vm"
+)
+
+type sendKey struct {
+	ch    ChannelID
+	msgID uint64
+}
+
+// Endpoint is the communication interface of one process: its send queue,
+// receive queue, buffer queue and pushed buffer, shared with the kernel
+// (paper Figure 1).
+//
+// Send and Recv must be called from a thread bound to the endpoint's CPU;
+// they charge that thread the protocol's CPU costs and block it in
+// virtual time the way the real calls block.
+type Endpoint struct {
+	stack *Stack
+	ID    ProcessID
+	CPU   int
+	Space *vm.AddressSpace
+
+	ring    *pushedBuffer
+	inbound []*inboundMsg // arrival-ordered incoming messages
+	pending []*recvOp     // registered, unmatched receive operations
+	sendOps map[sendKey]*sendOp
+	nextMsg map[ChannelID]uint64
+	// nextBind is the next message id each channel's receives must bind,
+	// enforcing FIFO channel semantics even when multi-rail striping
+	// makes later messages' fragments arrive first.
+	nextBind map[ChannelID]uint64
+
+	sent, received uint64
+}
+
+// Stack returns the owning stack.
+func (ep *Endpoint) Stack() *Stack { return ep.stack }
+
+// Sent reports completed Send calls; Received reports completed Recvs.
+func (ep *Endpoint) Sent() uint64     { return ep.sent }
+func (ep *Endpoint) Received() uint64 { return ep.received }
+
+// Alloc reserves a page-aligned buffer in the endpoint's address space.
+func (ep *Endpoint) Alloc(n int) vm.VirtAddr { return ep.Space.Alloc(n) }
+
+// Send transmits data (which the caller has placed at addr in the
+// endpoint's space) to process to. It returns when the local send
+// operation completes — after the push phase; the pull phase proceeds
+// asynchronously, reading the source buffer until the message is fully
+// transferred, exactly like the paper's send.
+func (ep *Endpoint) Send(t *smp.Thread, to ProcessID, addr vm.VirtAddr, data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("pushpull: empty send from %v", ep.ID)
+	}
+	if _, err := ep.Space.Translate(addr, len(data)); err != nil {
+		return fmt.Errorf("pushpull: send source: %w", err)
+	}
+	ch := ChannelID{From: ep.ID, To: to}
+	msgID := ep.nextMsg[ch]
+	ep.nextMsg[ch] = msgID + 1
+
+	if ep.stack.intranode(to) {
+		ep.stack.sendIntra(t, ep, ch, msgID, addr, data)
+	} else {
+		ep.stack.sendInter(t, ep, ch, msgID, addr, data)
+	}
+	ep.sent++
+	return nil
+}
+
+// Recv blocks until the next message on channel from→ep arrives and is
+// fully placed in the destination buffer at addr (bufLen bytes, which
+// must be large enough). It returns the received bytes.
+func (ep *Endpoint) Recv(t *smp.Thread, from ProcessID, addr vm.VirtAddr, bufLen int) ([]byte, error) {
+	if bufLen <= 0 {
+		return nil, fmt.Errorf("pushpull: non-positive receive buffer on %v", ep.ID)
+	}
+	if _, err := ep.Space.Translate(addr, bufLen); err != nil {
+		return nil, fmt.Errorf("pushpull: receive destination: %w", err)
+	}
+	cfg := ep.stack.Node.Cfg
+	ch := ChannelID{From: from, To: ep.ID}
+
+	t.Exec(cfg.CallOverhead)
+	t.Exec(cfg.SyscallEntry)
+
+	op := &recvOp{
+		ch:     ch,
+		addr:   addr,
+		bufLen: bufLen,
+		done:   sim.NewCond(ep.stack.Node.Engine),
+	}
+
+	// Register the receive operation and resolve the destination's zero
+	// buffer. With masking (internode), registration becomes visible
+	// first and the translation overlaps whatever the wire is doing; the
+	// handler's direct copy waits for zbReadyAt. Without masking (and
+	// always intranode), registration is visible only once translation
+	// has finished — which is what loses the Push-All race for multi-page
+	// buffers (Fig. 3).
+	cost := ep.Space.TranslateCost(addr, bufLen)
+	masked := ep.stack.Opts.MaskTranslation && !ep.stack.intranode(from)
+	t.Exec(cfg.QueueOp)
+	if masked {
+		op.zbReadyAt = t.Now().Add(cost)
+		ep.register(t, op)
+		t.Exec(cost)
+	} else {
+		t.Exec(cost)
+		op.zbReadyAt = t.Now()
+		ep.register(t, op)
+	}
+	op.zb = translateOrDie(ep.Space, addr, bufLen)
+
+	// Service loop: drain buffered fragments, start the pull when its
+	// time comes, park until the message completes.
+	for {
+		if op.msg == nil {
+			ep.match(op)
+		}
+		if m := op.msg; m != nil {
+			if m.total > bufLen {
+				op.err = fmt.Errorf("pushpull: message of %d bytes exceeds %d-byte receive buffer on %v", m.total, bufLen, ep.ID)
+				ep.unbind(op)
+				break
+			}
+			ep.drainBuffered(t, m)
+			ep.maybeStartPull(t, m, false)
+			if m.complete {
+				break
+			}
+		}
+		op.done.Wait(t.P)
+		t.Exec(cfg.WakeLatency)
+	}
+	if op.err != nil {
+		t.Exec(cfg.SyscallExit)
+		return nil, op.err
+	}
+	msg := op.msg
+	t.Exec(cfg.SyscallExit)
+	ep.received++
+	return msg.buf, nil
+}
+
+// register makes a receive operation visible to senders and handlers.
+func (ep *Endpoint) register(t *smp.Thread, op *recvOp) {
+	ep.pending = append(ep.pending, op)
+	// A sender may already have parked fragments (or an announcement):
+	// match immediately so the wait loop sees them.
+	ep.match(op)
+}
+
+// match binds op to its channel's next-in-sequence inbound message, if it
+// has started arriving. Binding strictly by message id (not arrival
+// order) keeps channels FIFO when rail striping reorders arrivals.
+func (ep *Endpoint) match(op *recvOp) {
+	want := ep.nextBind[op.ch]
+	for _, m := range ep.inbound {
+		if m.op == nil && m.ch == op.ch && m.msgID == want {
+			ep.bind(op, m)
+			return
+		}
+	}
+}
+
+// bind ties a receive operation to an inbound message and removes the op
+// from the pending list.
+func (ep *Endpoint) bind(op *recvOp, m *inboundMsg) {
+	op.msg = m
+	m.op = op
+	ep.nextBind[m.ch] = m.msgID + 1
+	for i, p := range ep.pending {
+		if p == op {
+			ep.pending = append(ep.pending[:i], ep.pending[i+1:]...)
+			break
+		}
+	}
+}
+
+// unbind detaches a failed receive op, leaving the message for a retry
+// with a bigger buffer.
+func (ep *Endpoint) unbind(op *recvOp) {
+	if op.msg != nil {
+		ep.nextBind[op.msg.ch] = op.msg.msgID // the retry must bind it again
+		op.msg.op = nil
+		op.msg = nil
+	}
+	for i, p := range ep.pending {
+		if p == op {
+			ep.pending = append(ep.pending[:i], ep.pending[i+1:]...)
+			break
+		}
+	}
+}
+
+// pendingFor returns the oldest unmatched receive op for ch, or nil.
+func (ep *Endpoint) pendingFor(ch ChannelID) *recvOp {
+	for _, op := range ep.pending {
+		if op.ch == ch {
+			return op
+		}
+	}
+	return nil
+}
+
+// findInbound returns the inbound message (ch, msgID), or nil.
+func (ep *Endpoint) findInbound(ch ChannelID, msgID uint64) *inboundMsg {
+	for _, m := range ep.inbound {
+		if m.ch == ch && m.msgID == msgID {
+			return m
+		}
+	}
+	return nil
+}
+
+// addInbound registers a newly arriving message and binds it to a waiting
+// receive op if it is the channel's next message in sequence.
+func (ep *Endpoint) addInbound(m *inboundMsg) {
+	ep.inbound = append(ep.inbound, m)
+	if m.msgID != ep.nextBind[m.ch] {
+		return
+	}
+	if op := ep.pendingFor(m.ch); op != nil {
+		ep.bind(op, m)
+	}
+}
+
+// removeInbound drops a completed message from the inbound list.
+func (ep *Endpoint) removeInbound(m *inboundMsg) {
+	for i, x := range ep.inbound {
+		if x == m {
+			ep.inbound = append(ep.inbound[:i], ep.inbound[i+1:]...)
+			return
+		}
+	}
+}
+
+// drainBuffered copies fragments parked in the pushed buffer into the
+// bound destination, charging the receiving thread (this is the second
+// copy the pushed buffer costs; data arriving after the bind skips it).
+func (ep *Endpoint) drainBuffered(t *smp.Thread, m *inboundMsg) {
+	for len(m.buffered) > 0 {
+		f := m.buffered[0]
+		m.buffered = m.buffered[1:]
+		t.Copy(len(f.data), true) // written by another CPU: cold
+		copy(m.buf[f.offset:], f.data)
+		m.received += len(f.data)
+		if m.intraBuf > 0 {
+			n := len(f.data)
+			if n > m.intraBuf {
+				n = m.intraBuf
+			}
+			ep.ring.releaseBytes(n)
+			m.intraBuf -= n
+		} else if m.slots > 0 {
+			ep.ring.releaseSlot()
+			m.slots--
+		}
+	}
+	if m.received == m.total {
+		ep.complete(nil, m) // receiver context: no completion signal needed
+	}
+}
+
+// maybeStartPull launches the pull phase once: internode it sends the
+// acknowledgement / pull request; intranode it dispatches the pull kernel
+// thread. fromHandler distinguishes the reception-handler-initiated pull
+// (Push-and-Acknowledge Overlapping) from the receive-process-initiated
+// one.
+func (ep *Endpoint) maybeStartPull(t *smp.Thread, m *inboundMsg, fromHandler bool) {
+	if m.pullSent || m.op == nil || m.pullRemainder() <= 0 {
+		return
+	}
+	m.pullSent = true
+	if ep.stack.intranode(m.ch.From) {
+		ep.stack.dispatchIntraPull(m)
+	} else {
+		ep.stack.sendPullReq(t, m)
+	}
+}
+
+// complete marks a message fully received. When a handler or pull thread
+// finishes the message (t non-nil and a receiver is parked), it pays the
+// cross-CPU signal; a receiver completing its own message inline passes
+// t = nil.
+func (ep *Endpoint) complete(t *smp.Thread, m *inboundMsg) {
+	if m.complete {
+		return
+	}
+	m.complete = true
+	ep.stack.event(trace.KindComplete, "%v#%d complete: %d/%d bytes received", m.ch, m.msgID, m.received, m.total)
+	ep.removeInbound(m)
+	if m.op != nil && t != nil {
+		t.Exec(t.SignalCost(ep.stack.Node.CPUs[ep.CPU]))
+	}
+	if m.op != nil {
+		m.op.done.Broadcast()
+	}
+}

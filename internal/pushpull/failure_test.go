@@ -1,0 +1,163 @@
+package pushpull_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pushpull/internal/cluster"
+	"pushpull/internal/gbn"
+	"pushpull/internal/pushpull"
+	"pushpull/internal/sim"
+	"pushpull/internal/smp"
+)
+
+// Failure injection: every bounded hardware queue in the path — the
+// NIC's incoming ring, the switch's output queues, the go-back-N window
+// — is shrunk until it drops, and the transfer must still complete
+// intact.
+
+func TestRxRingOverflowRecovered(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	cfg.NIC.RxRingFrames = 2 // a 40 KB blast overruns two ring slots
+	// A slow polling receiver: frames arrive every ~122 µs but are only
+	// drained once per millisecond, so the ring backs up and drops.
+	cfg.Policy = smp.Polling
+	cfg.SMP.PollPeriod = sim.Millisecond
+	cfg.Opts = fastRTOOptions(pushpull.PushAll)
+	cfg.Opts.PushedBufBytes = 256 << 10
+	c := cluster.New(cfg)
+	data := pattern(40000, 5)
+	got, _ := runTransfer(t, c, 0, 0, 1, 0, data, 0, 0)
+	if !bytes.Equal(got, data) {
+		t.Fatal("received bytes differ")
+	}
+	if c.NICs[1].RxDropped() == 0 {
+		t.Error("two-slot rx ring dropped nothing; the overflow path was not exercised")
+	}
+	snd, _ := c.Stacks[0].Session(1)
+	if snd.Retransmissions() == 0 {
+		t.Error("rx-ring drops caused no retransmissions")
+	}
+}
+
+func TestSwitchQueueOverflowRecovered(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.UseSwitch = true
+	cfg.SwitchQueueFrames = 2
+	cfg.Opts = fastRTOOptions(pushpull.PushPull)
+	cfg.Opts.PushedBufBytes = 64 << 10
+	c := cluster.New(cfg)
+
+	// Three nodes blast node 0 at once: its switch port queue overflows.
+	const size = 20000
+	got := make([][]byte, 4)
+	want := make([][]byte, 4)
+	receiver := c.Endpoint(0, 0)
+	for i := 1; i < 4; i++ {
+		i := i
+		sender := c.Endpoint(i, 0)
+		want[i] = pattern(size, byte(i))
+		src := sender.Alloc(size)
+		c.Spawn(i, 0, "sender", func(th *smp.Thread) {
+			if err := sender.Send(th, receiver.ID, src, want[i]); err != nil {
+				t.Errorf("send %d: %v", i, err)
+			}
+		})
+	}
+	c.Spawn(0, 0, "receiver", func(th *smp.Thread) {
+		for i := 1; i < 4; i++ {
+			dst := receiver.Alloc(size)
+			b, err := receiver.Recv(th, c.Endpoint(i, 0).ID, dst, size)
+			if err != nil {
+				t.Errorf("recv from %d: %v", i, err)
+				return
+			}
+			got[i] = b
+		}
+	})
+	c.Run()
+	for i := 1; i < 4; i++ {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("stream from node %d corrupted", i)
+		}
+	}
+	if c.Switch.Dropped() == 0 {
+		t.Error("two-frame switch queues dropped nothing; the overflow path was not exercised")
+	}
+}
+
+func TestWindowOneStillDelivers(t *testing.T) {
+	opts := pushpull.DefaultOptions()
+	opts.GBN = gbn.Config{Window: 1, RTO: 2 * sim.Millisecond}
+	c := internodeCluster(opts)
+	data := pattern(30000, 9)
+	got, _ := runTransfer(t, c, 0, 0, 1, 0, data, 0, 0)
+	if !bytes.Equal(got, data) {
+		t.Fatal("received bytes differ with window 1")
+	}
+}
+
+func TestWindowOneWithLossRecovered(t *testing.T) {
+	opts := pushpull.DefaultOptions()
+	opts.GBN = gbn.Config{Window: 1, RTO: 2 * sim.Millisecond}
+	cfg := cluster.DefaultConfig()
+	cfg.Opts = opts
+	cfg.Net.LossRate = 0.05
+	cfg.Seed = 11
+	c := cluster.New(cfg)
+	data := pattern(15000, 3)
+	got, _ := runTransfer(t, c, 0, 0, 1, 0, data, 0, 0)
+	if !bytes.Equal(got, data) {
+		t.Fatal("received bytes differ with window 1 and 5% loss")
+	}
+}
+
+// Every bounded queue at once: lossy wire, tiny rx ring, tiny switch
+// queues, small pushed buffer — the full gauntlet.
+func TestFailureGauntlet(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 3
+	cfg.UseSwitch = true
+	cfg.SwitchQueueFrames = 4
+	cfg.NIC.RxRingFrames = 4
+	cfg.Net.LossRate = 0.02
+	cfg.Seed = 23
+	cfg.Opts = fastRTOOptions(pushpull.PushPull)
+	cfg.Opts.PushedBufBytes = 4096
+	c := cluster.New(cfg)
+
+	const size = 25000
+	a, b := c.Endpoint(1, 0), c.Endpoint(2, 0)
+	wantAB := pattern(size, 1)
+	wantBA := pattern(size, 2)
+	srcA, dstA := a.Alloc(size), a.Alloc(size)
+	srcB, dstB := b.Alloc(size), b.Alloc(size)
+	var gotAB, gotBA []byte
+	c.Spawn(1, 0, "a", func(th *smp.Thread) {
+		if err := a.Send(th, b.ID, srcA, wantAB); err != nil {
+			t.Errorf("a send: %v", err)
+		}
+		g, err := a.Recv(th, b.ID, dstA, size)
+		if err != nil {
+			t.Errorf("a recv: %v", err)
+			return
+		}
+		gotBA = g
+	})
+	c.Spawn(2, 0, "b", func(th *smp.Thread) {
+		if err := b.Send(th, a.ID, srcB, wantBA); err != nil {
+			t.Errorf("b send: %v", err)
+		}
+		g, err := b.Recv(th, a.ID, dstB, size)
+		if err != nil {
+			t.Errorf("b recv: %v", err)
+			return
+		}
+		gotAB = g
+	})
+	c.Run()
+	if !bytes.Equal(gotAB, wantAB) || !bytes.Equal(gotBA, wantBA) {
+		t.Error("bidirectional transfer through the gauntlet corrupted data")
+	}
+}

@@ -1,0 +1,166 @@
+package pushpull_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"pushpull/internal/cluster"
+	"pushpull/internal/gbn"
+	"pushpull/internal/pushpull"
+	"pushpull/internal/sim"
+	"pushpull/internal/smp"
+)
+
+// lossyCluster is the two-node testbed with a damaged cable.
+func lossyCluster(opts pushpull.Options, lossRate float64, seed uint64) *cluster.Cluster {
+	cfg := cluster.DefaultConfig()
+	cfg.Opts = opts
+	cfg.Net.LossRate = lossRate
+	cfg.Seed = seed
+	return cluster.New(cfg)
+}
+
+// A short retransmission timeout keeps lossy tests fast without changing
+// what is being tested (recovery, not the paper's 150 ms constant).
+func fastRTOOptions(mode pushpull.Mode) pushpull.Options {
+	opts := pushpull.DefaultOptions()
+	opts.Mode = mode
+	opts.GBN = gbn.Config{Window: 8, RTO: 2 * sim.Millisecond}
+	return opts
+}
+
+func TestLossyLinkIntegrityAllModes(t *testing.T) {
+	for _, mode := range []pushpull.Mode{pushpull.PushPull, pushpull.PushZero, pushpull.PushAll, pushpull.ThreePhase} {
+		for _, loss := range []float64{0.01, 0.05} {
+			c := lossyCluster(fastRTOOptions(mode), loss, 7)
+			data := pattern(20000, byte(mode))
+			got, _ := runTransfer(t, c, 0, 0, 1, 0, data, 0, 0)
+			if !bytes.Equal(got, data) {
+				t.Errorf("mode %v loss %v: received bytes differ", mode, loss)
+			}
+		}
+	}
+}
+
+func TestLossRecoveryCostsRetransmissions(t *testing.T) {
+	run := func(loss float64) (sim.Time, uint64) {
+		c := lossyCluster(fastRTOOptions(pushpull.PushPull), loss, 3)
+		data := pattern(30000, 5)
+		got, done := runTransfer(t, c, 0, 0, 1, 0, data, 0, 0)
+		if !bytes.Equal(got, data) {
+			t.Fatal("integrity lost")
+		}
+		snd, _ := c.Stacks[0].Session(1)
+		return done, snd.Retransmissions()
+	}
+	cleanT, cleanR := run(0)
+	lossyT, lossyR := run(0.05)
+	if cleanR != 0 {
+		t.Errorf("lossless run retransmitted %d packets", cleanR)
+	}
+	if lossyR == 0 {
+		t.Error("5% loss run retransmitted nothing")
+	}
+	if lossyT <= cleanT {
+		t.Errorf("lossy transfer (%v) not slower than clean (%v)", lossyT, cleanT)
+	}
+}
+
+func TestHubClusterDeliversAllModes(t *testing.T) {
+	for _, mode := range []pushpull.Mode{pushpull.PushPull, pushpull.PushAll} {
+		cfg := cluster.DefaultConfig()
+		cfg.Opts = fastRTOOptions(mode)
+		cfg.UseHub = true
+		c := cluster.New(cfg)
+		data := pattern(9000, 1)
+		got, _ := runTransfer(t, c, 0, 0, 1, 0, data, 0, 0)
+		if !bytes.Equal(got, data) {
+			t.Errorf("mode %v over hub: received bytes differ", mode)
+		}
+	}
+}
+
+// A hub's shared medium makes the ping-pong slower than a full-duplex
+// back-to-back link: data and acknowledgement traffic collide.
+func TestHubSlowerThanBackToBack(t *testing.T) {
+	run := func(useHub bool) sim.Time {
+		cfg := cluster.DefaultConfig()
+		cfg.UseHub = useHub
+		c := cluster.New(cfg)
+		data := pattern(8192, 2)
+		got, done := runTransfer(t, c, 0, 0, 1, 0, data, 0, 0)
+		if !bytes.Equal(got, data) {
+			t.Fatal("integrity lost")
+		}
+		return done
+	}
+	hub := run(true)
+	b2b := run(false)
+	if hub <= b2b {
+		t.Errorf("hub transfer (%v) not slower than back-to-back (%v)", hub, b2b)
+	}
+}
+
+func TestHubFourNodeAllPairs(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.UseHub = true
+	cfg.Opts = fastRTOOptions(pushpull.PushPull)
+	c := cluster.New(cfg)
+	// Every node sends one message to its right neighbour concurrently;
+	// the single shared wire must still deliver everything intact.
+	type result struct {
+		got  []byte
+		want []byte
+	}
+	results := make([]result, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		j := (i + 1) % 4
+		sender := c.Endpoint(i, 0)
+		receiver := c.Endpoint(j, 0)
+		data := pattern(4000, byte(i+1))
+		src := sender.Alloc(len(data))
+		dst := receiver.Alloc(len(data))
+		results[i].want = data
+		c.Spawn(i, 0, "sender", func(th *smp.Thread) {
+			if err := sender.Send(th, receiver.ID, src, data); err != nil {
+				t.Errorf("send %d: %v", i, err)
+			}
+		})
+		c.Spawn(j, 1, "receiver", func(th *smp.Thread) {
+			b, err := receiver.Recv(th, sender.ID, dst, len(data))
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			results[i].got = b
+		})
+	}
+	c.Run()
+	for i, r := range results {
+		if !bytes.Equal(r.got, r.want) {
+			t.Errorf("pair %d->%d: bytes differ", i, (i+1)%4)
+		}
+	}
+	if c.Hub.Collisions() == 0 {
+		t.Error("four nodes on one wire produced no collisions")
+	}
+}
+
+// Property: any loss rate up to 20%, any seed, any size — the transfer
+// still completes with intact data (go-back-N invariant end to end).
+func TestLossyIntegrityProperty(t *testing.T) {
+	f := func(sz uint16, lossPct uint8, seed uint64) bool {
+		n := int(sz)%12000 + 1
+		loss := float64(lossPct%21) / 100
+		c := lossyCluster(fastRTOOptions(pushpull.PushPull), loss, seed)
+		data := pattern(n, byte(seed))
+		got, _ := runTransfer(t, c, 0, 0, 1, 0, data, 0, 0)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

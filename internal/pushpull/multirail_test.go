@@ -1,0 +1,140 @@
+package pushpull_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pushpull/internal/cluster"
+	"pushpull/internal/pushpull"
+	"pushpull/internal/sim"
+	"pushpull/internal/smp"
+	"pushpull/internal/vm"
+)
+
+// railCluster builds a two-node cluster with the given number of NICs per
+// node.
+func railCluster(opts pushpull.Options, rails int) *cluster.Cluster {
+	cfg := cluster.DefaultConfig()
+	cfg.Opts = opts
+	cfg.Rails = rails
+	return cluster.New(cfg)
+}
+
+func TestMultiRailIntegrity(t *testing.T) {
+	for _, rails := range []int{1, 2, 4} {
+		opts := pushpull.DefaultOptions()
+		opts.PushedBufBytes = 64 << 10
+		c := railCluster(opts, rails)
+		data := pattern(40000, byte(rails))
+		got, _ := runTransfer(t, c, 0, 0, 1, 0, data, 0, 0)
+		if !bytes.Equal(got, data) {
+			t.Errorf("%d rails: 40KB transfer corrupted", rails)
+		}
+	}
+}
+
+func TestMultiRailStripesAcrossNICs(t *testing.T) {
+	opts := pushpull.DefaultOptions()
+	opts.PushedBufBytes = 64 << 10
+	c := railCluster(opts, 2)
+	data := pattern(30000, 9)
+	got, _ := runTransfer(t, c, 0, 0, 1, 0, data, 0, 0)
+	if !bytes.Equal(got, data) {
+		t.Fatal("transfer corrupted")
+	}
+	// Both of node 0's NICs must have carried data frames.
+	for r := 0; r < 2; r++ {
+		if c.NICs[r].TxFrames() < 3 {
+			t.Errorf("rail %d carried only %d frames; striping inactive", r, c.NICs[r].TxFrames())
+		}
+	}
+}
+
+func TestMultiRailSpeedsUpLargeTransfers(t *testing.T) {
+	elapsed := func(rails int) sim.Time {
+		opts := pushpull.DefaultOptions()
+		opts.PushedBufBytes = 64 << 10
+		c := railCluster(opts, rails)
+		data := pattern(120000, 1)
+		_, done := runTransfer(t, c, 0, 0, 1, 0, data, 0, 0)
+		return done
+	}
+	one, four := elapsed(1), elapsed(4)
+	speedup := float64(one) / float64(four)
+	if speedup < 2.5 {
+		t.Errorf("4-rail speedup on 120KB = %.2fx, want > 2.5x (wire-bound striping)", speedup)
+	}
+}
+
+func TestMultiRailFIFOAcrossReorderingRails(t *testing.T) {
+	// Many back-to-back messages striped over rails: fragments of later
+	// messages overtake earlier ones on other rails, but channel FIFO
+	// order must hold.
+	opts := pushpull.DefaultOptions()
+	opts.PushedBufBytes = 256 << 10
+	c := railCluster(opts, 3)
+	sender := c.Endpoint(0, 0)
+	receiver := c.Endpoint(1, 0)
+	const k = 12
+	sizes := []int{9000, 40, 2000, 17000, 8, 1484, 760, 5000, 4, 3000, 12000, 100}
+	var sent [][]byte
+	addrs := make([]vm.VirtAddr, k)
+	for i := 0; i < k; i++ {
+		sent = append(sent, pattern(sizes[i], byte(i*3+1)))
+		addrs[i] = sender.Alloc(sizes[i])
+	}
+	var got [][]byte
+	c.Spawn(0, 0, "sender", func(th *smp.Thread) {
+		for i := 0; i < k; i++ {
+			if err := sender.Send(th, receiver.ID, addrs[i], sent[i]); err != nil {
+				t.Errorf("send %d: %v", i, err)
+			}
+		}
+	})
+	c.Spawn(1, 0, "receiver", func(th *smp.Thread) {
+		dst := receiver.Alloc(20000)
+		for i := 0; i < k; i++ {
+			b, err := receiver.Recv(th, sender.ID, dst, 20000)
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			got = append(got, b)
+		}
+	})
+	c.Run()
+	if len(got) != k {
+		t.Fatalf("received %d of %d", len(got), k)
+	}
+	for i := range sent {
+		if !bytes.Equal(got[i], sent[i]) {
+			t.Errorf("message %d: FIFO order or content broken (%d vs %d bytes)", i, len(got[i]), len(sent[i]))
+		}
+	}
+}
+
+func TestMultiRailRequiresBackToBack(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("multi-rail with a switch did not panic")
+		}
+	}()
+	cfg := cluster.DefaultConfig()
+	cfg.Rails = 2
+	cfg.UseSwitch = true
+	cluster.New(cfg)
+}
+
+func TestMultiRailLateReceiverStillRecovers(t *testing.T) {
+	// Push-All overflow semantics must survive striping: drops on one
+	// rail recover independently.
+	opts := pushpull.DefaultOptions()
+	opts.Mode = pushpull.PushAll
+	opts.PushedBufBytes = 4096
+	c := railCluster(opts, 2)
+	data := pattern(9000, 5)
+	got, _ := runTransfer(t, c, 0, 0, 1, 0, data, 0, sim.Duration(sim.Millisecond))
+	if !bytes.Equal(got, data) {
+		t.Fatal("striped overflowed transfer corrupted")
+	}
+}

@@ -1,0 +1,155 @@
+package pushpull
+
+import (
+	"fmt"
+
+	"pushpull/internal/gbn"
+)
+
+// Mode selects the messaging mechanism under test.
+type Mode int
+
+// Messaging mechanisms evaluated in the paper.
+const (
+	// PushPull pushes BTP bytes eagerly and pulls the remainder.
+	PushPull Mode = iota
+	// PushZero pushes nothing: a zero-byte announcement plus pull
+	// (the paper's rendezvous/three-phase stand-in).
+	PushZero
+	// PushAll pushes the entire message eagerly.
+	PushAll
+	// ThreePhase is the classical three-phase handshake protocol the
+	// paper's introduction argues against: request-to-send, clear-to-
+	// send, then the data — with the sender synchronously parked on the
+	// handshake and no optimizations applied. A historical baseline.
+	ThreePhase
+)
+
+func (m Mode) String() string {
+	switch m {
+	case PushPull:
+		return "push-pull"
+	case PushZero:
+		return "push-zero"
+	case PushAll:
+		return "push-all"
+	case ThreePhase:
+		return "three-phase"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configures a Stack's protocol behaviour. The zero value is not
+// useful; start from DefaultOptions.
+type Options struct {
+	Mode Mode
+
+	// BTP is the internode Bytes-To-Push (paper §5.2: 760 = 80+680).
+	BTP int
+	// BTP1 and BTP2 split BTP when OverlapAck is on (paper: 80 and 680).
+	BTP1, BTP2 int
+	// IntraBTP is the intranode Bytes-To-Push (paper §5.1: 16).
+	IntraBTP int
+
+	// MaskTranslation schedules source-buffer address translation after
+	// transmission has been initiated (§4.3). Requires UserTrigger.
+	MaskTranslation bool
+	// OverlapAck splits the pushed bytes into BTP1+BTP2 so the pull
+	// request overlaps the second fragment's transmission (§4.4).
+	OverlapAck bool
+	// UserTrigger uses the user-mapped NIC FIFO and doorbell for the
+	// pushed fragments instead of a system call + kernel DMA.
+	UserTrigger bool
+
+	// PullLocal pins the intranode pull kernel thread to the receiving
+	// process's CPU instead of the least loaded one — the design choice
+	// §4.1 argues against; kept as an ablation knob.
+	PullLocal bool
+
+	// DisableZeroBuffer replaces the cross-space zero buffer with the
+	// classical shared-segment transfer: every intranode byte is staged
+	// through kernel memory and copied twice. Ablation for §4.2.
+	DisableZeroBuffer bool
+
+	// PushedBufBytes sizes each endpoint's pushed buffer. Intranode it
+	// is a byte-addressed staging buffer; internode the kernel stores
+	// arriving fragments in fixed 2 KB ring slots (see PushedSlotBytes).
+	PushedBufBytes int
+
+	// GBN configures the go-back-N link sessions.
+	GBN gbn.Config
+}
+
+// DefaultOptions is the paper's fully optimized Push-Pull configuration.
+func DefaultOptions() Options {
+	return Options{
+		Mode:            PushPull,
+		BTP:             760,
+		BTP1:            80,
+		BTP2:            680,
+		IntraBTP:        16,
+		MaskTranslation: true,
+		OverlapAck:      true,
+		UserTrigger:     true,
+		PushedBufBytes:  4096,
+		GBN:             gbn.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (o Options) Validate() error {
+	if o.BTP < 0 || o.BTP1 < 0 || o.BTP2 < 0 || o.IntraBTP < 0 {
+		return fmt.Errorf("pushpull: negative BTP")
+	}
+	if o.MaskTranslation && !o.UserTrigger {
+		return fmt.Errorf("pushpull: MaskTranslation requires UserTrigger (the pushed bytes must reach the NIC without translation)")
+	}
+	if o.PushedBufBytes <= 0 {
+		return fmt.Errorf("pushpull: PushedBufBytes must be positive")
+	}
+	if o.GBN.Window <= 0 {
+		return fmt.Errorf("pushpull: go-back-N window must be positive")
+	}
+	return nil
+}
+
+// interBTP reports how many leading bytes of a total-byte message are
+// pushed eagerly on the internode path.
+func (o Options) interBTP(total int) int {
+	var btp int
+	switch o.Mode {
+	case PushZero, ThreePhase:
+		return 0
+	case PushAll:
+		return total
+	case PushPull:
+		if o.OverlapAck {
+			btp = o.BTP1 + o.BTP2
+		} else {
+			btp = o.BTP
+		}
+	}
+	if btp > total {
+		btp = total
+	}
+	return btp
+}
+
+// intraBTP reports how many leading bytes are pushed on the intranode
+// path.
+func (o Options) intraBTP(total int) int {
+	var btp int
+	switch o.Mode {
+	case PushZero, ThreePhase:
+		return 0
+	case PushAll:
+		return total
+	case PushPull:
+		btp = o.IntraBTP
+	}
+	if btp > total {
+		btp = total
+	}
+	return btp
+}

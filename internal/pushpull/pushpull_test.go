@@ -1,0 +1,489 @@
+package pushpull_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"pushpull/internal/cluster"
+	"pushpull/internal/pushpull"
+	"pushpull/internal/sim"
+	"pushpull/internal/smp"
+	"pushpull/internal/vm"
+)
+
+// pattern builds a recognizable payload.
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i*31)
+	}
+	return b
+}
+
+// intranodeCluster builds a single-node cluster with two endpoints.
+func intranodeCluster(opts pushpull.Options) *cluster.Cluster {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 1
+	cfg.ProcsPerNode = 2
+	cfg.Opts = opts
+	return cluster.New(cfg)
+}
+
+// internodeCluster builds the paper's two-node testbed.
+func internodeCluster(opts pushpull.Options) *cluster.Cluster {
+	cfg := cluster.DefaultConfig()
+	cfg.Opts = opts
+	return cluster.New(cfg)
+}
+
+// runTransfer sends data from (sNode,sProc) to (rNode,rProc), optionally
+// delaying either side, and returns what was received plus the virtual
+// time the receive completed.
+func runTransfer(t *testing.T, c *cluster.Cluster, sNode, sProc, rNode, rProc int,
+	data []byte, sendDelay, recvDelay sim.Duration) ([]byte, sim.Time) {
+	t.Helper()
+	sender := c.Endpoint(sNode, sProc)
+	receiver := c.Endpoint(rNode, rProc)
+	src := sender.Alloc(len(data))
+	dst := receiver.Alloc(len(data))
+	var got []byte
+	var done sim.Time
+	c.Nodes[sNode].SpawnAt(sendDelay, "sender", sender.CPU, func(th *smp.Thread) {
+		if err := sender.Send(th, receiver.ID, src, data); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	c.Nodes[rNode].SpawnAt(recvDelay, "receiver", receiver.CPU, func(th *smp.Thread) {
+		b, err := receiver.Recv(th, sender.ID, dst, len(data))
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		got = b
+		done = th.Now()
+	})
+	c.Run()
+	return got, done
+}
+
+func allModes() []pushpull.Mode {
+	return []pushpull.Mode{pushpull.PushPull, pushpull.PushZero, pushpull.PushAll}
+}
+
+func TestIntranodeIntegrityAllModesAndSizes(t *testing.T) {
+	for _, mode := range allModes() {
+		for _, n := range []int{1, 10, 16, 17, 100, 1000, 4096, 8192, 40000} {
+			opts := pushpull.DefaultOptions()
+			opts.Mode = mode
+			opts.PushedBufBytes = 48 << 10
+			c := intranodeCluster(opts)
+			data := pattern(n, byte(n))
+			got, _ := runTransfer(t, c, 0, 0, 0, 1, data, 0, 0)
+			if !bytes.Equal(got, data) {
+				t.Errorf("%v intranode %dB: corrupted (got %d bytes)", mode, n, len(got))
+			}
+		}
+	}
+}
+
+func TestInternodeIntegrityAllModesAndSizes(t *testing.T) {
+	for _, mode := range allModes() {
+		for _, n := range []int{1, 4, 80, 760, 761, 1400, 1484, 1485, 8192, 20000} {
+			opts := pushpull.DefaultOptions()
+			opts.Mode = mode
+			opts.PushedBufBytes = 64 << 10
+			c := internodeCluster(opts)
+			data := pattern(n, byte(n))
+			got, _ := runTransfer(t, c, 0, 0, 1, 0, data, 0, 0)
+			if !bytes.Equal(got, data) {
+				t.Errorf("%v internode %dB: corrupted (got %d bytes)", mode, n, len(got))
+			}
+		}
+	}
+}
+
+func TestInternodeLateReceiverIntegrity(t *testing.T) {
+	// Receiver posts 1 ms late: pushed fragments must park in the pushed
+	// buffer and drain on registration.
+	for _, mode := range allModes() {
+		opts := pushpull.DefaultOptions()
+		opts.Mode = mode
+		c := internodeCluster(opts)
+		data := pattern(1400, 7)
+		got, _ := runTransfer(t, c, 0, 0, 1, 0, data, 0, sim.Duration(sim.Millisecond))
+		if !bytes.Equal(got, data) {
+			t.Errorf("%v late receiver: corrupted", mode)
+		}
+	}
+}
+
+func TestInternodeEarlyReceiverIntegrity(t *testing.T) {
+	for _, mode := range allModes() {
+		opts := pushpull.DefaultOptions()
+		opts.Mode = mode
+		c := internodeCluster(opts)
+		data := pattern(8192, 9)
+		opts.PushedBufBytes = 64 << 10
+		got, _ := runTransfer(t, c, 0, 0, 1, 0, data, sim.Duration(sim.Millisecond), 0)
+		if !bytes.Equal(got, data) {
+			t.Errorf("%v early receiver: corrupted", mode)
+		}
+	}
+}
+
+func TestPushAllLateReceiverOverflowRecovers(t *testing.T) {
+	// The Fig. 6 collapse: Push-All, 4 KB pushed buffer (2 slots), 3072 B
+	// message (3 fragments). The third fragment is refused, go-back-N
+	// times out, and the transfer completes only after the RTO.
+	opts := pushpull.DefaultOptions()
+	opts.Mode = pushpull.PushAll
+	opts.PushedBufBytes = 4096
+	c := internodeCluster(opts)
+	data := pattern(3072, 3)
+	got, done := runTransfer(t, c, 0, 0, 1, 0, data, 0, sim.Duration(sim.Millisecond))
+	if !bytes.Equal(got, data) {
+		t.Fatal("overflowed transfer corrupted")
+	}
+	if done < sim.Time(opts.GBN.RTO) {
+		t.Errorf("completed at %v, expected to need at least one RTO (%v)", done, opts.GBN.RTO)
+	}
+	snd, _ := c.Stacks[0].Session(1)
+	if snd.Retransmissions() == 0 {
+		t.Error("no retransmissions despite pushed-buffer overflow")
+	}
+	_, rcv := c.Stacks[1].Session(0)
+	if rcv.Rejected() == 0 {
+		t.Error("receiver never rejected a fragment")
+	}
+}
+
+func TestPushPullLateReceiverNoOverflow(t *testing.T) {
+	// Push-Pull with BTP=760 pushes at most one fragment per message:
+	// a 4 KB pushed buffer is never overwhelmed, so no retransmissions.
+	opts := pushpull.DefaultOptions()
+	opts.PushedBufBytes = 4096
+	c := internodeCluster(opts)
+	data := pattern(8192, 5)
+	got, done := runTransfer(t, c, 0, 0, 1, 0, data, 0, sim.Duration(sim.Millisecond))
+	if !bytes.Equal(got, data) {
+		t.Fatal("transfer corrupted")
+	}
+	if done >= sim.Time(opts.GBN.RTO) {
+		t.Errorf("push-pull late receiver took %v, should not need the RTO", done)
+	}
+	snd, _ := c.Stacks[0].Session(1)
+	if snd.Retransmissions() != 0 {
+		t.Errorf("push-pull retransmitted %d times", snd.Retransmissions())
+	}
+}
+
+func TestChannelFIFOOrdering(t *testing.T) {
+	// Several messages on one channel arrive in send order regardless of
+	// size mix.
+	opts := pushpull.DefaultOptions()
+	opts.PushedBufBytes = 64 << 10
+	c := internodeCluster(opts)
+	sender := c.Endpoint(0, 0)
+	receiver := c.Endpoint(1, 0)
+	sizes := []int{4, 3000, 40, 1484, 9000, 8}
+	var bufs [][]byte
+	srcs := make([]vm.VirtAddr, len(sizes))
+	for i, n := range sizes {
+		bufs = append(bufs, pattern(n, byte(i+1)))
+		srcs[i] = sender.Alloc(n)
+	}
+	var got [][]byte
+	c.Spawn(0, 0, "sender", func(th *smp.Thread) {
+		for i := range sizes {
+			if err := sender.Send(th, receiver.ID, srcs[i], bufs[i]); err != nil {
+				t.Errorf("send %d: %v", i, err)
+			}
+		}
+	})
+	c.Spawn(1, 0, "receiver", func(th *smp.Thread) {
+		for i := range sizes {
+			dst := receiver.Alloc(sizes[i])
+			b, err := receiver.Recv(th, sender.ID, dst, sizes[i])
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			got = append(got, b)
+		}
+	})
+	c.Run()
+	if len(got) != len(sizes) {
+		t.Fatalf("received %d of %d messages", len(got), len(sizes))
+	}
+	for i := range sizes {
+		if !bytes.Equal(got[i], bufs[i]) {
+			t.Errorf("message %d out of order or corrupted", i)
+		}
+	}
+}
+
+func TestIntranodeBidirectionalPingPong(t *testing.T) {
+	opts := pushpull.DefaultOptions()
+	opts.PushedBufBytes = 12 << 10
+	c := intranodeCluster(opts)
+	a, b := c.Endpoint(0, 0), c.Endpoint(0, 1)
+	const iters = 50
+	const n = 1000
+	msg := pattern(n, 1)
+	aSrc, aDst := a.Alloc(n), a.Alloc(n)
+	bSrc, bDst := b.Alloc(n), b.Alloc(n)
+	fail := func(err error) {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	c.Spawn(0, a.CPU, "ping", func(th *smp.Thread) {
+		for i := 0; i < iters; i++ {
+			fail(a.Send(th, b.ID, aSrc, msg))
+			got, err := a.Recv(th, b.ID, aDst, n)
+			fail(err)
+			if !bytes.Equal(got, msg) {
+				t.Error("pong corrupted")
+			}
+		}
+	})
+	c.Spawn(0, b.CPU, "pong", func(th *smp.Thread) {
+		for i := 0; i < iters; i++ {
+			got, err := b.Recv(th, a.ID, bDst, n)
+			fail(err)
+			if !bytes.Equal(got, msg) {
+				t.Error("ping corrupted")
+			}
+			fail(b.Send(th, a.ID, bSrc, msg))
+		}
+	})
+	end := c.Run()
+	if a.Received() != iters || b.Received() != iters {
+		t.Fatalf("completed %d/%d iterations", a.Received(), b.Received())
+	}
+	if end <= 0 {
+		t.Error("simulation consumed no virtual time")
+	}
+}
+
+func TestRecvBufferTooSmall(t *testing.T) {
+	opts := pushpull.DefaultOptions()
+	c := intranodeCluster(opts)
+	sender, receiver := c.Endpoint(0, 0), c.Endpoint(0, 1)
+	data := pattern(2000, 1)
+	src := sender.Alloc(2000)
+	dst := receiver.Alloc(100)
+	var gotErr error
+	c.Spawn(0, 0, "s", func(th *smp.Thread) {
+		_ = sender.Send(th, receiver.ID, src, data)
+	})
+	c.Spawn(0, 1, "r", func(th *smp.Thread) {
+		_, gotErr = receiver.Recv(th, sender.ID, dst, 100)
+	})
+	c.Run()
+	if gotErr == nil {
+		t.Error("receive into too-small buffer succeeded")
+	}
+}
+
+func TestSendUnmappedSourceFails(t *testing.T) {
+	c := intranodeCluster(pushpull.DefaultOptions())
+	sender := c.Endpoint(0, 0)
+	var err error
+	c.Spawn(0, 0, "s", func(th *smp.Thread) {
+		err = sender.Send(th, c.Endpoint(0, 1).ID, 0xdead000, pattern(100, 1))
+	})
+	c.Run()
+	if err == nil {
+		t.Error("send from unmapped buffer succeeded")
+	}
+}
+
+func TestEmptySendFails(t *testing.T) {
+	c := intranodeCluster(pushpull.DefaultOptions())
+	sender := c.Endpoint(0, 0)
+	var err error
+	c.Spawn(0, 0, "s", func(th *smp.Thread) {
+		err = sender.Send(th, c.Endpoint(0, 1).ID, sender.Alloc(16), nil)
+	})
+	c.Run()
+	if err == nil {
+		t.Error("empty send succeeded")
+	}
+}
+
+// TestIntegrityProperty fuzzes size, mode and timing skew on both routes.
+func TestIntegrityProperty(t *testing.T) {
+	property := func(sz uint16, modeRaw, skewRaw uint8, internode bool) bool {
+		n := int(sz)%16384 + 1
+		mode := allModes()[int(modeRaw)%3]
+		skew := sim.Duration(skewRaw) * 20 * sim.Microsecond
+		opts := pushpull.DefaultOptions()
+		opts.Mode = mode
+		opts.PushedBufBytes = 64 << 10
+		var c *cluster.Cluster
+		var sNode, rNode, rProc int
+		if internode {
+			c = internodeCluster(opts)
+			sNode, rNode, rProc = 0, 1, 0
+		} else {
+			c = intranodeCluster(opts)
+			sNode, rNode, rProc = 0, 0, 1
+		}
+		data := pattern(n, byte(sz))
+		var sendDelay, recvDelay sim.Duration
+		if skewRaw%2 == 0 {
+			recvDelay = skew
+		} else {
+			sendDelay = skew
+		}
+		got, _ := runTransfer(t, c, sNode, 0, rNode, rProc, data, sendDelay, recvDelay)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := pushpull.DefaultOptions()
+	bad.MaskTranslation = true
+	bad.UserTrigger = false
+	if bad.Validate() == nil {
+		t.Error("masking without user trigger validated")
+	}
+	bad = pushpull.DefaultOptions()
+	bad.PushedBufBytes = 0
+	if bad.Validate() == nil {
+		t.Error("zero pushed buffer validated")
+	}
+	bad = pushpull.DefaultOptions()
+	bad.BTP = -1
+	if bad.Validate() == nil {
+		t.Error("negative BTP validated")
+	}
+	if err := pushpull.DefaultOptions().Validate(); err != nil {
+		t.Errorf("default options invalid: %v", err)
+	}
+}
+
+func TestPushPullDropsRefetchedByPull(t *testing.T) {
+	// Two senders overflow one receiver's 2-slot pushed buffer with
+	// pushed fragments while it is busy. With a pull phase pending, the
+	// overflowed push must be discarded and re-fetched by the pull
+	// request — no go-back-N timeout, no loss of data.
+	opts := pushpull.DefaultOptions()
+	opts.PushedBufBytes = 4096 // 2 slots
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 3
+	cfg.Opts = opts
+	c := cluster.New(cfg)
+	r := c.Endpoint(0, 0)
+	s1, s2 := c.Endpoint(1, 0), c.Endpoint(2, 0)
+	const n = 6000
+	d1a, d1b := pattern(n, 1), pattern(n, 2)
+	d2a, d2b := pattern(n, 3), pattern(n, 4)
+	send := func(node int, ep *pushpull.Endpoint, msgs ...[]byte) {
+		addr := ep.Alloc(n)
+		c.Spawn(node, 0, "s", func(th *smp.Thread) {
+			for _, m := range msgs {
+				if err := ep.Send(th, r.ID, addr, m); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+	send(1, s1, d1a, d1b)
+	send(2, s2, d2a, d2b)
+	var got [][]byte
+	var doneAt sim.Time
+	c.Nodes[0].SpawnAt(sim.Duration(2*sim.Millisecond), "r", 0, func(th *smp.Thread) {
+		dst := r.Alloc(n)
+		for _, from := range []pushpull.ProcessID{s1.ID, s1.ID, s2.ID, s2.ID} {
+			b, err := r.Recv(th, from, dst, n)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got = append(got, append([]byte(nil), b...))
+		}
+		doneAt = th.Now()
+	})
+	c.Run()
+	if len(got) != 4 {
+		t.Fatalf("received %d of 4 messages", len(got))
+	}
+	for i, want := range [][]byte{d1a, d1b, d2a, d2b} {
+		if !bytes.Equal(got[i], want) {
+			t.Errorf("message %d corrupted or out of order", i)
+		}
+	}
+	// The whole point: recovery must not have needed the 150 ms RTO.
+	if doneAt >= sim.Time(opts.GBN.RTO) {
+		t.Errorf("receives finished at %v; drop-and-refetch should avoid the RTO (%v)", doneAt, opts.GBN.RTO)
+	}
+	for _, sender := range []int{1, 2} {
+		if snd, _ := c.Stacks[sender].Session(0); snd.Retransmissions() != 0 {
+			t.Errorf("node %d retransmitted %d packets; drops should be pull-refetched", sender, snd.Retransmissions())
+		}
+	}
+}
+
+func TestManyChannelOverflowNoLivelock(t *testing.T) {
+	// The stencil livelock regression: cross-channel pushed-buffer
+	// pressure with pull traffic behind overflowing pushes must always
+	// make progress.
+	opts := pushpull.DefaultOptions()
+	opts.PushedBufBytes = 4096
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 3
+	cfg.Opts = opts
+	c := cluster.New(cfg)
+	const iters = 10
+	const n = 8192
+	mid := c.Endpoint(1, 0)
+	for _, peerNode := range []int{0, 2} {
+		peerNode := peerNode
+		peer := c.Endpoint(peerNode, 0)
+		pSrc, pDst := peer.Alloc(n), peer.Alloc(n)
+		mSrc, mDst := mid.Alloc(n), mid.Alloc(n)
+		msg := pattern(n, byte(peerNode))
+		c.Spawn(peerNode, 0, "peer", func(th *smp.Thread) {
+			for i := 0; i < iters; i++ {
+				th.Compute(100_000)
+				if err := peer.Send(th, mid.ID, pSrc, msg); err != nil {
+					t.Error(err)
+				}
+				if _, err := peer.Recv(th, mid.ID, pDst, n); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+		c.Spawn(1, peerNode, "mid", func(th *smp.Thread) { // one thread per peer on distinct CPUs
+			for i := 0; i < iters; i++ {
+				th.Compute(250_000)
+				if err := mid.Send(th, peer.ID, mSrc, msg); err != nil {
+					t.Error(err)
+				}
+				if _, err := mid.Recv(th, peer.ID, mDst, n); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+	c.Engine.RunUntil(sim.Time(5 * sim.Second))
+	if mid.Received() != 2*iters {
+		t.Fatalf("middle node received %d of %d (livelock?)", mid.Received(), 2*iters)
+	}
+	var retrans uint64
+	for _, peerNode := range []int{0, 2} {
+		snd, _ := c.Stacks[peerNode].Session(1)
+		retrans += snd.Retransmissions()
+		snd, _ = c.Stacks[1].Session(peerNode)
+		retrans += snd.Retransmissions()
+	}
+	if retrans != 0 {
+		t.Errorf("%d retransmissions; pushed-buffer pressure with pulls pending should not reach the RTO", retrans)
+	}
+}

@@ -1,0 +1,93 @@
+package pushpull
+
+import (
+	"fmt"
+
+	"pushpull/internal/sim"
+	"pushpull/internal/smp"
+	"pushpull/internal/vm"
+)
+
+// Request tracks one outstanding nonblocking operation started with Isend
+// or Irecv. Complete it with Wait (blocking) or poll it with Test.
+//
+// The simulated library implements nonblocking operations the way a
+// user-level messaging library on a COMP node would: the operation runs
+// on a helper thread bound to the same CPU as the caller, so its protocol
+// costs are still charged to that processor, while the calling thread is
+// free to compute — the overlap the paper's §4.1 parallelism argument is
+// about, exposed at the API level.
+type Request struct {
+	done     *sim.Cond
+	complete bool
+	data     []byte
+	err      error
+}
+
+// Isend starts a nonblocking send of data (placed at addr in the
+// endpoint's space) to process to, returning immediately with a Request.
+// The data buffer must not be modified until the request completes.
+func (ep *Endpoint) Isend(t *smp.Thread, to ProcessID, addr vm.VirtAddr, data []byte) *Request {
+	req := &Request{done: sim.NewCond(ep.stack.Node.Engine)}
+	t.Exec(ep.stack.Node.Cfg.CallOverhead) // posting cost on the caller
+	ep.stack.Node.Spawn(fmt.Sprintf("isend/%v", ep.ID), ep.CPU, func(ht *smp.Thread) {
+		err := ep.Send(ht, to, addr, data)
+		req.finish(nil, err)
+	})
+	return req
+}
+
+// Irecv starts a nonblocking receive of the next message on channel
+// from→ep into addr (bufLen bytes), returning immediately with a Request.
+// Wait (or a successful Test) returns the received bytes.
+//
+// Multiple Irecvs posted by the same process for the same channel bind
+// messages in posting order, matching the FIFO channel semantics of
+// blocking Recv.
+func (ep *Endpoint) Irecv(t *smp.Thread, from ProcessID, addr vm.VirtAddr, bufLen int) *Request {
+	req := &Request{done: sim.NewCond(ep.stack.Node.Engine)}
+	t.Exec(ep.stack.Node.Cfg.CallOverhead)
+	ep.stack.Node.Spawn(fmt.Sprintf("irecv/%v", ep.ID), ep.CPU, func(ht *smp.Thread) {
+		b, err := ep.Recv(ht, from, addr, bufLen)
+		req.finish(b, err)
+	})
+	return req
+}
+
+// finish records the outcome and wakes every waiter.
+func (req *Request) finish(data []byte, err error) {
+	req.data = data
+	req.err = err
+	req.complete = true
+	req.done.Broadcast()
+}
+
+// Wait parks the calling thread until the operation completes. For a
+// receive it returns the received bytes; for a send the data is nil.
+func (req *Request) Wait(t *smp.Thread) ([]byte, error) {
+	for !req.complete {
+		req.done.Wait(t.P)
+		t.Exec(t.Node.Cfg.WakeLatency)
+	}
+	return req.data, req.err
+}
+
+// Test reports whether the operation has completed, without blocking.
+// Once it returns true, the data and error are the operation's outcome.
+func (req *Request) Test() (bool, []byte, error) {
+	if !req.complete {
+		return false, nil, nil
+	}
+	return true, req.data, req.err
+}
+
+// WaitAll completes every request in order and returns the first error.
+func WaitAll(t *smp.Thread, reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := r.Wait(t); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,327 @@
+package pushpull
+
+import (
+	"fmt"
+
+	"pushpull/internal/ether"
+	"pushpull/internal/gbn"
+	"pushpull/internal/nic"
+	"pushpull/internal/sim"
+	"pushpull/internal/smp"
+	"pushpull/internal/trace"
+	"pushpull/internal/vm"
+)
+
+// Stack is the messaging layer of one node: the endpoints living there,
+// plus one go-back-N session per rail toward every peer node reachable
+// through the attached NICs.
+//
+// A node may attach several NICs ("rails"); fragments of one message are
+// striped across rails round-robin, realizing the paper's §6 outlook —
+// "a more general mechanism to work with multiple network interfaces
+// using multiple processors". Per-rail go-back-N keeps each rail in
+// order; cross-rail reordering is absorbed by offset-addressed assembly
+// and strict message-id receive matching.
+type Stack struct {
+	Node *smp.Node
+	Opts Options
+
+	eps   map[int]*Endpoint
+	peers map[int]*peerSession
+	nics  []*nic.NIC
+	// rxLock serializes reception handlers (paper §2 stage 1: "the
+	// system has to restrict that only one user or kernel thread invokes
+	// the thread at a time"). Without it, a handler sleeping in a copy
+	// while the next frame's handler runs would reenter the go-back-N
+	// receiver and misorder in-order traffic.
+	rxLock *sim.Resource
+
+	// discardedBytes counts pushed bytes the receive side dropped for
+	// lack of pushed-buffer space (re-fetched by the pull phase) — the
+	// wire bandwidth the eager push wasted.
+	discardedBytes uint64
+
+	// Trace, when set, receives one line per protocol event (used by
+	// cmd/pushpull-trace).
+	Trace func(format string, args ...any)
+	// Rec, when set, receives every protocol event as a structured
+	// trace.Event. A nil recorder is valid and records nothing.
+	Rec *trace.Recorder
+	// Adapter, when set, chooses the internode PushPull BTP per message
+	// and receives pull-request feedback (see BTPAdapter).
+	Adapter BTPAdapter
+}
+
+// NewStack builds the messaging layer for node n. It panics on invalid
+// options: stacks are constructed from code, not user input.
+func NewStack(n *smp.Node, opts Options) *Stack {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	return &Stack{
+		Node:   n,
+		Opts:   opts,
+		eps:    make(map[int]*Endpoint),
+		peers:  make(map[int]*peerSession),
+		rxLock: sim.NewResource(n.Engine, fmt.Sprintf("rxlock/n%d", n.ID)),
+	}
+}
+
+func (s *Stack) trace(format string, args ...any) {
+	if s.Trace != nil {
+		s.Trace(format, args...)
+	}
+}
+
+// SetRecorder attaches a structured trace recorder to the stack and
+// propagates it to the attached NICs and go-back-N sessions, so one
+// recorder sees the whole node's protocol, link and reliability events.
+// Call after the topology is wired (AttachNIC / AddPeer).
+func (s *Stack) SetRecorder(rec *trace.Recorder) {
+	s.Rec = rec
+	for _, nc := range s.nics {
+		nc.Rec = rec
+	}
+	for _, sess := range s.peers {
+		for _, r := range sess.rails {
+			r.snd.SetTrace(rec, s.Node.ID)
+		}
+	}
+}
+
+// event publishes one structured protocol event (and mirrors it onto the
+// printf hook, prefixed with the current virtual time).
+func (s *Stack) event(k trace.Kind, format string, args ...any) {
+	if s.Trace != nil {
+		s.Trace("%v  "+format, append([]any{s.Node.Engine.Now()}, args...)...)
+	}
+	s.Rec.Recordf(s.Node.Engine.Now(), s.Node.ID, k, format, args...)
+}
+
+// NewEndpoint registers a communicating process on this node, bound to
+// CPU cpu, and returns its endpoint. The endpoint owns a fresh address
+// space.
+func (s *Stack) NewEndpoint(proc, cpu int) *Endpoint {
+	if _, dup := s.eps[proc]; dup {
+		panic(fmt.Sprintf("pushpull: duplicate endpoint %d on node %d", proc, s.Node.ID))
+	}
+	ep := &Endpoint{
+		stack:    s,
+		ID:       ProcessID{Node: s.Node.ID, Proc: proc},
+		CPU:      cpu,
+		Space:    s.Node.NewSpace(fmt.Sprintf("p%d", proc)),
+		ring:     newPushedBuffer(s.Node.Engine, s.Opts.PushedBufBytes),
+		sendOps:  make(map[sendKey]*sendOp),
+		nextMsg:  make(map[ChannelID]uint64),
+		nextBind: make(map[ChannelID]uint64),
+	}
+	s.eps[proc] = ep
+	return ep
+}
+
+// Endpoint returns the endpoint of process proc, or nil.
+func (s *Stack) Endpoint(proc int) *Endpoint { return s.eps[proc] }
+
+// AttachNIC adds a network interface (rail) and installs the reception
+// handler. Call once per rail, before AddPeer.
+func (s *Stack) AttachNIC(nc *nic.NIC) {
+	railIdx := len(s.nics)
+	s.nics = append(s.nics, nc)
+	nc.SetReceiveHandler(func(t *smp.Thread, f ether.Frame) {
+		s.handleFrame(railIdx, t, f)
+	})
+}
+
+// NIC returns rail 0's NIC (nil for an intranode-only stack); Rails
+// reports the rail count.
+func (s *Stack) NIC() *nic.NIC {
+	if len(s.nics) == 0 {
+		return nil
+	}
+	return s.nics[0]
+}
+
+// Rails reports the number of attached NICs.
+func (s *Stack) Rails() int { return len(s.nics) }
+
+// AddPeer creates the go-back-N sessions (one per rail) toward peer
+// node. All NICs must be attached first.
+func (s *Stack) AddPeer(peerNode int) {
+	if len(s.nics) == 0 {
+		panic("pushpull: AddPeer before AttachNIC")
+	}
+	if _, dup := s.peers[peerNode]; dup {
+		panic(fmt.Sprintf("pushpull: duplicate peer %d on node %d", peerNode, s.Node.ID))
+	}
+	sess := &peerSession{stack: s, peer: peerNode}
+	for i := range s.nics {
+		r := &rail{sess: sess, idx: i, nic: s.nics[i]}
+		r.snd = gbn.NewSender(s.Node.Engine, s.Opts.GBN, r.transmitPacket)
+		r.rcv = gbn.NewReceiver(sess.deliverPacket, r.transmitAck)
+		sess.rails = append(sess.rails, r)
+	}
+	s.peers[peerNode] = sess
+}
+
+// Session returns the go-back-N halves of rail 0 toward peer, for
+// statistics (RailSession gives a specific rail).
+func (s *Stack) Session(peer int) (*gbn.Sender, *gbn.Receiver) {
+	return s.RailSession(peer, 0)
+}
+
+// RailSession returns the go-back-N halves of one rail toward peer.
+func (s *Stack) RailSession(peer, railIdx int) (*gbn.Sender, *gbn.Receiver) {
+	sess := s.peers[peer]
+	if sess == nil || railIdx >= len(sess.rails) {
+		return nil, nil
+	}
+	r := sess.rails[railIdx]
+	return r.snd, r.rcv
+}
+
+// handleFrame is the reception handler (paper §2 stages 3-4): it runs in
+// interrupt or polling context on the CPU the node's policy chose.
+func (s *Stack) handleFrame(railIdx int, t *smp.Thread, f ether.Frame) {
+	sess := s.peers[f.Src]
+	if sess == nil {
+		s.event(trace.KindError, "frame from unknown peer %d dropped", f.Src)
+		return
+	}
+	r := sess.rails[railIdx]
+	wm, ok := f.Payload.(wireMsg)
+	if !ok {
+		panic(fmt.Sprintf("pushpull: node %d received foreign payload %T", s.Node.ID, f.Payload))
+	}
+	if wm.isAck {
+		// Link acks touch only the go-back-N sender and never sleep; they
+		// bypass the handler lock like a real driver's ack fast path.
+		r.snd.OnAck(wm.ack.ack)
+		return
+	}
+	pkt := wm.pkt.(gbn.Packet)
+	s.rxLock.Acquire(t.P)
+	sess.curT = t
+	r.rcv.OnPacket(pkt)
+	sess.curT = nil
+	s.rxLock.Release()
+}
+
+// peerSession is one node pair's reliable transport: one go-back-N
+// session per rail, multiplexing every channel between the two nodes.
+type peerSession struct {
+	stack *Stack
+	peer  int
+	rails []*rail
+	next  int // round-robin rail cursor
+	// curT is the handler thread currently delivering a packet; the
+	// go-back-N deliver callback has no thread parameter, and the
+	// simulation is single-threaded, so passing it through the session
+	// is safe.
+	curT *smp.Thread
+}
+
+// rail is one NIC's reliable lane toward the peer.
+type rail struct {
+	sess *peerSession
+	idx  int
+	nic  *nic.NIC
+	snd  *gbn.Sender
+	rcv  *gbn.Receiver
+}
+
+// send stripes a protocol packet onto the next rail.
+func (ps *peerSession) send(bytes int, data any) {
+	r := ps.rails[ps.next]
+	ps.next = (ps.next + 1) % len(ps.rails)
+	r.snd.Send(bytes, data)
+}
+
+// transmitPacket hands a go-back-N packet to this rail's NIC. It must
+// not block the caller (it may run in handler or timer context), so the
+// enqueue — which can wait for outgoing-FIFO space — happens on a helper
+// process.
+func (r *rail) transmitPacket(pkt gbn.Packet) {
+	preloaded := false
+	switch d := pkt.Data.(type) {
+	case fragMsg:
+		preloaded = d.preloaded
+	case pullReqMsg:
+		preloaded = true // built directly in the FIFO by the kernel
+	}
+	s := r.sess.stack
+	frame := ether.Frame{
+		Src:          s.Node.ID,
+		Dst:          r.sess.peer,
+		PayloadBytes: pkt.Bytes,
+		Payload:      wireMsg{pkt: pkt},
+	}
+	s.Node.Engine.Go(fmt.Sprintf("tx/n%d->n%d.r%d", s.Node.ID, r.sess.peer, r.idx), func(p *sim.Process) {
+		r.nic.Send(p, nic.TxRequest{Frame: frame, Preloaded: preloaded})
+	})
+}
+
+// transmitAck sends a raw cumulative link acknowledgement on this rail
+// (not itself reliable; a lost ack is recovered by the data
+// retransmission path).
+func (r *rail) transmitAck(ack uint32) {
+	s := r.sess.stack
+	frame := ether.Frame{
+		Src:          s.Node.ID,
+		Dst:          r.sess.peer,
+		PayloadBytes: linkAckMsg{}.wireBytes(),
+		Payload:      wireMsg{isAck: true, ack: linkAckMsg{ack: ack}},
+	}
+	s.Node.Engine.Go(fmt.Sprintf("tx-ack/n%d->n%d.r%d", s.Node.ID, r.sess.peer, r.idx), func(p *sim.Process) {
+		r.nic.Send(p, nic.TxRequest{Frame: frame, Preloaded: true})
+	})
+}
+
+// deliverPacket is the go-back-N upward delivery: an in-order protocol
+// packet for this node. It reports whether the packet could be consumed;
+// false (no pushed-buffer space) makes go-back-N treat it as lost.
+func (ps *peerSession) deliverPacket(pkt gbn.Packet) bool {
+	t := ps.curT
+	switch m := pkt.Data.(type) {
+	case fragMsg:
+		return ps.stack.deliverFrag(t, m)
+	case pullReqMsg:
+		ps.stack.servePull(t, m)
+		return true
+	default:
+		panic(fmt.Sprintf("pushpull: unknown packet payload %T", pkt.Data))
+	}
+}
+
+// DiscardedBytes reports pushed bytes this node's receive side discarded
+// for lack of pushed-buffer space (later re-fetched by pull requests).
+func (s *Stack) DiscardedBytes() uint64 { return s.discardedBytes }
+
+// intranode reports whether dst lives on this node.
+func (s *Stack) intranode(dst ProcessID) bool { return dst.Node == s.Node.ID }
+
+// session returns the peer session toward node, panicking if the topology
+// was never wired (a configuration bug, not a runtime condition).
+func (s *Stack) session(node int) *peerSession {
+	sess := s.peers[node]
+	if sess == nil {
+		panic(fmt.Sprintf("pushpull: node %d has no session toward node %d", s.Node.ID, node))
+	}
+	return sess
+}
+
+// nicTrigger reports the user-level doorbell cost (rail 0; rails are
+// identical hardware).
+func (s *Stack) nicTrigger() sim.Duration { return s.nics[0].TriggerCost() }
+
+// nicKernelTrigger reports the kernel driver transmit path cost.
+func (s *Stack) nicKernelTrigger() sim.Duration { return s.nics[0].KernelTriggerCost() }
+
+// translateOrDie resolves a registered user range, panicking on a fault:
+// endpoints validate ranges at Send/Recv entry, so a fault here is a bug.
+func translateOrDie(space *vm.AddressSpace, addr vm.VirtAddr, n int) vm.ZeroBuffer {
+	zb, err := space.Translate(addr, n)
+	if err != nil {
+		panic(err)
+	}
+	return zb
+}

@@ -1,0 +1,162 @@
+package pushpull
+
+import (
+	"fmt"
+
+	"pushpull/internal/ether"
+	"pushpull/internal/sim"
+	"pushpull/internal/vm"
+)
+
+// ProcessID names one communicating process: node number plus per-node
+// process number.
+type ProcessID struct {
+	Node int
+	Proc int
+}
+
+func (p ProcessID) String() string { return fmt.Sprintf("n%d.p%d", p.Node, p.Proc) }
+
+// ChannelID is one directed sender→receiver pair. Messages on a channel
+// are delivered in FIFO order.
+type ChannelID struct {
+	From, To ProcessID
+}
+
+func (c ChannelID) String() string { return fmt.Sprintf("%v->%v", c.From, c.To) }
+
+// Wire geometry of the messaging layer.
+const (
+	// ProtoHeaderBytes is the per-fragment protocol header (channel,
+	// message id, offset, lengths, go-back-N sequence).
+	ProtoHeaderBytes = 16
+	// MaxFragData is the most message data one Ethernet frame carries.
+	MaxFragData = ether.MTU - ProtoHeaderBytes
+	// PushedSlotBytes is the internode pushed-buffer slot size: the
+	// kernel stores each arriving fragment in a fixed-size slot (no
+	// compaction), so a 4 KB pushed buffer holds two fragments.
+	PushedSlotBytes = 2048
+)
+
+// sendOp is a registered send operation, held in the endpoint's send
+// queue until the message is fully transmitted (pulled or pushed).
+type sendOp struct {
+	ch    ChannelID
+	msgID uint64
+	addr  vm.VirtAddr
+	data  []byte
+	// pushed is how many leading bytes went in the push phase.
+	pushed int
+	// start is when the send operation was registered (adaptive-BTP
+	// feedback measures pull-request round trips from it).
+	start sim.Time
+	// srcReadyAt is when source translation completes; pull-phase
+	// transmission (which DMAs from the user buffer) cannot start
+	// earlier.
+	srcReadyAt sim.Time
+	srcZB      vm.ZeroBuffer
+	served     bool
+	// done, when non-nil, marks a synchronous send (three-phase): the
+	// sending thread parks on it until the handshake grant (internode)
+	// or until the transfer is fully served (intranode).
+	done *sim.Cond
+	// grant is the received clear-to-send for a parked three-phase
+	// sender.
+	grant *pullReqMsg
+}
+
+// recvOp is a registered receive operation.
+type recvOp struct {
+	ch     ChannelID
+	addr   vm.VirtAddr
+	bufLen int
+	// zbReadyAt is when destination translation completes; handler-side
+	// direct copies must wait for it (relevant when translation is
+	// registered first and masked).
+	zbReadyAt sim.Time
+	zb        vm.ZeroBuffer
+	done      *sim.Cond
+	msg       *inboundMsg
+	err       error
+}
+
+// inboundMsg tracks one message arriving at an endpoint.
+type inboundMsg struct {
+	ch        ChannelID
+	msgID     uint64
+	total     int
+	pushTotal int // bytes the sender pushes eagerly
+	buf       []byte
+	received  int
+	op        *recvOp // bound receive op, nil while unmatched
+	// buffered fragments parked in the pushed buffer awaiting the recv.
+	buffered []fragMsg
+	slots    int // internode ring slots held
+	intraBuf int // intranode pushed-buffer bytes held
+	// dropped records pushed ranges the receiver discarded for lack of
+	// buffer space; the pull request asks for them again. Only messages
+	// with a pull phase may drop — fully eager transfers fall back to
+	// go-back-N retransmission instead.
+	dropped  []byteRange
+	pullSent bool
+	complete bool
+}
+
+// byteRange is a half-open [Off, Off+N) range of message bytes.
+type byteRange struct {
+	Off, N int
+}
+
+// remaining reports bytes not yet accounted for by push or pull.
+func (m *inboundMsg) pullRemainder() int { return m.total - m.pushTotal }
+
+// fragMsg is a data-bearing protocol fragment (push or pull data).
+type fragMsg struct {
+	ch        ChannelID
+	msgID     uint64
+	offset    int
+	data      []byte
+	total     int
+	pushTotal int
+	// preloaded marks fragments PIO-copied into the NIC FIFO by the
+	// user-level trigger path (no host DMA on transmit).
+	preloaded bool
+	// pull marks pull-phase fragments (vs pushed fragments).
+	pull bool
+}
+
+func (f fragMsg) wireBytes() int { return ProtoHeaderBytes + len(f.data) }
+
+// pullReqMsg is the receive side's acknowledgement-cum-pull-request. It
+// names the unsent tail plus any pushed ranges the receiver had to
+// discard for lack of pushed-buffer space.
+type pullReqMsg struct {
+	ch         ChannelID
+	msgID      uint64
+	fromOffset int
+	redo       []byteRange
+}
+
+func (r pullReqMsg) wireBytes() int { return ProtoHeaderBytes + 4 + 8*len(r.redo) }
+
+// linkAckMsg is a raw (non-go-back-N) cumulative link acknowledgement.
+type linkAckMsg struct {
+	ack uint32
+}
+
+func (linkAckMsg) wireBytes() int { return ProtoHeaderBytes }
+
+// wireMsg is what rides in an ether.Frame payload: either a go-back-N
+// data packet or a raw link ack.
+type wireMsg struct {
+	pkt   any  // gbn.Packet for the data plane
+	isAck bool // linkAckMsg for the control plane
+	ack   linkAckMsg
+}
+
+// vmAddr abbreviates the virtual-address type used throughout the
+// protocol code.
+type vmAddr = vm.VirtAddr
+
+// simDuration abbreviates the virtual-duration type.
+type simDuration = sim.Duration

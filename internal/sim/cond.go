@@ -1,0 +1,55 @@
+package sim
+
+// Cond is a condition variable for simulation processes. Waiters are woken
+// in FIFO order, which keeps simulations deterministic.
+//
+// Unlike sync.Cond there is no associated lock: the simulation's one-at-a-
+// time execution model means state examined before Wait cannot change until
+// the process parks.
+type Cond struct {
+	e       *Engine
+	waiters []*Process
+}
+
+// NewCond returns a condition variable bound to engine e.
+func NewCond(e *Engine) *Cond { return &Cond{e: e} }
+
+// Wait parks the calling process until another event calls Signal or
+// Broadcast.
+func (c *Cond) Wait(p *Process) {
+	p.waiting = true
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// WaitFor repeatedly waits until pred() reports true. pred is evaluated
+// before the first wait, so no wake is lost if the condition already holds.
+func (c *Cond) WaitFor(p *Process, pred func() bool) {
+	for !pred() {
+		c.Wait(p)
+	}
+}
+
+// Signal wakes the longest-waiting process, if any. It reports whether a
+// process was woken.
+func (c *Cond) Signal() bool {
+	if len(c.waiters) == 0 {
+		return false
+	}
+	p := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	p.wake()
+	return true
+}
+
+// Broadcast wakes every waiting process, in FIFO order.
+func (c *Cond) Broadcast() {
+	for _, p := range c.waiters {
+		p.wake()
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Waiting reports the number of parked processes.
+func (c *Cond) Waiting() int { return len(c.waiters) }

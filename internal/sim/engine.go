@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Priority orders events that are scheduled for the same virtual time.
+// Lower values run first. Most model code uses PriorityNormal; interrupt
+// delivery uses PriorityHigh so that hardware beats software at equal
+// timestamps, matching real machines where the APIC wins the race.
+type Priority int32
+
+// Event priorities, lowest runs first at equal timestamps.
+const (
+	PriorityHigh   Priority = -1
+	PriorityNormal Priority = 0
+	PriorityLow    Priority = 1
+)
+
+type event struct {
+	at   Time
+	prio Priority
+	seq  uint64 // insertion order; final tiebreak for determinism
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; create engines with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{} // running process hands control back here
+	stopped bool
+	rng     *Rand
+
+	nproc     int // live (not yet finished) processes
+	fault     any // panic captured from a process, re-raised in Run
+	executed  uint64
+	nameCount map[string]int
+}
+
+// NewEngine returns an engine at virtual time zero with a deterministic
+// random source derived from seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		yield:     make(chan struct{}),
+		rng:       NewRand(seed),
+		nameCount: make(map[string]int),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// Executed reports how many events have run so far; useful in tests.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Schedule runs fn at virtual time e.Now()+d with normal priority.
+func (e *Engine) Schedule(d Duration, fn func()) { e.At(e.now.Add(d), PriorityNormal, fn) }
+
+// At runs fn at absolute virtual time t. Scheduling in the past panics:
+// that is always a model bug, and silently clamping it would corrupt
+// latency measurements.
+func (e *Engine) At(t Time, prio Priority, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, prio: prio, seq: e.seq, fn: fn})
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the event set is exhausted or Stop is
+// called. It returns the final virtual time.
+func (e *Engine) Run() Time { return e.RunUntil(Time(1<<63 - 1)) }
+
+// RunUntil executes events with timestamps <= limit, then returns. The
+// clock is left at the last executed event (or limit if nothing ran after
+// it); pending later events remain queued.
+func (e *Engine) RunUntil(limit Time) Time {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 {
+		next := e.events[0]
+		if next.at > limit {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		e.executed++
+		next.fn()
+	}
+	return e.now
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// uniqueName disambiguates duplicate process names for tracing.
+func (e *Engine) uniqueName(name string) string {
+	n := e.nameCount[name]
+	e.nameCount[name] = n + 1
+	if n == 0 {
+		return name
+	}
+	return fmt.Sprintf("%s#%d", name, n)
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Errorf("final time = %d, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events ran out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestPriorityBeatsSeq(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	e.At(5, PriorityNormal, func() { got = append(got, "normal") })
+	e.At(5, PriorityHigh, func() { got = append(got, "high") })
+	e.At(5, PriorityLow, func() { got = append(got, "low") })
+	e.Run()
+	if got[0] != "high" || got[1] != "normal" || got[2] != "low" {
+		t.Fatalf("priority order wrong: %v", got)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	e.Schedule(10, func() {
+		fired = append(fired, e.Now())
+		e.Schedule(5, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("nested schedule times = %v, want [10 15]", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, PriorityNormal, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Duration(i)*10, func() { count++ })
+	}
+	e.RunUntil(50)
+	if count != 5 {
+		t.Errorf("events run by t=50: %d, want 5", count)
+	}
+	if e.Pending() != 5 {
+		t.Errorf("pending = %d, want 5", e.Pending())
+	}
+	e.Run()
+	if count != 10 {
+		t.Errorf("events run total: %d, want 10", count)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Duration(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Errorf("events run = %d, want 3 (stopped)", count)
+	}
+}
+
+func TestZeroDelaySchedulingRunsAtCurrentTime(t *testing.T) {
+	e := NewEngine(1)
+	var at Time = -1
+	e.Schedule(7, func() {
+		e.Schedule(0, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 7 {
+		t.Errorf("zero-delay event ran at %d, want 7", at)
+	}
+}
+
+// TestDeterminism drives two identical engines with an arbitrary program of
+// event insertions and checks that execution traces match exactly.
+func TestDeterminism(t *testing.T) {
+	run := func(seed uint64, delays []uint16) []int64 {
+		e := NewEngine(seed)
+		var trace []int64
+		var insert func(depth int, d Duration)
+		insert = func(depth int, d Duration) {
+			e.Schedule(d, func() {
+				trace = append(trace, int64(e.Now()))
+				if depth > 0 {
+					insert(depth-1, Duration(e.Rand().Intn(100)))
+				}
+			})
+		}
+		for _, d := range delays {
+			insert(3, Duration(d))
+		}
+		e.Run()
+		return trace
+	}
+	property := func(seed uint64, delays []uint16) bool {
+		a := run(seed, delays)
+		b := run(seed, delays)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500µs"},
+		{2500000, "2.500ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	var tm Time = 100
+	if tm.Add(50) != 150 {
+		t.Error("Add failed")
+	}
+	if Time(150).Sub(tm) != 50 {
+		t.Error("Sub failed")
+	}
+	if Duration(1500).Microseconds() != 1.5 {
+		t.Error("Microseconds failed")
+	}
+}

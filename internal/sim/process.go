@@ -1,0 +1,107 @@
+package sim
+
+import "fmt"
+
+// Process is a goroutine-backed simulation coroutine. At most one process
+// (or event callback) executes at any moment: the engine resumes a process,
+// then blocks until the process parks again (by sleeping or waiting) or
+// finishes. This strict hand-off keeps simulations deterministic and
+// race-free.
+//
+// Process methods must only be called from within that process's own body.
+type Process struct {
+	e      *Engine
+	name   string
+	resume chan struct{}
+	done   bool
+	// waiting marks the process as parked on a Cond/Queue/Resource so that
+	// double-wakes can be detected as model bugs.
+	waiting bool
+}
+
+// Go starts a new process running body at the current virtual time. The
+// process is scheduled like any other event; body begins executing when the
+// engine reaches that event.
+func (e *Engine) Go(name string, body func(p *Process)) *Process {
+	return e.GoAt(0, name, body)
+}
+
+// GoAt is like Go but delays the start of the process by d.
+func (e *Engine) GoAt(d Duration, name string, body func(p *Process)) *Process {
+	p := &Process{e: e, name: e.uniqueName(name), resume: make(chan struct{})}
+	e.nproc++
+	e.Schedule(d, func() {
+		go func() {
+			<-p.resume
+			defer func() {
+				// Panics inside a process would otherwise kill the whole
+				// program from an anonymous goroutine; capture and re-raise
+				// them in engine context so callers of Run see them.
+				if r := recover(); r != nil {
+					p.e.fault = r
+				}
+				p.done = true
+				p.e.nproc--
+				p.e.yield <- struct{}{}
+			}()
+			body(p)
+		}()
+		p.transfer()
+	})
+	return p
+}
+
+// transfer hands the engine's control token to the process and blocks until
+// the process parks or finishes. Must be called from engine context.
+func (p *Process) transfer() {
+	p.resume <- struct{}{}
+	<-p.e.yield
+	if p.e.fault != nil {
+		f := p.e.fault
+		p.e.fault = nil
+		panic(f)
+	}
+}
+
+// park suspends the process until something resumes it. Must be called from
+// process context.
+func (p *Process) park() {
+	p.e.yield <- struct{}{}
+	<-p.resume
+}
+
+// wake schedules the process to resume at the current virtual time. It is
+// the engine-side counterpart to park.
+func (p *Process) wake() {
+	if p.done {
+		panic("sim: waking finished process " + p.name)
+	}
+	p.waiting = false
+	p.e.At(p.e.now, PriorityNormal, p.transfer)
+}
+
+// Name reports the process's (unique) name.
+func (p *Process) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Process) Engine() *Engine { return p.e }
+
+// Now reports the current virtual time.
+func (p *Process) Now() Time { return p.e.now }
+
+// Done reports whether the process body has returned.
+func (p *Process) Done() bool { return p.done }
+
+// Sleep suspends the process for virtual duration d. Sleeping a negative
+// duration panics; sleeping zero yields to other events at the same time.
+func (p *Process) Sleep(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %s sleeping negative duration %d", p.name, d))
+	}
+	p.e.At(p.e.now.Add(d), PriorityNormal, p.transfer)
+	p.park()
+}
+
+// Yield lets every other event already scheduled at the current time run
+// before the process continues.
+func (p *Process) Yield() { p.Sleep(0) }

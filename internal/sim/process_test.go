@@ -1,0 +1,167 @@
+package sim
+
+import "testing"
+
+func TestProcessSleep(t *testing.T) {
+	e := NewEngine(1)
+	var wakes []Time
+	e.Go("sleeper", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10)
+			wakes = append(wakes, p.Now())
+		}
+	})
+	e.Run()
+	want := []Time{10, 20, 30}
+	for i := range want {
+		if wakes[i] != want[i] {
+			t.Fatalf("wakes = %v, want %v", wakes, want)
+		}
+	}
+}
+
+func TestProcessInterleaving(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Go("a", func(p *Process) {
+		order = append(order, "a0")
+		p.Sleep(10)
+		order = append(order, "a10")
+		p.Sleep(20)
+		order = append(order, "a30")
+	})
+	e.Go("b", func(p *Process) {
+		order = append(order, "b0")
+		p.Sleep(15)
+		order = append(order, "b15")
+	})
+	e.Run()
+	want := []string{"a0", "b0", "a10", "b15", "a30"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestGoAt(t *testing.T) {
+	e := NewEngine(1)
+	var started Time = -1
+	e.GoAt(25, "late", func(p *Process) { started = p.Now() })
+	e.Run()
+	if started != 25 {
+		t.Errorf("process started at %d, want 25", started)
+	}
+}
+
+func TestProcessSpawnsProcess(t *testing.T) {
+	e := NewEngine(1)
+	var childTime Time = -1
+	e.Go("parent", func(p *Process) {
+		p.Sleep(5)
+		e.Go("child", func(c *Process) {
+			c.Sleep(7)
+			childTime = c.Now()
+		})
+		p.Sleep(100)
+	})
+	e.Run()
+	if childTime != 12 {
+		t.Errorf("child finished at %d, want 12", childTime)
+	}
+}
+
+func TestProcessDone(t *testing.T) {
+	e := NewEngine(1)
+	p := e.Go("worker", func(p *Process) { p.Sleep(10) })
+	e.RunUntil(5)
+	if p.Done() {
+		t.Error("process done before body returned")
+	}
+	e.Run()
+	if !p.Done() {
+		t.Error("process not done after run")
+	}
+}
+
+func TestProcessNamesUnique(t *testing.T) {
+	e := NewEngine(1)
+	a := e.Go("w", func(p *Process) {})
+	b := e.Go("w", func(p *Process) {})
+	if a.Name() == b.Name() {
+		t.Errorf("duplicate process names: %q, %q", a.Name(), b.Name())
+	}
+}
+
+func TestYieldRunsPendingSameTimeEvents(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Go("y", func(p *Process) {
+		p.Sleep(10)
+		e.Schedule(0, func() { order = append(order, "event") })
+		p.Yield()
+		order = append(order, "process")
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "event" || order[1] != "process" {
+		t.Fatalf("order = %v, want [event process]", order)
+	}
+}
+
+func TestSleepNegativePanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Go("bad", func(p *Process) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative sleep did not panic")
+			}
+		}()
+		p.Sleep(-1)
+	})
+	e.Run()
+}
+
+func TestManyProcessesDeterministic(t *testing.T) {
+	run := func() []string {
+		e := NewEngine(42)
+		var trace []string
+		for i := 0; i < 20; i++ {
+			name := string(rune('a' + i))
+			e.Go(name, func(p *Process) {
+				for j := 0; j < 5; j++ {
+					p.Sleep(Duration(e.Rand().Intn(50)))
+					trace = append(trace, p.Name())
+				}
+			})
+		}
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("trace lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestProcessPanicPropagatesToRun(t *testing.T) {
+	e := NewEngine(1)
+	e.Go("bomb", func(p *Process) {
+		p.Sleep(5)
+		panic("boom")
+	})
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	e.Run()
+	t.Error("Run returned despite process panic")
+}

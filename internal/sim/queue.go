@@ -1,0 +1,86 @@
+package sim
+
+// Queue is a FIFO channel-like queue for simulation processes. A capacity
+// of zero means unbounded. Get blocks while the queue is empty; Put blocks
+// while a bounded queue is full. TryPut never blocks and reports failure on
+// a full queue — that is how lossy hardware rings (NIC FIFOs, switch ports)
+// are modelled.
+type Queue[T any] struct {
+	e        *Engine
+	items    []T
+	capacity int
+	notEmpty *Cond
+	notFull  *Cond
+	dropped  uint64
+}
+
+// NewQueue returns a queue bound to engine e. capacity <= 0 means
+// unbounded.
+func NewQueue[T any](e *Engine, capacity int) *Queue[T] {
+	return &Queue[T]{
+		e:        e,
+		capacity: capacity,
+		notEmpty: NewCond(e),
+		notFull:  NewCond(e),
+	}
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Cap reports the capacity (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.capacity }
+
+// Dropped reports how many TryPut calls failed because the queue was full.
+func (q *Queue[T]) Dropped() uint64 { return q.dropped }
+
+func (q *Queue[T]) full() bool { return q.capacity > 0 && len(q.items) >= q.capacity }
+
+// TryPut appends v if there is room and reports whether it did. On failure
+// the item is counted as dropped.
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.full() {
+		q.dropped++
+		return false
+	}
+	q.items = append(q.items, v)
+	q.notEmpty.Signal()
+	return true
+}
+
+// Put appends v, blocking the calling process while the queue is full.
+func (q *Queue[T]) Put(p *Process, v T) {
+	q.notFull.WaitFor(p, func() bool { return !q.full() })
+	q.items = append(q.items, v)
+	q.notEmpty.Signal()
+}
+
+// TryGet removes and returns the head item without blocking. ok is false if
+// the queue is empty.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	q.notFull.Signal()
+	return v, true
+}
+
+// Get removes and returns the head item, blocking the calling process while
+// the queue is empty.
+func (q *Queue[T]) Get(p *Process) T {
+	q.notEmpty.WaitFor(p, func() bool { return len(q.items) > 0 })
+	v, _ := q.TryGet()
+	return v
+}
+
+// Peek returns the head item without removing it.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	return q.items[0], true
+}

@@ -1,0 +1,50 @@
+package sim
+
+// Rand is a small deterministic pseudo-random source (xorshift64*). The
+// simulation uses it for the few places randomness is modelled at all
+// (e.g. interrupt arbitration jitter), so that a fixed seed reproduces an
+// identical event trace. math/rand would also do, but owning the generator
+// pins the sequence across Go releases.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed (zero is remapped; xorshift
+// has an all-zero fixed point).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next value in the sequence.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Duration returns a uniformly distributed duration in [0, d).
+func (r *Rand) Duration(d Duration) Duration {
+	if d <= 0 {
+		return 0
+	}
+	return Duration(r.Uint64() % uint64(d))
+}

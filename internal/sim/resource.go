@@ -1,0 +1,70 @@
+package sim
+
+// Resource models mutually exclusive hardware or kernel resources — a
+// memory bus, a NIC transmit path, a kernel lock — acquired by processes in
+// FIFO order.
+//
+// Use is a convenience wrapping Acquire / hold for a duration / Release,
+// which is the common pattern for modelling a timed bus transaction.
+type Resource struct {
+	e    *Engine
+	name string
+	held bool
+	free *Cond
+	// Busy time accounting, for utilization reports.
+	busy      Duration
+	lastStart Time
+	acquires  uint64
+	contended uint64
+}
+
+// NewResource returns an idle resource bound to engine e.
+func NewResource(e *Engine, name string) *Resource {
+	return &Resource{e: e, name: name, free: NewCond(e)}
+}
+
+// Name reports the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire blocks the calling process until the resource is free, then
+// takes it.
+func (r *Resource) Acquire(p *Process) {
+	if r.held {
+		r.contended++
+	}
+	r.free.WaitFor(p, func() bool { return !r.held })
+	r.held = true
+	r.acquires++
+	r.lastStart = r.e.now
+}
+
+// Release frees the resource and wakes the longest waiter. Releasing a free
+// resource panics: that is always a model bug.
+func (r *Resource) Release() {
+	if !r.held {
+		panic("sim: release of free resource " + r.name)
+	}
+	r.held = false
+	r.busy += r.e.now.Sub(r.lastStart)
+	r.free.Signal()
+}
+
+// Use acquires the resource, holds it for d of virtual time, then releases
+// it. This is the standard shape of a timed exclusive transaction.
+func (r *Resource) Use(p *Process, d Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// Held reports whether the resource is currently held.
+func (r *Resource) Held() bool { return r.held }
+
+// BusyTime reports the cumulative time the resource has been held.
+func (r *Resource) BusyTime() Duration { return r.busy }
+
+// Acquires reports the total number of acquisitions.
+func (r *Resource) Acquires() uint64 { return r.acquires }
+
+// Contended reports how many acquisitions had to wait.
+func (r *Resource) Contended() uint64 { return r.contended }

@@ -1,0 +1,309 @@
+package sim
+
+import "testing"
+
+func TestCondSignalFIFO(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	var order []string
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		e.Go(name, func(p *Process) {
+			c.Wait(p)
+			order = append(order, name)
+		})
+	}
+	e.Go("signaler", func(p *Process) {
+		p.Sleep(10)
+		c.Signal()
+		p.Sleep(10)
+		c.Signal()
+		p.Sleep(10)
+		c.Signal()
+	})
+	e.Run()
+	want := []string{"first", "second", "third"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	woken := 0
+	for i := 0; i < 5; i++ {
+		e.Go("w", func(p *Process) {
+			c.Wait(p)
+			woken++
+		})
+	}
+	e.Go("b", func(p *Process) {
+		p.Sleep(1)
+		c.Broadcast()
+	})
+	e.Run()
+	if woken != 5 {
+		t.Errorf("woken = %d, want 5", woken)
+	}
+}
+
+func TestCondSignalEmpty(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	if c.Signal() {
+		t.Error("Signal on empty cond reported a wake")
+	}
+}
+
+func TestWaitForNoLostWake(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	ready := false
+	var sawReady bool
+	e.Go("waiter", func(p *Process) {
+		c.WaitFor(p, func() bool { return ready })
+		sawReady = ready
+	})
+	e.Go("setter", func(p *Process) {
+		p.Sleep(5)
+		ready = true
+		c.Broadcast()
+	})
+	e.Run()
+	if !sawReady {
+		t.Error("WaitFor returned before predicate held")
+	}
+}
+
+func TestWaitForAlreadyTrue(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	done := false
+	e.Go("w", func(p *Process) {
+		c.WaitFor(p, func() bool { return true })
+		done = true
+	})
+	e.Run()
+	if !done {
+		t.Error("WaitFor with true predicate blocked forever")
+	}
+}
+
+func TestQueuePutGet(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, 0)
+	var got []int
+	e.Go("consumer", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p))
+		}
+	})
+	e.Go("producer", func(p *Process) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(10)
+			q.Put(p, i)
+		}
+	})
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v, want [1 2 3]", got)
+	}
+}
+
+func TestQueueBoundedBlocksProducer(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, 2)
+	var putTimes []Time
+	e.Go("producer", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			q.Put(p, i)
+			putTimes = append(putTimes, p.Now())
+		}
+	})
+	e.Go("consumer", func(p *Process) {
+		p.Sleep(100)
+		q.Get(p)
+	})
+	e.Run()
+	if putTimes[0] != 0 || putTimes[1] != 0 {
+		t.Errorf("first two puts should not block: %v", putTimes)
+	}
+	if putTimes[2] != 100 {
+		t.Errorf("third put should block until consumer at t=100, got %v", putTimes[2])
+	}
+}
+
+func TestQueueTryPutOverflow(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, 2)
+	if !q.TryPut(1) || !q.TryPut(2) {
+		t.Fatal("TryPut failed with room available")
+	}
+	if q.TryPut(3) {
+		t.Error("TryPut succeeded on full queue")
+	}
+	if q.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", q.Dropped())
+	}
+}
+
+func TestQueueTryGet(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[string](e, 0)
+	if _, ok := q.TryGet(); ok {
+		t.Error("TryGet on empty queue succeeded")
+	}
+	q.TryPut("x")
+	v, ok := q.TryGet()
+	if !ok || v != "x" {
+		t.Errorf("TryGet = %q, %v", v, ok)
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, 0)
+	q.TryPut(7)
+	q.TryPut(8)
+	if v, ok := q.Peek(); !ok || v != 7 {
+		t.Errorf("Peek = %d, %v; want 7, true", v, ok)
+	}
+	if q.Len() != 2 {
+		t.Error("Peek consumed an item")
+	}
+}
+
+func TestResourceMutualExclusion(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "bus")
+	var holders int
+	var maxHolders int
+	for i := 0; i < 4; i++ {
+		e.Go("user", func(p *Process) {
+			r.Acquire(p)
+			holders++
+			if holders > maxHolders {
+				maxHolders = holders
+			}
+			p.Sleep(10)
+			holders--
+			r.Release()
+		})
+	}
+	e.Run()
+	if maxHolders != 1 {
+		t.Errorf("max simultaneous holders = %d, want 1", maxHolders)
+	}
+	if r.Acquires() != 4 {
+		t.Errorf("acquires = %d, want 4", r.Acquires())
+	}
+	if r.Contended() != 3 {
+		t.Errorf("contended = %d, want 3", r.Contended())
+	}
+	if r.BusyTime() != 40 {
+		t.Errorf("busy time = %v, want 40", r.BusyTime())
+	}
+}
+
+func TestResourceUse(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "link")
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		e.Go("u", func(p *Process) {
+			r.Use(p, 10)
+			ends = append(ends, p.Now())
+		})
+	}
+	e.Run()
+	want := []Time{10, 20, 30}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("serialized use ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestResourceReleaseFreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("releasing free resource did not panic")
+		}
+	}()
+	e := NewEngine(1)
+	NewResource(e, "x").Release()
+}
+
+func TestTimerFires(t *testing.T) {
+	e := NewEngine(1)
+	var fired Time = -1
+	tm := NewTimer(e, func() { fired = e.Now() })
+	tm.Reset(50)
+	e.Run()
+	if fired != 50 {
+		t.Errorf("timer fired at %d, want 50", fired)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := NewTimer(e, func() { fired = true })
+	tm.Reset(50)
+	e.Schedule(10, func() { tm.Stop() })
+	e.Run()
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestTimerResetSupersedes(t *testing.T) {
+	e := NewEngine(1)
+	var times []Time
+	tm := NewTimer(e, func() { times = append(times, e.Now()) })
+	tm.Reset(50)
+	e.Schedule(10, func() { tm.Reset(100) }) // now fires at 110
+	e.Run()
+	if len(times) != 1 || times[0] != 110 {
+		t.Errorf("fire times = %v, want [110]", times)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %g out of range", v)
+		}
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced stuck generator")
+	}
+}

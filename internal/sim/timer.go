@@ -1,0 +1,45 @@
+package sim
+
+// Timer is a cancellable, resettable one-shot virtual timer, used for
+// protocol timeouts (e.g. go-back-N retransmission). The callback runs in
+// event context at expiry unless the timer was stopped or reset first.
+type Timer struct {
+	e     *Engine
+	fn    func()
+	gen   uint64 // increments on Stop/Reset; stale expirations check it
+	armed bool
+	at    Time
+}
+
+// NewTimer returns an unarmed timer that will run fn on expiry.
+func NewTimer(e *Engine, fn func()) *Timer {
+	return &Timer{e: e, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d from now, cancelling any previous
+// schedule.
+func (t *Timer) Reset(d Duration) {
+	t.gen++
+	t.armed = true
+	t.at = t.e.now.Add(d)
+	gen := t.gen
+	t.e.At(t.at, PriorityNormal, func() {
+		if t.gen != gen || !t.armed {
+			return // stopped or re-armed since
+		}
+		t.armed = false
+		t.fn()
+	})
+}
+
+// Stop disarms the timer. It is safe to stop an unarmed timer.
+func (t *Timer) Stop() {
+	t.gen++
+	t.armed = false
+}
+
+// Armed reports whether the timer is scheduled to fire.
+func (t *Timer) Armed() bool { return t.armed }
+
+// Deadline reports when an armed timer will fire.
+func (t *Timer) Deadline() Time { return t.at }

@@ -1,0 +1,265 @@
+package smp
+
+import (
+	"testing"
+
+	"pushpull/internal/sim"
+)
+
+func newNode(e *sim.Engine) *Node { return NewNode(e, 0, DefaultConfig()) }
+
+func TestComputeBurnsCycles(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	var done sim.Time
+	n.Spawn("app", 0, func(th *Thread) {
+		th.Compute(100_000) // 100k cycles at 5ns = 500µs
+		done = th.Now()
+	})
+	e.Run()
+	if done != sim.Time(500*sim.Microsecond) {
+		t.Errorf("100k NOPs finished at %v, want 500µs", done)
+	}
+}
+
+func TestHandlerStealsFromComputation(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	var done sim.Time
+	n.Spawn("app", 2, func(th *Thread) {
+		th.Compute(100_000)
+		done = th.Now()
+	})
+	// A handler runs 50µs on CPU 2 midway through the computation.
+	e.GoAt(100*sim.Microsecond, "irq", func(p *sim.Process) {
+		h := &Thread{P: p, Node: n, CPU: n.CPUs[2], handler: true}
+		h.Exec(50 * sim.Microsecond)
+	})
+	e.Run()
+	want := sim.Time(550 * sim.Microsecond)
+	if done != want {
+		t.Errorf("computation with 50µs stolen finished at %v, want %v", done, want)
+	}
+}
+
+func TestNonHandlerDoesNotSteal(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	var done sim.Time
+	n.Spawn("app", 2, func(th *Thread) {
+		th.Compute(100_000)
+		done = th.Now()
+	})
+	e.GoAt(100*sim.Microsecond, "other", func(p *sim.Process) {
+		h := &Thread{P: p, Node: n, CPU: n.CPUs[3]} // different CPU
+		h.Exec(50 * sim.Microsecond)
+	})
+	e.Run()
+	if done != sim.Time(500*sim.Microsecond) {
+		t.Errorf("computation finished at %v, want 500µs (no steal)", done)
+	}
+}
+
+func TestLeastLoadedCPUAvoidsBusy(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	var chosen int = -1
+	n.Spawn("app", 0, func(th *Thread) {
+		th.Compute(1_000_000)
+	})
+	e.GoAt(10*sim.Microsecond, "pick", func(p *sim.Process) {
+		chosen = n.LeastLoadedCPU().ID
+	})
+	e.Run()
+	if chosen == 0 {
+		t.Error("least-loaded selection picked the busy CPU 0")
+	}
+}
+
+func TestLeastLoadedPrefersHighIDsOnTie(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	if got := n.LeastLoadedCPU().ID; got != n.Cfg.NumCPUs-1 {
+		t.Errorf("idle tie broke to CPU %d, want %d", got, n.Cfg.NumCPUs-1)
+	}
+}
+
+func TestSymmetricInterruptPicksIdleCPU(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	n.IRQ.SetPolicy(Symmetric, 0)
+	var handlerCPU = -1
+	n.Spawn("app", 0, func(th *Thread) { th.Compute(1_000_000) })
+	e.GoAt(10*sim.Microsecond, "raise", func(p *sim.Process) {
+		n.IRQ.Raise("rx", func(h *Thread) { handlerCPU = h.CPU.ID })
+	})
+	e.Run()
+	if handlerCPU == 0 {
+		t.Error("symmetric interrupt landed on the loaded CPU")
+	}
+	if handlerCPU == -1 {
+		t.Fatal("handler never ran")
+	}
+}
+
+func TestAsymmetricInterruptPinned(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	n.IRQ.SetPolicy(Asymmetric, 1)
+	cpus := map[int]int{}
+	for i := 0; i < 5; i++ {
+		e.Schedule(sim.Duration(i)*10, func() {
+			n.IRQ.Raise("rx", func(h *Thread) { cpus[h.CPU.ID]++ })
+		})
+	}
+	e.Run()
+	if len(cpus) != 1 || cpus[1] != 5 {
+		t.Errorf("asymmetric delivery spread = %v, want all on CPU 1", cpus)
+	}
+}
+
+func TestInterruptDispatchLatency(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	n.IRQ.SetPolicy(Asymmetric, 0)
+	var start, ran sim.Time
+	e.Schedule(100, func() {
+		start = e.Now()
+		n.IRQ.Raise("rx", func(h *Thread) { ran = h.Now() })
+	})
+	e.Run()
+	want := start.Add(n.Cfg.InterruptDispatch)
+	if ran != want {
+		t.Errorf("handler ran at %v, want %v", ran, want)
+	}
+}
+
+func TestSymmetricCostsMoreThanAsymmetric(t *testing.T) {
+	measure := func(pol Policy) sim.Duration {
+		e := sim.NewEngine(1)
+		n := newNode(e)
+		n.IRQ.SetPolicy(pol, 0)
+		var start, ran sim.Time
+		e.Schedule(100, func() {
+			start = e.Now()
+			n.IRQ.Raise("rx", func(h *Thread) { ran = h.Now() })
+		})
+		e.Run()
+		return ran.Sub(start)
+	}
+	if measure(Symmetric) <= measure(Asymmetric) {
+		t.Error("symmetric arbitration should cost more than fixed delivery")
+	}
+}
+
+func TestPollingQuantizesToTick(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	n.IRQ.SetPolicy(Polling, 0)
+	var ran sim.Time
+	// Raise at 12µs; with a 5µs period the poller notices at 15µs.
+	e.Schedule(12*sim.Microsecond, func() {
+		n.IRQ.Raise("rx", func(h *Thread) { ran = h.Now() })
+	})
+	e.Run()
+	want := sim.Time(15*sim.Microsecond + n.Cfg.PollCheck)
+	if ran != want {
+		t.Errorf("polled handler ran at %v, want %v", ran, want)
+	}
+}
+
+func TestCopyColdPenalty(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	var warm, cold sim.Duration
+	n.Spawn("w", 0, func(th *Thread) {
+		s := th.Now()
+		th.Copy(8192, false)
+		warm = th.Now().Sub(s)
+		s = th.Now()
+		th.Copy(8192, true)
+		cold = th.Now().Sub(s)
+	})
+	e.Run()
+	if cold <= warm {
+		t.Errorf("cold copy %v not slower than warm %v", cold, warm)
+	}
+	ratio := float64(cold) / float64(warm)
+	cfg := DefaultConfig()
+	if ratio < cfg.ColdCachePenalty-0.01 || ratio > cfg.ColdCachePenalty+0.01 {
+		t.Errorf("cold/warm ratio = %.3f, want %.3f", ratio, cfg.ColdCachePenalty)
+	}
+}
+
+func TestSyscallBrackets(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	var inner, total sim.Duration
+	n.Spawn("w", 0, func(th *Thread) {
+		start := th.Now()
+		th.Syscall(func() {
+			s := th.Now()
+			th.Exec(10 * sim.Microsecond)
+			inner = th.Now().Sub(s)
+		})
+		total = th.Now().Sub(start)
+	})
+	e.Run()
+	want := inner + n.Cfg.SyscallEntry + n.Cfg.SyscallExit
+	if total != want {
+		t.Errorf("syscall total = %v, want %v", total, want)
+	}
+}
+
+func TestSignalCost(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	th := &Thread{Node: n, CPU: n.CPUs[0]}
+	if th.SignalCost(n.CPUs[0]) != n.Cfg.SignalLocal {
+		t.Error("same-CPU signal should cost SignalLocal")
+	}
+	if th.SignalCost(n.CPUs[1]) != n.Cfg.SignalRemote {
+		t.Error("cross-CPU signal should cost SignalRemote")
+	}
+}
+
+func TestSpawnAt(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	var started sim.Time = -1
+	n.SpawnAt(40, "late", 1, func(th *Thread) { started = th.Now() })
+	e.Run()
+	if started != 40 {
+		t.Errorf("SpawnAt started at %v, want 40", started)
+	}
+}
+
+func TestBusAccountingThroughThread(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	n.Spawn("w", 0, func(th *Thread) { th.Copy(1<<20, false) })
+	e.Run()
+	if n.Bus.BusyTime() == 0 {
+		t.Error("thread copy did not charge the bus")
+	}
+	if n.CPUs[0].BusyTime() == 0 {
+		t.Error("thread copy did not charge the CPU")
+	}
+}
+
+func TestExecZeroOrNegativeIsFree(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := newNode(e)
+	var end sim.Time
+	n.Spawn("w", 0, func(th *Thread) {
+		th.Exec(0)
+		th.Exec(-5)
+		th.Copy(0, false)
+		th.PIO(-1)
+		end = th.Now()
+	})
+	e.Run()
+	if end != 0 {
+		t.Errorf("no-op operations advanced time to %v", end)
+	}
+}

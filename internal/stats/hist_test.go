@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{0.25, 2},
+		{0.5, 3},
+		{0.75, 4},
+		{1, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 0.5); got != 5 {
+		t.Errorf("median of {0,10} = %g, want 5", got)
+	}
+	if got := Percentile(xs, 0.9); got != 9 {
+		t.Errorf("p90 of {0,10} = %g, want 9", got)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty input did not return NaN")
+	}
+	if got := Percentile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single sample = %g, want 7", got)
+	}
+	// Out-of-range p clamps.
+	if got := Percentile([]float64{1, 2}, -1); got != 1 {
+		t.Errorf("p=-1 = %g, want 1", got)
+	}
+	if got := Percentile([]float64{1, 2}, 2); got != 2 {
+		t.Errorf("p=2 = %g, want 2", got)
+	}
+}
+
+func TestHistogramBinsAndRange(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h := NewHistogram(xs, 3)
+	if h == nil {
+		t.Fatal("nil histogram")
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(xs) || h.Under != 0 || h.Over != 0 {
+		t.Errorf("binned %d of %d (under %d over %d)", total, len(xs), h.Under, h.Over)
+	}
+	lo, hi := h.BinRange(0)
+	if lo != 0 || hi != 3 {
+		t.Errorf("bin 0 range [%g, %g), want [0, 3)", lo, hi)
+	}
+}
+
+func TestHistogramExplicitRangeCountsOutliers(t *testing.T) {
+	xs := []float64{-5, 1, 2, 3, 99}
+	h := NewHistogramRange(xs, 2, 0, 4)
+	if h.Under != 1 || h.Over != 1 {
+		t.Errorf("under %d over %d, want 1 and 1", h.Under, h.Over)
+	}
+	if h.Counts[0]+h.Counts[1] != 3 {
+		t.Errorf("in-range count %d, want 3", h.Counts[0]+h.Counts[1])
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if NewHistogram(nil, 4) != nil {
+		t.Error("empty input did not return nil")
+	}
+	if NewHistogram([]float64{1}, 0) != nil {
+		t.Error("zero bins did not return nil")
+	}
+	// All-equal samples: one bin takes everything, no panic.
+	h := NewHistogram([]float64{2, 2, 2}, 4)
+	if h.Counts[0] != 3 {
+		t.Errorf("all-equal samples: bin 0 = %d, want 3", h.Counts[0])
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogramRange([]float64{1, 1, 1, 9}, 2, 0, 10)
+	out := h.Render(10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "##########") {
+		t.Errorf("fullest bin not full-width: %q", lines[0])
+	}
+	if strings.Count(lines[1], "#") >= strings.Count(lines[0], "#") {
+		t.Error("emptier bin drew a longer bar")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max; the
+// histogram conserves every sample.
+func TestPercentileHistogramProperties(t *testing.T) {
+	f := func(raw []float64, binsRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		prev := math.Inf(-1)
+		for _, p := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+			v := Percentile(xs, p)
+			if v < prev || v < sorted[0] || v > sorted[len(sorted)-1] {
+				return false
+			}
+			prev = v
+		}
+		bins := int(binsRaw)%8 + 1
+		h := NewHistogram(xs, bins)
+		total := h.Under + h.Over
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

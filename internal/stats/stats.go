@@ -1,0 +1,197 @@
+// Package stats implements the paper's measurement methodology: per-test
+// sample collection, the middle-80 % trimmed mean ("the first and last
+// 10 % (in terms of execution time) were neglected; only the middle 80 %
+// of the timings was used to calculate the average"), and small helpers
+// for assembling result series and tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary condenses one measurement's samples.
+type Summary struct {
+	N           int
+	Min, Max    float64
+	Mean        float64
+	TrimmedMean float64 // middle-80% mean, the paper's estimator
+	StdDev      float64
+}
+
+// Summarize computes a Summary over xs using the paper's 10 % trim.
+func Summarize(xs []float64) Summary {
+	return SummarizeTrim(xs, 0.10)
+}
+
+// SummarizeTrim computes a Summary trimming frac of the samples from each
+// end (sorted by value) for the trimmed mean.
+func SummarizeTrim(xs []float64, frac float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.StdDev = math.Sqrt(sq / float64(len(xs)))
+	s.TrimmedMean = TrimmedMean(xs, frac)
+	return s
+}
+
+// TrimmedMean sorts xs, drops frac of the samples at each end, and
+// averages the rest. frac is clamped to [0, 0.5); with too few samples to
+// trim it degrades to the plain mean.
+func TrimmedMean(xs []float64, frac float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac >= 0.5 {
+		frac = 0.49
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	drop := int(float64(len(sorted)) * frac)
+	kept := sorted[drop : len(sorted)-drop]
+	if len(kept) == 0 {
+		kept = sorted
+	}
+	var sum float64
+	for _, x := range kept {
+		sum += x
+	}
+	return sum / float64(len(kept))
+}
+
+// Point is one (x, y) pair of a result series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labelled curve of an experiment (e.g. "push-pull" in
+// Fig. 3).
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Y returns the y value at x, or NaN.
+func (s *Series) Y(x float64) float64 {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y
+		}
+	}
+	return math.NaN()
+}
+
+// Table is a rendered experiment result: one row per x value, one column
+// per series — the shape of the paper's figures.
+type Table struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	Series  []*Series
+	Comment string
+}
+
+// NewTable creates an empty table.
+func NewTable(title, xLabel, yLabel string) *Table {
+	return &Table{Title: title, XLabel: xLabel, YLabel: yLabel}
+}
+
+// AddSeries creates, attaches and returns a new series.
+func (t *Table) AddSeries(label string) *Series {
+	s := &Series{Label: label}
+	t.Series = append(t.Series, s)
+	return s
+}
+
+// xs returns the sorted union of all series' x values.
+func (t *Table) xs() []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				out = append(out, p.X)
+			}
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	if t.Comment != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Comment)
+	}
+	fmt.Fprintf(&b, "%-12s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, " %16s", s.Label)
+	}
+	fmt.Fprintf(&b, "   (%s)\n", t.YLabel)
+	for _, x := range t.xs() {
+		fmt.Fprintf(&b, "%-12g", x)
+		for _, s := range t.Series {
+			y := s.Y(x)
+			if math.IsNaN(y) {
+				fmt.Fprintf(&b, " %16s", "-")
+			} else {
+				fmt.Fprintf(&b, " %16.2f", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, s := range t.Series {
+		b.WriteByte(',')
+		b.WriteString(s.Label)
+	}
+	b.WriteByte('\n')
+	for _, x := range t.xs() {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range t.Series {
+			y := s.Y(x)
+			if math.IsNaN(y) {
+				b.WriteString(",")
+			} else {
+				fmt.Fprintf(&b, ",%.3f", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

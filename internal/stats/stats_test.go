@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrimmedMeanDropsOutliers(t *testing.T) {
+	// 10 samples: trim 10% from each end -> drop the 1 and the 1000.
+	xs := []float64{1, 5, 5, 5, 5, 5, 5, 5, 5, 1000}
+	if got := TrimmedMean(xs, 0.10); got != 5 {
+		t.Errorf("trimmed mean = %g, want 5", got)
+	}
+}
+
+func TestTrimmedMeanPlainWhenNoTrimPossible(t *testing.T) {
+	xs := []float64{2, 4}
+	if got := TrimmedMean(xs, 0.10); got != 3 {
+		t.Errorf("mean of 2 samples = %g, want 3", got)
+	}
+}
+
+func TestTrimmedMeanEmpty(t *testing.T) {
+	if TrimmedMean(nil, 0.1) != 0 {
+		t.Error("empty input should give 0")
+	}
+}
+
+func TestTrimmedMeanBetweenMinAndMax(t *testing.T) {
+	property := func(raw []float64, fracRaw uint8) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		frac := float64(fracRaw%50) / 100
+		m := TrimmedMean(xs, frac)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return m >= sorted[0]-1e-9 && m <= sorted[len(sorted)-1]+1e-9
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrimmedMeanInvariantUnderPermutation(t *testing.T) {
+	a := []float64{9, 1, 7, 3, 5, 2, 8, 4, 6, 10}
+	b := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if TrimmedMean(a, 0.1) != TrimmedMean(b, 0.1) {
+		t.Error("trimmed mean depends on sample order")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.StdDev <= 0 {
+		t.Error("stddev should be positive")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary N = %d", s.N)
+	}
+}
+
+func TestSeriesY(t *testing.T) {
+	var s Series
+	s.Add(10, 1.5)
+	s.Add(20, 2.5)
+	if s.Y(20) != 2.5 {
+		t.Error("Y lookup failed")
+	}
+	if !math.IsNaN(s.Y(30)) {
+		t.Error("missing x should be NaN")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Fig X", "size", "latency (us)")
+	a := tab.AddSeries("push-pull")
+	b := tab.AddSeries("push-all")
+	a.Add(10, 7.5)
+	a.Add(1000, 15.0)
+	b.Add(10, 7.5)
+	out := tab.Render()
+	if !strings.Contains(out, "push-pull") || !strings.Contains(out, "push-all") {
+		t.Errorf("render missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "7.50") {
+		t.Errorf("render missing values:\n%s", out)
+	}
+	// push-all has no point at 1000: rendered as "-"
+	if !strings.Contains(out, "-") {
+		t.Errorf("render missing placeholder:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("t", "x", "y")
+	s := tab.AddSeries("s1")
+	s.Add(1, 2)
+	csv := tab.CSV()
+	want := "x,s1\n1,2.000\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestTableXsSortedUnion(t *testing.T) {
+	tab := NewTable("t", "x", "y")
+	a := tab.AddSeries("a")
+	b := tab.AddSeries("b")
+	a.Add(30, 1)
+	a.Add(10, 1)
+	b.Add(20, 1)
+	lines := strings.Split(strings.TrimSpace(tab.Render()), "\n")
+	rows := lines[2:] // skip title + header
+	if len(rows) != 3 || !strings.HasPrefix(rows[0], "10") || !strings.HasPrefix(rows[1], "20") || !strings.HasPrefix(rows[2], "30") {
+		t.Errorf("rows not sorted union:\n%s", tab.Render())
+	}
+}

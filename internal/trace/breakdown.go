@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"pushpull/internal/sim"
+)
+
+// Phase is one span of a messaging event's critical path.
+type Phase struct {
+	Name     string
+	From, To sim.Time
+}
+
+// Duration reports the phase's span.
+func (p Phase) Duration() sim.Duration { return p.To.Sub(p.From) }
+
+// Breakdown reconstructs the protocol phases of a single messaging event
+// from its trace — the paper's Figure 2, measured instead of drawn. It
+// expects the events of exactly one message (the shape cmd/pushpull-trace
+// produces); with several interleaved messages the result describes the
+// first.
+//
+// The phases, all in global virtual time:
+//
+//	push     — send registration until the last pushed fragment was
+//	           handed to the wire
+//	wait-ack — idle gap until the receiver's acknowledgement/pull
+//	           request was transmitted (hidden when Push-and-Acknowledge
+//	           Overlapping works: the gap is small or negative and is
+//	           reported as zero)
+//	grant    — pull request flight and service at the send party
+//	pull     — pull data transfer until the message completed
+//
+// A fully pushed message (no pull phase) collapses to push plus a final
+// "deliver" phase ending at completion.
+func Breakdown(evs []Event) []Phase {
+	var send, lastPush, req, grant, complete sim.Time
+	var haveSend, havePush, haveReq, haveGrant, haveComplete bool
+	for _, ev := range evs {
+		switch ev.Kind {
+		case KindSend:
+			if !haveSend {
+				send, haveSend = ev.T, true
+			}
+		case KindPush:
+			lastPush, havePush = ev.T, true
+		case KindPullReq:
+			if !haveReq {
+				req, haveReq = ev.T, true
+			}
+		case KindPullGrant:
+			if !haveGrant {
+				grant, haveGrant = ev.T, true
+			}
+		case KindComplete:
+			if !haveComplete {
+				complete, haveComplete = ev.T, true
+			}
+		}
+	}
+	if !haveSend {
+		return nil
+	}
+	var phases []Phase
+	cursor := send
+	if havePush {
+		phases = append(phases, Phase{"push", cursor, lastPush})
+		cursor = lastPush
+	}
+	if !haveReq {
+		// Fully pushed: everything after the push is delivery.
+		if haveComplete && complete > cursor {
+			phases = append(phases, Phase{"deliver", cursor, complete})
+		}
+		return phases
+	}
+	ackEnd := req
+	if ackEnd < cursor {
+		ackEnd = cursor // overlapped ack: the wait is fully hidden
+	}
+	phases = append(phases, Phase{"wait-ack", cursor, ackEnd})
+	cursor = ackEnd
+	if haveGrant {
+		g := grant
+		if g < cursor {
+			g = cursor
+		}
+		phases = append(phases, Phase{"grant", cursor, g})
+		cursor = g
+	}
+	if haveComplete && complete > cursor {
+		phases = append(phases, Phase{"pull", cursor, complete})
+	}
+	return phases
+}
+
+// RenderBreakdown formats phases as an aligned table with durations and
+// critical-path percentages.
+func RenderBreakdown(phases []Phase) string {
+	if len(phases) == 0 {
+		return "(no phases: trace contained no send event)\n"
+	}
+	total := phases[len(phases)-1].To.Sub(phases[0].From)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %14s %14s %12s %7s\n", "phase", "from", "to", "duration", "share")
+	for _, p := range phases {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(p.Duration()) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-10s %14v %14v %12v %6.1f%%\n", p.Name, p.From, p.To, p.Duration(), share)
+	}
+	fmt.Fprintf(&b, "%-10s %14s %14s %12v %6.1f%%\n", "total", "", "", total, 100.0)
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"pushpull/internal/sim"
+)
+
+func us(n int64) sim.Time { return sim.Time(n * int64(sim.Microsecond)) }
+
+func TestBreakdownFullProtocol(t *testing.T) {
+	evs := []Event{
+		{T: us(0), Kind: KindSend},
+		{T: us(2), Kind: KindPush},
+		{T: us(10), Kind: KindPush},
+		{T: us(40), Kind: KindPullReq},
+		{T: us(55), Kind: KindPullGrant},
+		{T: us(120), Kind: KindComplete},
+	}
+	phases := Breakdown(evs)
+	want := []struct {
+		name     string
+		from, to sim.Time
+	}{
+		{"push", us(0), us(10)},
+		{"wait-ack", us(10), us(40)},
+		{"grant", us(40), us(55)},
+		{"pull", us(55), us(120)},
+	}
+	if len(phases) != len(want) {
+		t.Fatalf("%d phases, want %d: %+v", len(phases), len(want), phases)
+	}
+	for i, w := range want {
+		p := phases[i]
+		if p.Name != w.name || p.From != w.from || p.To != w.to {
+			t.Errorf("phase %d = %+v, want %+v", i, p, w)
+		}
+	}
+}
+
+func TestBreakdownFullyPushed(t *testing.T) {
+	evs := []Event{
+		{T: us(0), Kind: KindSend},
+		{T: us(5), Kind: KindPush},
+		{T: us(50), Kind: KindComplete},
+	}
+	phases := Breakdown(evs)
+	if len(phases) != 2 || phases[0].Name != "push" || phases[1].Name != "deliver" {
+		t.Fatalf("phases = %+v", phases)
+	}
+	if phases[1].To != us(50) {
+		t.Errorf("deliver ends at %v, want 50µs", phases[1].To)
+	}
+}
+
+func TestBreakdownOverlappedAckIsHidden(t *testing.T) {
+	// Push-and-Acknowledge Overlapping: the pull request arrives before
+	// the second pushed fragment is handed over — wait-ack must be zero,
+	// never negative.
+	evs := []Event{
+		{T: us(0), Kind: KindSend},
+		{T: us(30), Kind: KindPullReq},
+		{T: us(35), Kind: KindPush}, // second fragment after the req
+		{T: us(36), Kind: KindPullGrant},
+		{T: us(90), Kind: KindComplete},
+	}
+	phases := Breakdown(evs)
+	for _, p := range phases {
+		if p.Duration() < 0 {
+			t.Errorf("negative phase %+v", p)
+		}
+		if p.Name == "wait-ack" && p.Duration() != 0 {
+			t.Errorf("overlapped ack not hidden: %+v", p)
+		}
+	}
+}
+
+func TestBreakdownNoSend(t *testing.T) {
+	if got := Breakdown([]Event{{T: us(1), Kind: KindPush}}); got != nil {
+		t.Errorf("breakdown without send = %+v, want nil", got)
+	}
+}
+
+func TestRenderBreakdown(t *testing.T) {
+	out := RenderBreakdown(Breakdown([]Event{
+		{T: us(0), Kind: KindSend},
+		{T: us(10), Kind: KindPush},
+		{T: us(40), Kind: KindPullReq},
+		{T: us(50), Kind: KindPullGrant},
+		{T: us(100), Kind: KindComplete},
+	}))
+	for _, want := range []string{"push", "wait-ack", "grant", "pull", "total", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if RenderBreakdown(nil) == "" {
+		t.Error("empty breakdown rendered nothing")
+	}
+}

@@ -1,0 +1,286 @@
+// Package trace records structured protocol events from a simulation run.
+//
+// The messaging stack, the NIC model and the reliability layer publish
+// typed events (push transmitted, fragment parked, pull granted, frame
+// dropped, ...) into a Recorder. The recorder keeps a bounded ring of the
+// most recent events plus complete per-kind counters, and renders either a
+// flat timeline or a per-node columnar view. cmd/pushpull-trace uses it to
+// show a messaging event's anatomy; tests use the counters to assert which
+// protocol paths a scenario exercised.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pushpull/internal/sim"
+)
+
+// Kind classifies one protocol event. Kinds are open-ended strings so
+// substrate packages can add their own without a central registry, but the
+// messaging stack sticks to the constants below.
+type Kind string
+
+// Event kinds emitted by the Push-Pull stack.
+const (
+	// KindSend marks a send operation entering the send queue.
+	KindSend Kind = "send"
+	// KindPush marks a pushed fragment (or bare announcement) handed to
+	// the wire during the push phase.
+	KindPush Kind = "push"
+	// KindDirect marks a fragment copied straight into the destination
+	// buffer through the registered zero buffer (one copy).
+	KindDirect Kind = "direct"
+	// KindPark marks a fragment staged in the pushed buffer because no
+	// receive operation was registered yet (second copy to come).
+	KindPark Kind = "park"
+	// KindDiscard marks a pushed fragment dropped for lack of pushed-
+	// buffer space that the pull request will re-fetch.
+	KindDiscard Kind = "discard"
+	// KindRefuse marks a fully eager fragment refused for lack of pushed-
+	// buffer space; go-back-N retransmission recovers it (the Fig. 6
+	// Push-All collapse).
+	KindRefuse Kind = "refuse"
+	// KindPullReq marks the receive side's acknowledgement-cum-pull-
+	// request leaving for the sender.
+	KindPullReq Kind = "pull-req"
+	// KindPullGrant marks the send side serving a pull request from the
+	// send queue.
+	KindPullGrant Kind = "pull-grant"
+	// KindPullDispatch marks the intranode pull phase being handed to a
+	// kernel thread on a chosen CPU.
+	KindPullDispatch Kind = "pull-dispatch"
+	// KindComplete marks a message fully received.
+	KindComplete Kind = "complete"
+	// KindError marks protocol-visible errors (unknown peers, oversized
+	// messages).
+	KindError Kind = "error"
+)
+
+// Event kinds emitted by the NIC model.
+const (
+	// KindNICTx marks a frame fully serialized onto the wire.
+	KindNICTx Kind = "nic-tx"
+	// KindNICRx marks a frame delivered to the protocol handler.
+	KindNICRx Kind = "nic-rx"
+	// KindNICDrop marks a frame lost to incoming-ring overflow.
+	KindNICDrop Kind = "nic-drop"
+)
+
+// Event kinds emitted by the go-back-N layer.
+const (
+	// KindRTO marks a retransmission timeout firing.
+	KindRTO Kind = "rto"
+	// KindRetransmit marks one packet retransmission.
+	KindRetransmit Kind = "retransmit"
+)
+
+// Event is one recorded protocol event.
+type Event struct {
+	// T is the virtual time the event was recorded.
+	T sim.Time
+	// Node is the node the event happened on (-1 when not node-bound).
+	Node int
+	// Kind classifies the event.
+	Kind Kind
+	// Text is the human-readable description.
+	Text string
+	// Seq is the recorder-assigned sequence number (total order of
+	// recording, stable across ring eviction).
+	Seq uint64
+}
+
+func (ev Event) String() string {
+	return fmt.Sprintf("%v n%d %-13s %s", ev.T, ev.Node, ev.Kind, ev.Text)
+}
+
+// Recorder collects events. It keeps at most max events (the oldest are
+// evicted first) but counts every event ever recorded per kind, so
+// counters remain exact even after eviction. The zero value is not usable;
+// create recorders with NewRecorder.
+//
+// A nil *Recorder is safe to record into (the calls are no-ops), so model
+// code can publish events unconditionally.
+type Recorder struct {
+	max     int
+	evs     []Event
+	start   int // ring head
+	seq     uint64
+	evicted uint64
+	counts  map[Kind]uint64
+}
+
+// NewRecorder returns an empty recorder keeping at most max events.
+// max <= 0 means unbounded.
+func NewRecorder(max int) *Recorder {
+	return &Recorder{max: max, counts: make(map[Kind]uint64)}
+}
+
+// Record appends one event. Recording into a nil recorder is a no-op.
+func (r *Recorder) Record(t sim.Time, node int, kind Kind, text string) {
+	if r == nil {
+		return
+	}
+	ev := Event{T: t, Node: node, Kind: kind, Text: text, Seq: r.seq}
+	r.seq++
+	r.counts[kind]++
+	if r.max > 0 && len(r.evs) == r.max {
+		// Evict the oldest by rotating the ring start.
+		r.evs[r.start] = ev
+		r.start = (r.start + 1) % r.max
+		r.evicted++
+		return
+	}
+	r.evs = append(r.evs, ev)
+}
+
+// Recordf is Record with fmt.Sprintf formatting.
+func (r *Recorder) Recordf(t sim.Time, node int, kind Kind, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Record(t, node, kind, fmt.Sprintf(format, args...))
+}
+
+// Len reports the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.evs)
+}
+
+// Total reports the number of events ever recorded (including evicted).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq
+}
+
+// Evicted reports how many events the ring dropped.
+func (r *Recorder) Evicted() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.evicted
+}
+
+// Count reports how many events of the given kind were ever recorded.
+func (r *Recorder) Count(kind Kind) uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.counts[kind]
+}
+
+// Events returns the retained events oldest-first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.evs))
+	for i := 0; i < len(r.evs); i++ {
+		out = append(out, r.evs[(r.start+i)%len(r.evs)])
+	}
+	return out
+}
+
+// Filter returns the retained events for which pred is true, oldest-first.
+func (r *Recorder) Filter(pred func(Event) bool) []Event {
+	var out []Event
+	for _, ev := range r.Events() {
+		if pred(ev) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// OfKind returns the retained events of one kind, oldest-first.
+func (r *Recorder) OfKind(kind Kind) []Event {
+	return r.Filter(func(ev Event) bool { return ev.Kind == kind })
+}
+
+// Between returns the retained events with from <= T < to, oldest-first.
+func (r *Recorder) Between(from, to sim.Time) []Event {
+	return r.Filter(func(ev Event) bool { return ev.T >= from && ev.T < to })
+}
+
+// Kinds returns every kind ever recorded, sorted, for stable reports.
+func (r *Recorder) Kinds() []Kind {
+	if r == nil {
+		return nil
+	}
+	kinds := make([]Kind, 0, len(r.counts))
+	for k := range r.counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}
+
+// Summary renders one line per kind with its total count, sorted by kind.
+func (r *Recorder) Summary() string {
+	var b strings.Builder
+	for _, k := range r.Kinds() {
+		fmt.Fprintf(&b, "%-13s %d\n", k, r.counts[k])
+	}
+	return b.String()
+}
+
+// Render writes the retained events as a flat timeline, one per line.
+func (r *Recorder) Render(w io.Writer) error {
+	for _, ev := range r.Events() {
+		if _, err := fmt.Fprintln(w, ev.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderColumns writes the retained events with one column per node, so
+// concurrent activity on different machines reads side by side. Events
+// with Node < 0 span the gutter. width is the column width (0 picks 44).
+func (r *Recorder) RenderColumns(w io.Writer, width int) error {
+	if width <= 0 {
+		width = 44
+	}
+	nodes := r.nodeIDs()
+	col := make(map[int]int, len(nodes))
+	for i, n := range nodes {
+		col[n] = i
+	}
+	for _, ev := range r.Events() {
+		text := fmt.Sprintf("%v %s %s", ev.T, ev.Kind, ev.Text)
+		var line strings.Builder
+		if ev.Node < 0 {
+			line.WriteString(text)
+		} else {
+			line.WriteString(strings.Repeat(" ", col[ev.Node]*width))
+			line.WriteString(text)
+		}
+		if _, err := fmt.Fprintln(w, line.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nodeIDs lists the distinct non-negative node ids seen, sorted.
+func (r *Recorder) nodeIDs() []int {
+	seen := map[int]bool{}
+	for _, ev := range r.Events() {
+		if ev.Node >= 0 {
+			seen[ev.Node] = true
+		}
+	}
+	ids := make([]int, 0, len(seen))
+	for n := range seen {
+		ids = append(ids, n)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pushpull/internal/sim"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(10, 0, KindSend, "a")
+	r.Record(20, 1, KindPush, "b")
+	r.Recordf(30, 0, KindComplete, "got %d", 42)
+
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("Len = %d, want 3", len(evs))
+	}
+	if evs[0].Kind != KindSend || evs[1].Kind != KindPush || evs[2].Kind != KindComplete {
+		t.Errorf("kinds out of order: %v %v %v", evs[0].Kind, evs[1].Kind, evs[2].Kind)
+	}
+	if evs[2].Text != "got 42" {
+		t.Errorf("Recordf text = %q", evs[2].Text)
+	}
+	if evs[0].Seq != 0 || evs[1].Seq != 1 || evs[2].Seq != 2 {
+		t.Errorf("sequence numbers %d %d %d", evs[0].Seq, evs[1].Seq, evs[2].Seq)
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Record(1, 0, KindSend, "x") // must not panic
+	r.Recordf(2, 0, KindPush, "y %d", 1)
+	if r.Len() != 0 || r.Total() != 0 || r.Count(KindSend) != 0 {
+		t.Error("nil recorder reported non-zero state")
+	}
+	if r.Events() != nil || r.Kinds() != nil {
+		t.Error("nil recorder returned events")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 7; i++ {
+		r.Record(sim.Time(i), 0, KindPush, "")
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Total() != 7 || r.Evicted() != 4 {
+		t.Errorf("Total = %d Evicted = %d, want 7 and 4", r.Total(), r.Evicted())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if want := sim.Time(4 + i); ev.T != want {
+			t.Errorf("event %d at %v, want %v (oldest must be evicted first)", i, ev.T, want)
+		}
+	}
+	// Counters survive eviction.
+	if r.Count(KindPush) != 7 {
+		t.Errorf("Count = %d, want 7", r.Count(KindPush))
+	}
+}
+
+func TestFilterOfKindBetween(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(10, 0, KindSend, "s")
+	r.Record(20, 1, KindPush, "p1")
+	r.Record(30, 1, KindPush, "p2")
+	r.Record(40, 0, KindComplete, "c")
+
+	if got := len(r.OfKind(KindPush)); got != 2 {
+		t.Errorf("OfKind(push) = %d, want 2", got)
+	}
+	if got := len(r.Between(20, 40)); got != 2 {
+		t.Errorf("Between(20,40) = %d events, want 2 (half-open)", got)
+	}
+	node1 := r.Filter(func(ev Event) bool { return ev.Node == 1 })
+	if len(node1) != 2 {
+		t.Errorf("Filter(node 1) = %d, want 2", len(node1))
+	}
+}
+
+func TestKindsSortedAndSummary(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(1, 0, KindPush, "")
+	r.Record(2, 0, KindComplete, "")
+	r.Record(3, 0, KindPush, "")
+
+	kinds := r.Kinds()
+	if len(kinds) != 2 || kinds[0] != KindComplete || kinds[1] != KindPush {
+		t.Errorf("Kinds = %v, want sorted [complete push]", kinds)
+	}
+	sum := r.Summary()
+	if !strings.Contains(sum, "push") || !strings.Contains(sum, "2") {
+		t.Errorf("Summary missing push count: %q", sum)
+	}
+}
+
+func TestRenderFlatContainsEverything(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(10, 0, KindSend, "hello")
+	r.Record(20, 1, KindComplete, "world")
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "hello") || !strings.Contains(out, "world") {
+		t.Errorf("Render output missing events:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Errorf("Render produced %d lines, want 2", lines)
+	}
+}
+
+func TestRenderColumnsIndentsByNode(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(10, 0, KindSend, "left")
+	r.Record(20, 5, KindComplete, "right")
+	r.Record(30, -1, KindError, "gutter")
+	var b strings.Builder
+	if err := r.RenderColumns(&b, 20); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	if strings.HasPrefix(lines[0], " ") {
+		t.Errorf("node 0 event indented: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], strings.Repeat(" ", 20)) {
+		t.Errorf("second node's column not indented: %q", lines[1])
+	}
+	if strings.HasPrefix(lines[2], " ") {
+		t.Errorf("gutter event indented: %q", lines[2])
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{T: sim.Time(1500), Node: 2, Kind: KindPullReq, Text: "x"}
+	s := ev.String()
+	if !strings.Contains(s, "n2") || !strings.Contains(s, "pull-req") {
+		t.Errorf("Event.String = %q", s)
+	}
+}
+
+// Property: for any record sequence, Total == sum of per-kind counts, and
+// retained events are a suffix of the recorded sequence in order.
+func TestRecorderCountInvariant(t *testing.T) {
+	kinds := []Kind{KindSend, KindPush, KindPark, KindComplete}
+	f := func(choices []uint8, max uint8) bool {
+		r := NewRecorder(int(max % 16))
+		for i, c := range choices {
+			r.Record(sim.Time(i), int(c)%3, kinds[int(c)%len(kinds)], "")
+		}
+		var sum uint64
+		for _, k := range r.Kinds() {
+			sum += r.Count(k)
+		}
+		if sum != uint64(len(choices)) || r.Total() != uint64(len(choices)) {
+			return false
+		}
+		evs := r.Events()
+		// Events are in recording order and are the most recent ones.
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Seq != evs[i-1].Seq+1 {
+				return false
+			}
+		}
+		return len(evs) == 0 || evs[len(evs)-1].Seq == uint64(len(choices))-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

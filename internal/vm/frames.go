@@ -1,0 +1,71 @@
+package vm
+
+import "fmt"
+
+// FrameAllocator hands out physical page frames for one node. Frames are
+// deliberately handed out in an interleaved order (low half / high half
+// alternating), so virtually contiguous buffers are physically scattered —
+// the common state of a machine whose page pool has been churned. This is
+// what makes zero buffers genuinely multi-segment.
+type FrameAllocator struct {
+	totalFrames uint64
+	free        []uint64 // frame numbers, pop from end
+	allocated   map[uint64]bool
+}
+
+// NewFrameAllocator manages a physical memory of size bytes (rounded down
+// to whole frames).
+func NewFrameAllocator(size uint64) *FrameAllocator {
+	n := size >> PageShift
+	f := &FrameAllocator{
+		totalFrames: n,
+		allocated:   make(map[uint64]bool),
+	}
+	// Interleave: 0, n/2, 1, n/2+1, ... reversed so pops come off the end
+	// in that order.
+	half := n / 2
+	order := make([]uint64, 0, n)
+	for i := uint64(0); i < half; i++ {
+		order = append(order, i, half+i)
+	}
+	for i := 2 * half; i < n; i++ {
+		order = append(order, i)
+	}
+	// reverse into the free stack
+	f.free = make([]uint64, n)
+	for i, fr := range order {
+		f.free[int(n)-1-i] = fr
+	}
+	return f
+}
+
+// TotalFrames reports the number of managed frames.
+func (f *FrameAllocator) TotalFrames() uint64 { return f.totalFrames }
+
+// FreeFrames reports the number of unallocated frames.
+func (f *FrameAllocator) FreeFrames() uint64 { return uint64(len(f.free)) }
+
+// Alloc returns a free frame number. It panics when physical memory is
+// exhausted: the simulated workloads are sized to fit, so exhaustion is a
+// configuration bug.
+func (f *FrameAllocator) Alloc() uint64 {
+	if len(f.free) == 0 {
+		panic("vm: out of physical frames")
+	}
+	fr := f.free[len(f.free)-1]
+	f.free = f.free[:len(f.free)-1]
+	f.allocated[fr] = true
+	return fr
+}
+
+// Free returns a frame to the pool.
+func (f *FrameAllocator) Free(frame uint64) {
+	if !f.allocated[frame] {
+		panic(fmt.Sprintf("vm: freeing unallocated frame %d", frame))
+	}
+	delete(f.allocated, frame)
+	f.free = append(f.free, frame)
+}
+
+// Allocated reports whether a frame is currently allocated.
+func (f *FrameAllocator) Allocated(frame uint64) bool { return f.allocated[frame] }
