@@ -1,0 +1,39 @@
+GO ?= go
+
+# ci is the documented tier-1 gate: vet, build, the full test suite
+# under the race detector, and one iteration of every benchmark (so the
+# benchmark-only files at the repo root are compiled AND executed).
+.PHONY: ci
+ci: vet build race bench
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race ./...
+
+# bench runs every benchmark exactly once: a smoke pass, not a
+# measurement (use `go test -bench . -benchtime 10x .` for numbers).
+.PHONY: bench
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# fuzz gives the go-back-N delivery property a short fuzzing budget.
+.PHONY: fuzz
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzGoBackNDelivery -fuzztime 30s ./internal/gbn/
+
+# scenarios regenerates the builtin scenario results as JSON.
+.PHONY: scenarios
+scenarios:
+	$(GO) run ./cmd/pushpull-scen run -out scenarios.json $$($(GO) run ./cmd/pushpull-scen list | awk '{print $$1}')

@@ -1,0 +1,3 @@
+module pushpull
+
+go 1.21

@@ -4,17 +4,18 @@
 // bandwidth formula with the 4-byte-acknowledgement correction, the
 // barrier-synchronized compute-then-communicate early/late receiver
 // tests, and middle-80 % trimmed means over repeated iterations.
+//
+// The measurement bodies themselves live in internal/scenario as
+// declarative traffic patterns; bench contributes the paper's workload
+// sweeps (which sizes, which option combinations, which derived
+// quantities) on top of that engine.
 package bench
 
 import (
-	"fmt"
-
 	"pushpull/internal/cluster"
-	"pushpull/internal/pushpull"
+	"pushpull/internal/scenario"
 	"pushpull/internal/sim"
-	"pushpull/internal/smp"
 	"pushpull/internal/stats"
-	"pushpull/internal/vm"
 )
 
 // Workload identifies one measurement configuration.
@@ -31,40 +32,21 @@ type Workload struct {
 	Iters int
 }
 
-// endpoints returns the two communicating endpoints for w, building the
-// cluster.
-func (w Workload) build() (*cluster.Cluster, *pushpull.Endpoint, *pushpull.Endpoint) {
+// run executes one traffic pattern on the workload's cluster through
+// the scenario engine and returns the raw latency samples.
+func (w Workload) run(traffic scenario.Traffic) []float64 {
 	cfg := w.Cluster
 	if w.Intra {
 		cfg.Nodes = 1
 		cfg.ProcsPerNode = 2
 	}
-	c := cluster.New(cfg)
-	a := c.Endpoint(0, 0)
-	var b *pushpull.Endpoint
-	if w.Intra {
-		b = c.Endpoint(0, 1)
-	} else {
-		b = c.Endpoint(1, 0)
+	traffic.Size = w.Size
+	if traffic.Messages == 0 {
+		traffic.Messages = w.Iters
 	}
-	return c, a, b
-}
-
-// barrier performs the paper's barrier: a simple 4-byte ping-pong.
-func barrier(t *smp.Thread, self, peer *pushpull.Endpoint,
-	src, dst vm.VirtAddr, initiator bool) error {
-	tiny := []byte{1, 2, 3, 4}
-	if initiator {
-		if err := self.Send(t, peer.ID, src, tiny); err != nil {
-			return err
-		}
-		_, err := self.Recv(t, peer.ID, dst, 4)
-		return err
-	}
-	if _, err := self.Recv(t, peer.ID, dst, 4); err != nil {
-		return err
-	}
-	return self.Send(t, peer.ID, src, tiny)
+	res, err := scenario.RunConfig(cfg, scenario.Spec{Traffic: traffic}, scenario.KeepSamples())
+	must(err)
+	return res.Samples
 }
 
 // SingleTrip measures the paper's single-trip latency: half the ping-pong
@@ -77,40 +59,7 @@ func SingleTrip(w Workload) stats.Summary {
 // in microseconds — for distribution analyses (percentiles, histograms)
 // that the paper's trimmed mean would hide.
 func SingleTripSamples(w Workload) []float64 {
-	c, a, b := w.build()
-	n := w.Size
-	msg := make([]byte, n)
-	for i := range msg {
-		msg[i] = byte(i)
-	}
-	aSrc, aDst := a.Alloc(max(n, 4)), a.Alloc(max(n, 4))
-	bSrc, bDst := b.Alloc(max(n, 4)), b.Alloc(max(n, 4))
-	samples := make([]float64, 0, w.Iters)
-
-	c.Nodes[a.ID.Node].Spawn("ping", a.CPU, func(t *smp.Thread) {
-		must(barrier(t, a, b, aSrc, aDst, true))
-		for i := 0; i < w.Iters; i++ {
-			start := t.Now()
-			must(a.Send(t, b.ID, aSrc, msg))
-			_, err := a.Recv(t, b.ID, aDst, n)
-			must(err)
-			rt := t.Now().Sub(start)
-			samples = append(samples, rt.Microseconds()/2)
-		}
-	})
-	c.Nodes[b.ID.Node].Spawn("pong", b.CPU, func(t *smp.Thread) {
-		must(barrier(t, b, a, bSrc, bDst, false))
-		for i := 0; i < w.Iters; i++ {
-			_, err := b.Recv(t, a.ID, bDst, n)
-			must(err)
-			must(b.Send(t, a.ID, bSrc, msg))
-		}
-	})
-	c.Run()
-	if len(samples) != w.Iters {
-		panic(fmt.Sprintf("bench: ping-pong finished %d of %d iterations (deadlock?)", len(samples), w.Iters))
-	}
-	return samples
+	return w.run(scenario.Traffic{Pattern: "pingpong"})
 }
 
 // Bandwidth measures the paper's bandwidth: the time to send Size bytes
@@ -121,38 +70,12 @@ func Bandwidth(w Workload) float64 {
 	small.Size = 4
 	base := SingleTrip(small).TrimmedMean // µs per 4-byte single trip
 
-	c, a, b := w.build()
-	n := w.Size
-	msg := make([]byte, n)
-	ackBuf := []byte{1, 2, 3, 4}
-	aSrc, aDst := a.Alloc(n), a.Alloc(4)
-	bSrc, bDst := b.Alloc(4), b.Alloc(n)
-	samples := make([]float64, 0, w.Iters)
-
-	c.Nodes[a.ID.Node].Spawn("src", a.CPU, func(t *smp.Thread) {
-		must(barrier(t, a, b, aSrc, aDst, true))
-		for i := 0; i < w.Iters; i++ {
-			start := t.Now()
-			must(a.Send(t, b.ID, aSrc, msg))
-			_, err := a.Recv(t, b.ID, aDst, 4)
-			must(err)
-			samples = append(samples, t.Now().Sub(start).Microseconds())
-		}
-	})
-	c.Nodes[b.ID.Node].Spawn("sink", b.CPU, func(t *smp.Thread) {
-		must(barrier(t, b, a, bSrc, bDst, false))
-		for i := 0; i < w.Iters; i++ {
-			_, err := b.Recv(t, a.ID, bDst, n)
-			must(err)
-			must(b.Send(t, a.ID, bSrc, ackBuf))
-		}
-	})
-	c.Run()
+	samples := w.run(scenario.Traffic{Pattern: "bandwidth"})
 	per := stats.TrimmedMean(samples, 0.10) - base
 	if per <= 0 {
 		return 0
 	}
-	return float64(n) / per // bytes/µs == MB/s
+	return float64(w.Size) / per // bytes/µs == MB/s
 }
 
 // EarlyLate runs the paper's redesigned ping-pong (Fig. 5): both sides
@@ -163,73 +86,26 @@ func Bandwidth(w Workload) float64 {
 // Paper parameters: early receiver x=500000, y=100000; late receiver
 // x=100000, y=300000.
 func EarlyLate(w Workload, x, y int64) stats.Summary {
-	c, a, b := w.build()
-	n := w.Size
-	msg := make([]byte, n)
-	aSrc, aDst := a.Alloc(max(n, 4)), a.Alloc(max(n, 4))
-	bSrc, bDst := b.Alloc(max(n, 4)), b.Alloc(max(n, 4))
-	samples := make([]float64, 0, w.Iters)
-
-	c.Nodes[a.ID.Node].Spawn("ping", a.CPU, func(t *smp.Thread) {
-		for i := 0; i < w.Iters; i++ {
-			must(barrier(t, a, b, aSrc, aDst, true))
-			start := t.Now()
-			t.Compute(x)
-			must(a.Send(t, b.ID, aSrc, msg))
-			t.Compute(y)
-			_, err := a.Recv(t, b.ID, aDst, n)
-			must(err)
-			samples = append(samples, t.Now().Sub(start).Microseconds()/2)
-		}
-	})
-	c.Nodes[b.ID.Node].Spawn("pong", b.CPU, func(t *smp.Thread) {
-		for i := 0; i < w.Iters; i++ {
-			must(barrier(t, b, a, bSrc, bDst, false))
-			t.Compute(y)
-			_, err := b.Recv(t, a.ID, bDst, n)
-			must(err)
-			t.Compute(x)
-			must(b.Send(t, a.ID, bSrc, msg))
-		}
-	})
-	c.Run()
-	if len(samples) != w.Iters {
-		panic(fmt.Sprintf("bench: early/late finished %d of %d iterations (deadlock?)", len(samples), w.Iters))
-	}
-	return stats.Summarize(samples)
+	return stats.Summarize(w.run(scenario.Traffic{
+		Pattern: "earlylate", ComputeX: x, ComputeY: y,
+	}))
 }
 
 // OneShot measures a single untimed-warmup-free transfer end to end and
 // returns the completion time in microseconds — used for the go-back-N
 // recovery measurements, where trimming would hide the event under test.
 func OneShot(w Workload, recvDelay sim.Duration) float64 {
-	c, a, b := w.build()
-	n := w.Size
-	msg := make([]byte, n)
-	src := a.Alloc(n)
-	dst := b.Alloc(n)
-	var done sim.Time
-	c.Nodes[a.ID.Node].Spawn("src", a.CPU, func(t *smp.Thread) {
-		must(a.Send(t, b.ID, src, msg))
+	samples := w.run(scenario.Traffic{
+		Pattern: "oneshot",
+		DelayUS: recvDelay.Microseconds(),
+		// The pattern runs exactly one transfer regardless of Iters.
+		Messages: 1,
 	})
-	c.Nodes[b.ID.Node].SpawnAt(recvDelay, "dst-recv", b.CPU, func(t *smp.Thread) {
-		_, err := b.Recv(t, a.ID, dst, n)
-		must(err)
-		done = t.Now()
-	})
-	c.Run()
-	return sim.Duration(done).Microseconds()
+	return samples[0]
 }
 
 func must(err error) {
 	if err != nil {
 		panic(err)
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -75,24 +75,46 @@ type Cluster struct {
 	Links  []*ether.Link // back-to-back links, rail-major (empty otherwise)
 }
 
-// New builds a cluster. It panics on inconsistent configuration — the
-// callers are experiment definitions, not user input.
-func New(cfg Config) *Cluster {
-	if cfg.Nodes < 1 {
-		panic("cluster: need at least one node")
-	}
-	if cfg.ProcsPerNode < 1 {
-		panic("cluster: need at least one process per node")
-	}
+// normalize applies the defaulting rules New has always used: more than
+// two nodes force a switch unless a hub was asked for.
+func (cfg Config) normalize() Config {
 	if cfg.Nodes > 2 && !cfg.UseHub {
 		cfg.UseSwitch = true
 	}
+	return cfg
+}
+
+// Validate reports configuration errors without building anything, so
+// callers assembling configs from user input (e.g. scenario specs) can
+// reject them gracefully instead of hitting New's panics.
+func (cfg Config) Validate() error {
+	cfg = cfg.normalize()
+	if cfg.Nodes < 1 {
+		return fmt.Errorf("cluster: need at least one node")
+	}
+	if cfg.ProcsPerNode < 1 {
+		return fmt.Errorf("cluster: need at least one process per node")
+	}
 	if cfg.UseHub && cfg.UseSwitch {
-		panic("cluster: UseHub and UseSwitch are mutually exclusive")
+		return fmt.Errorf("cluster: UseHub and UseSwitch are mutually exclusive")
 	}
 	if cfg.UseHub && cfg.Rails > 1 {
-		panic("cluster: multi-rail requires point-to-point links, not a hub")
+		return fmt.Errorf("cluster: multi-rail requires point-to-point links, not a hub")
 	}
+	if cfg.Rails > 1 && cfg.Nodes > 1 && (cfg.Nodes != 2 || cfg.UseSwitch) {
+		return fmt.Errorf("cluster: multi-rail requires a two-node back-to-back topology")
+	}
+	return nil
+}
+
+// New builds a cluster. It panics on inconsistent configuration — the
+// callers are experiment definitions, not user input (which should be
+// screened with Validate first).
+func New(cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg = cfg.normalize()
 	e := sim.NewEngine(cfg.Seed)
 	c := &Cluster{Engine: e}
 
@@ -111,12 +133,11 @@ func New(cfg Config) *Cluster {
 		return c // intranode-only cluster: no network
 	}
 
+	// Validate (above) already rejected multi-rail on anything but a
+	// two-node back-to-back topology.
 	rails := cfg.Rails
 	if rails <= 0 {
 		rails = 1
-	}
-	if rails > 1 && (cfg.Nodes != 2 || cfg.UseSwitch) {
-		panic("cluster: multi-rail requires a two-node back-to-back topology")
 	}
 
 	// NICs are laid out node-major: node i's rail r is NICs[i*rails+r].

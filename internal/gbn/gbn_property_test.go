@@ -1,0 +1,178 @@
+package gbn
+
+import (
+	"testing"
+
+	"pushpull/internal/sim"
+)
+
+// lossyRun drives one sender/receiver session over an adversarial wire:
+// every transmission (data and acks alike) can be dropped, duplicated,
+// delayed by a random jitter (which reorders), and the receiver's upper
+// layer can transiently refuse deliveries. It returns the values the
+// upper layer accepted, in acceptance order.
+//
+// The property under test is the protocol's whole contract: whatever
+// the schedule, delivery is exactly-once and in-order.
+func lossyRun(t *testing.T, seed uint64, n int, dropPct, dupPct, rejectPct int, jitterUS int) []int {
+	t.Helper()
+	e := sim.NewEngine(seed)
+	wire := sim.NewRand(seed ^ 0xD00D_FEED_BEEF_CAFE)
+
+	var (
+		sender    *Sender
+		receiver  *Receiver
+		delivered []int
+	)
+
+	chance := func(pct int) bool { return pct > 0 && wire.Intn(100) < pct }
+	jitter := func() sim.Duration {
+		base := 10 * sim.Microsecond
+		if jitterUS <= 0 {
+			return base
+		}
+		return base + wire.Duration(sim.Duration(jitterUS)*sim.Microsecond)
+	}
+
+	// Data path: sender → receiver.
+	transmit := func(pkt Packet) {
+		copies := 1
+		if chance(dropPct) {
+			copies = 0
+		} else if chance(dupPct) {
+			copies = 2
+		}
+		for i := 0; i < copies; i++ {
+			e.Schedule(jitter(), func() { receiver.OnPacket(pkt) })
+		}
+	}
+	// Ack path: receiver → sender, equally hostile.
+	sendAck := func(ack uint32) {
+		copies := 1
+		if chance(dropPct) {
+			copies = 0
+		} else if chance(dupPct) {
+			copies = 2
+		}
+		for i := 0; i < copies; i++ {
+			e.Schedule(jitter(), func() { sender.OnAck(ack) })
+		}
+	}
+	deliver := func(pkt Packet) bool {
+		if chance(rejectPct) {
+			return false // upper layer has no buffer: must behave as loss
+		}
+		delivered = append(delivered, pkt.Data.(int))
+		return true
+	}
+
+	sender = NewSender(e, Config{Window: 4, RTO: 500 * sim.Microsecond}, transmit)
+	receiver = NewReceiver(deliver, sendAck)
+
+	e.Schedule(0, func() {
+		for i := 0; i < n; i++ {
+			sender.Send(64, i)
+		}
+	})
+	end := e.Run()
+
+	if sender.Outstanding() != 0 || sender.Queued() != 0 {
+		t.Fatalf("seed %d: run ended at %v with %d packets in flight and %d queued — the protocol gave up",
+			seed, end, sender.Outstanding(), sender.Queued())
+	}
+	return delivered
+}
+
+// checkExactlyOnceInOrder asserts the delivery contract.
+func checkExactlyOnceInOrder(t *testing.T, delivered []int, n int, seed uint64) {
+	t.Helper()
+	if len(delivered) != n {
+		t.Fatalf("seed %d: delivered %d of %d payloads", seed, len(delivered), n)
+	}
+	for i, v := range delivered {
+		if v != i {
+			t.Fatalf("seed %d: delivery %d carried payload %d (out of order or duplicated): %v", seed, i, v, delivered)
+		}
+	}
+}
+
+// TestGoBackNExactlyOnceUnderAdversarialSchedules sweeps loss,
+// duplication, rejection and reorder rates across many seeds.
+func TestGoBackNExactlyOnceUnderAdversarialSchedules(t *testing.T) {
+	cases := []struct {
+		name                                 string
+		dropPct, dupPct, rejectPct, jitterUS int
+	}{
+		{"clean wire", 0, 0, 0, 0},
+		{"reorder only", 0, 0, 0, 400},
+		{"drops", 20, 0, 0, 50},
+		{"duplicates", 0, 25, 0, 50},
+		{"rejections", 0, 0, 25, 50},
+		{"everything at once", 15, 15, 15, 400},
+	}
+	const n = 60
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 25; seed++ {
+				delivered := lossyRun(t, seed, n, tc.dropPct, tc.dupPct, tc.rejectPct, tc.jitterUS)
+				checkExactlyOnceInOrder(t, delivered, n, seed)
+			}
+		})
+	}
+}
+
+// TestGoBackNDeterministicReplay: the same seed must reproduce the same
+// retransmission history, not just the same deliveries — the scenario
+// engine's digests depend on it.
+func TestGoBackNDeterministicReplay(t *testing.T) {
+	run := func() (retx, timeouts uint64) {
+		e := sim.NewEngine(7)
+		wire := sim.NewRand(7)
+		var sender *Sender
+		var receiver *Receiver
+		transmit := func(pkt Packet) {
+			if wire.Intn(100) < 20 {
+				return
+			}
+			e.Schedule(10*sim.Microsecond, func() { receiver.OnPacket(pkt) })
+		}
+		sender = NewSender(e, Config{Window: 4, RTO: 500 * sim.Microsecond}, transmit)
+		receiver = NewReceiver(
+			func(Packet) bool { return true },
+			func(ack uint32) { e.Schedule(10*sim.Microsecond, func() { sender.OnAck(ack) }) },
+		)
+		e.Schedule(0, func() {
+			for i := 0; i < 40; i++ {
+				sender.Send(64, i)
+			}
+		})
+		e.Run()
+		return sender.Retransmissions(), sender.Timeouts()
+	}
+	r1, t1 := run()
+	r2, t2 := run()
+	if r1 != r2 || t1 != t2 {
+		t.Fatalf("identical seeds diverged: %d/%d vs %d/%d retransmissions/timeouts", r1, t1, r2, t2)
+	}
+	if r1 == 0 || t1 == 0 {
+		t.Fatalf("20%% loss produced no recoveries (%d retransmissions, %d timeouts); the adversary is not wired in", r1, t1)
+	}
+}
+
+// FuzzGoBackNDelivery lets the fuzzer search the schedule space; the
+// seed corpus below runs under plain `go test` as well.
+func FuzzGoBackNDelivery(f *testing.F) {
+	f.Add(uint64(1), uint8(10), uint8(10), uint8(10), uint16(200), uint8(40))
+	f.Add(uint64(99), uint8(30), uint8(0), uint8(0), uint16(0), uint8(80))
+	f.Add(uint64(1234), uint8(0), uint8(30), uint8(30), uint16(900), uint8(25))
+	f.Fuzz(func(t *testing.T, seed uint64, dropPct, dupPct, rejectPct uint8, jitterUS uint16, n uint8) {
+		if n == 0 {
+			return
+		}
+		// Cap the adversary so progress stays possible and runs stay
+		// small; the property must hold for every such schedule.
+		run := func(pct uint8) int { return int(pct % 35) }
+		delivered := lossyRun(t, seed, int(n), run(dropPct), run(dupPct), run(rejectPct), int(jitterUS%1000))
+		checkExactlyOnceInOrder(t, delivered, int(n), seed)
+	})
+}

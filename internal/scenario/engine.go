@@ -1,0 +1,110 @@
+package scenario
+
+import (
+	"fmt"
+
+	"pushpull/internal/adapt"
+	"pushpull/internal/cluster"
+	"pushpull/internal/sim"
+	"pushpull/internal/stats"
+	"pushpull/internal/trace"
+)
+
+// RunOption tunes one Run call without touching the spec.
+type RunOption func(*runOpts)
+
+type runOpts struct {
+	keepSamples bool
+}
+
+// KeepSamples retains the raw per-message latency samples in the
+// Result (they are always part of the digest).
+func KeepSamples() RunOption {
+	return func(o *runOpts) { o.keepSamples = true }
+}
+
+// Run validates the spec, builds the described cluster and drives the
+// traffic pattern on it, returning the machine-readable result.
+func Run(spec Spec, opts ...RunOption) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cfg, err := spec.clusterConfig()
+	if err != nil {
+		return nil, err
+	}
+	return RunConfig(cfg, spec, opts...)
+}
+
+// RunConfig is Run for callers that already hold a full cluster.Config
+// (the bench harness sweeps config fields the declarative topology
+// doesn't name, e.g. NIC ring sizes or SMP path costs). The spec
+// contributes the traffic pattern, the adaptive-protocol switch and the
+// labels; the cluster seed comes from cfg.
+func RunConfig(cfg cluster.Config, spec Spec, opts ...RunOption) (*Result, error) {
+	var o runOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	pat, ok := patterns[spec.Traffic.Pattern]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown traffic pattern %q (have %v)", spec.Traffic.Pattern, PatternNames())
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// The cluster seed is authoritative: seed-derived traffic
+	// (permutation partners, wavefront keys) must draw from the same
+	// seed the Result reports, or the run would not be reproducible
+	// from its own output.
+	spec.Seed = cfg.Seed
+
+	c := cluster.New(cfg)
+	rec := trace.NewRecorder(4096)
+	c.SetRecorder(rec)
+	if spec.Protocol.Adaptive {
+		ac := spec.adaptConfig(cfg.Opts)
+		for _, st := range c.Stacks {
+			st.SetAdapter(adapt.NewController(ac))
+		}
+	}
+
+	samples, bytes, err := pat.run(c, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Scenario:  spec.Name,
+		Pattern:   spec.Traffic.Pattern,
+		Seed:      cfg.Seed,
+		VirtualUS: sim.Duration(c.Engine.Now()).Microseconds(),
+		Latency:   stats.Summarize(samples),
+		Events:    make(map[string]uint64),
+	}
+	for _, kind := range rec.Kinds() {
+		res.Events[string(kind)] = rec.Count(kind)
+	}
+	var receives uint64
+	for node, st := range c.Stacks {
+		res.DiscardedBytes += st.DiscardedBytes()
+		for proc := 0; ; proc++ {
+			ep := st.Endpoint(proc)
+			if ep == nil {
+				break
+			}
+			res.Endpoints = append(res.Endpoints, EndpointResult{
+				Node: node, Proc: proc, Sent: ep.Sent(), Received: ep.Received(),
+			})
+			receives += ep.Received()
+			res.Ranks++
+		}
+	}
+	res.Receives = receives
+	res.Bytes = bytes
+	if res.VirtualUS > 0 {
+		res.ThroughputMBps = float64(bytes) / res.VirtualUS // bytes/µs == MB/s
+	}
+	res.seal(samples, o.keepSamples)
+	return res, nil
+}

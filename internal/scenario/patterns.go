@@ -1,0 +1,551 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"pushpull/internal/cluster"
+	"pushpull/internal/pushpull"
+	"pushpull/internal/sim"
+	"pushpull/internal/smp"
+	"pushpull/internal/vm"
+)
+
+// patternFunc drives one traffic shape on a built cluster and returns
+// the per-message latency samples (µs) plus the payload bytes the
+// pattern delivered. Implementations spawn threads, call c.Run()
+// exactly once, and must be deterministic given the cluster's seed.
+type patternFunc func(c *cluster.Cluster, s Spec) (samples []float64, bytes uint64, err error)
+
+// patternDoc describes one pattern for listings.
+type patternDoc struct {
+	run patternFunc
+	doc string
+}
+
+var patterns = map[string]patternDoc{
+	"pingpong":    {runPingPong, "two endpoints ping-pong Messages times; samples are half round trips (paper Figs. 3/4)"},
+	"bandwidth":   {runBandwidthPattern, "unidirectional stream with a 4 B ack per message; samples are send+ack times (paper §5 bandwidth)"},
+	"earlylate":   {runEarlyLate, "compute-then-communicate ping-pong with ComputeX/ComputeY NOPs (paper Fig. 6)"},
+	"oneshot":     {runOneShot, "one untimed transfer with the receiver delayed DelayUS; the sample is the completion time"},
+	"hotspot":     {runHotspot, "every rank sends Messages messages to rank Root; all-to-one buffer pressure"},
+	"permutation": {runPermutation, "each rank streams to a seed-derived fixed-point-free permutation partner"},
+	"bursty":      {runBursty, "sender ranks emit BurstLen-message bursts separated by BurstIdleUS of silence"},
+	"pipeline":    {runPipeline, "rank 0 feeds a store-and-forward chain through every rank; samples are end-to-end"},
+	"wavefront":   {runWavefront, "irregular: each received message triggers Fanout sends of data-derived sizes to data-derived targets"},
+}
+
+// PatternNames lists the traffic patterns, sorted.
+func PatternNames() []string {
+	names := make([]string, 0, len(patterns))
+	for name := range patterns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PatternDoc returns the one-line description of a pattern.
+func PatternDoc(name string) string { return patterns[name].doc }
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// defaultVirtualBudget bounds runs whose spec does not set one: ten
+// virtual minutes, far beyond any legitimate scenario on this testbed.
+const defaultVirtualBudget = 10 * 60 * 1000 // ms
+
+// runSim drives the cluster within the spec's virtual-time budget. It
+// returns an error if the budget expired with events still pending —
+// the signature of a protocol deadlock or RTO livelock (see Spec
+// .MaxVirtualMS); the caller's own completion checks add pattern
+// context.
+func runSim(c *cluster.Cluster, s Spec) error {
+	budget := s.MaxVirtualMS
+	if budget <= 0 {
+		budget = defaultVirtualBudget
+	}
+	limit := sim.Time(0).Add(sim.Duration(budget * float64(sim.Millisecond)))
+	c.Engine.RunUntil(limit)
+	if c.Engine.Pending() > 0 {
+		return fmt.Errorf("scenario: virtual budget of %g ms exhausted with %d events still pending — protocol deadlock or retransmission livelock",
+			budget, c.Engine.Pending())
+	}
+	return nil
+}
+
+// pair returns the two communicating endpoints of the two-endpoint
+// patterns: (0,0) and, on a single-node cluster, (0,1), otherwise (1,0)
+// — exactly the bench harness's Workload.build choice.
+func pair(c *cluster.Cluster) (a, b *pushpull.Endpoint) {
+	a = c.Endpoint(0, 0)
+	if len(c.Nodes) == 1 {
+		return a, c.Endpoint(0, 1)
+	}
+	return a, c.Endpoint(1, 0)
+}
+
+// barrier performs the paper's barrier: a simple 4-byte ping-pong.
+func barrier(t *smp.Thread, self, peer *pushpull.Endpoint,
+	src, dst vm.VirtAddr, initiator bool) error {
+	tiny := []byte{1, 2, 3, 4}
+	if initiator {
+		if err := self.Send(t, peer.ID, src, tiny); err != nil {
+			return err
+		}
+		_, err := self.Recv(t, peer.ID, dst, 4)
+		return err
+	}
+	if _, err := self.Recv(t, peer.ID, dst, 4); err != nil {
+		return err
+	}
+	return self.Send(t, peer.ID, src, tiny)
+}
+
+// runPingPong is the paper's latency test: Messages timed round trips
+// after one barrier; each sample is half a round trip in microseconds.
+func runPingPong(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
+	a, b := pair(c)
+	n := s.Traffic.Size
+	iters := s.Traffic.Messages
+	msg := make([]byte, n)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	aSrc, aDst := a.Alloc(max(n, 4)), a.Alloc(max(n, 4))
+	bSrc, bDst := b.Alloc(max(n, 4)), b.Alloc(max(n, 4))
+	samples := make([]float64, 0, iters)
+
+	c.Nodes[a.ID.Node].Spawn("ping", a.CPU, func(t *smp.Thread) {
+		must(barrier(t, a, b, aSrc, aDst, true))
+		for i := 0; i < iters; i++ {
+			start := t.Now()
+			must(a.Send(t, b.ID, aSrc, msg))
+			_, err := a.Recv(t, b.ID, aDst, n)
+			must(err)
+			rt := t.Now().Sub(start)
+			samples = append(samples, rt.Microseconds()/2)
+		}
+	})
+	c.Nodes[b.ID.Node].Spawn("pong", b.CPU, func(t *smp.Thread) {
+		must(barrier(t, b, a, bSrc, bDst, false))
+		for i := 0; i < iters; i++ {
+			_, err := b.Recv(t, a.ID, bDst, n)
+			must(err)
+			must(b.Send(t, a.ID, bSrc, msg))
+		}
+	})
+	if err := runSim(c, s); err != nil {
+		return nil, 0, err
+	}
+	if len(samples) != iters {
+		return nil, 0, fmt.Errorf("scenario: ping-pong finished %d of %d iterations (deadlock?)", len(samples), iters)
+	}
+	return samples, uint64(2*iters) * uint64(n), nil
+}
+
+// runBandwidthPattern is the paper's bandwidth test body: Messages
+// iterations of "send Size bytes, receive a 4-byte acknowledgement";
+// each sample is one send+ack time in microseconds. (The paper's MB/s
+// figure subtracts a 4-byte single-trip baseline; internal/bench and the
+// Result's Throughput field both derive rates from these samples.)
+func runBandwidthPattern(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
+	a, b := pair(c)
+	n := s.Traffic.Size
+	iters := s.Traffic.Messages
+	msg := make([]byte, n)
+	ackBuf := []byte{1, 2, 3, 4}
+	aSrc, aDst := a.Alloc(n), a.Alloc(4)
+	bSrc, bDst := b.Alloc(4), b.Alloc(n)
+	samples := make([]float64, 0, iters)
+
+	c.Nodes[a.ID.Node].Spawn("src", a.CPU, func(t *smp.Thread) {
+		must(barrier(t, a, b, aSrc, aDst, true))
+		for i := 0; i < iters; i++ {
+			start := t.Now()
+			must(a.Send(t, b.ID, aSrc, msg))
+			_, err := a.Recv(t, b.ID, aDst, 4)
+			must(err)
+			samples = append(samples, t.Now().Sub(start).Microseconds())
+		}
+	})
+	c.Nodes[b.ID.Node].Spawn("sink", b.CPU, func(t *smp.Thread) {
+		must(barrier(t, b, a, bSrc, bDst, false))
+		for i := 0; i < iters; i++ {
+			_, err := b.Recv(t, a.ID, bDst, n)
+			must(err)
+			must(b.Send(t, a.ID, bSrc, ackBuf))
+		}
+	})
+	if err := runSim(c, s); err != nil {
+		return nil, 0, err
+	}
+	if len(samples) != iters {
+		return nil, 0, fmt.Errorf("scenario: bandwidth finished %d of %d iterations (deadlock?)", len(samples), iters)
+	}
+	return samples, uint64(iters) * uint64(n), nil
+}
+
+// runEarlyLate is the paper's redesigned ping-pong (Fig. 5): both sides
+// compute before they communicate, with ComputeX and ComputeY NOP
+// counts steering who arrives first. Samples are half ping durations.
+func runEarlyLate(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
+	a, b := pair(c)
+	n := s.Traffic.Size
+	iters := s.Traffic.Messages
+	x, y := s.Traffic.ComputeX, s.Traffic.ComputeY
+	msg := make([]byte, n)
+	aSrc, aDst := a.Alloc(max(n, 4)), a.Alloc(max(n, 4))
+	bSrc, bDst := b.Alloc(max(n, 4)), b.Alloc(max(n, 4))
+	samples := make([]float64, 0, iters)
+
+	c.Nodes[a.ID.Node].Spawn("ping", a.CPU, func(t *smp.Thread) {
+		for i := 0; i < iters; i++ {
+			must(barrier(t, a, b, aSrc, aDst, true))
+			start := t.Now()
+			t.Compute(x)
+			must(a.Send(t, b.ID, aSrc, msg))
+			t.Compute(y)
+			_, err := a.Recv(t, b.ID, aDst, n)
+			must(err)
+			samples = append(samples, t.Now().Sub(start).Microseconds()/2)
+		}
+	})
+	c.Nodes[b.ID.Node].Spawn("pong", b.CPU, func(t *smp.Thread) {
+		for i := 0; i < iters; i++ {
+			must(barrier(t, b, a, bSrc, bDst, false))
+			t.Compute(y)
+			_, err := b.Recv(t, a.ID, bDst, n)
+			must(err)
+			t.Compute(x)
+			must(b.Send(t, a.ID, bSrc, msg))
+		}
+	})
+	if err := runSim(c, s); err != nil {
+		return nil, 0, err
+	}
+	if len(samples) != iters {
+		return nil, 0, fmt.Errorf("scenario: early/late finished %d of %d iterations (deadlock?)", len(samples), iters)
+	}
+	return samples, uint64(2*iters) * uint64(n), nil
+}
+
+// runOneShot measures a single warmup-free transfer end to end with the
+// receiver's start delayed by DelayUS; the one sample is the completion
+// time in microseconds (used by the go-back-N recovery measurements,
+// where trimming would hide the event under test).
+func runOneShot(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
+	a, b := pair(c)
+	n := s.Traffic.Size
+	msg := make([]byte, n)
+	src := a.Alloc(n)
+	dst := b.Alloc(n)
+	recvDelay := sim.Duration(s.Traffic.DelayUS * float64(sim.Microsecond))
+	var done sim.Time
+	c.Nodes[a.ID.Node].Spawn("src", a.CPU, func(t *smp.Thread) {
+		must(a.Send(t, b.ID, src, msg))
+	})
+	c.Nodes[b.ID.Node].SpawnAt(recvDelay, "dst-recv", b.CPU, func(t *smp.Thread) {
+		_, err := b.Recv(t, a.ID, dst, n)
+		must(err)
+		done = t.Now()
+	})
+	if err := runSim(c, s); err != nil {
+		return nil, 0, err
+	}
+	if done == 0 {
+		return nil, 0, fmt.Errorf("scenario: oneshot transfer never completed")
+	}
+	return []float64{sim.Duration(done).Microseconds()}, uint64(n), nil
+}
+
+// ranks flattens the cluster's endpoints in (node, proc) order.
+func ranks(c *cluster.Cluster) []*pushpull.Endpoint {
+	var eps []*pushpull.Endpoint
+	for node := range c.Nodes {
+		for proc := 0; ; proc++ {
+			ep := c.Stacks[node].Endpoint(proc)
+			if ep == nil {
+				break
+			}
+			eps = append(eps, ep)
+		}
+	}
+	return eps
+}
+
+// runHotspot drives the all-to-one shape: every rank except Root sends
+// Messages messages of Size bytes to Root, which services its senders
+// round-robin. With enough senders the root's pushed buffer overflows,
+// exercising discard-and-repull (Push-Pull) or go-back-N recovery
+// (Push-All) under contention. Samples are send-start to
+// receive-complete times.
+func runHotspot(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
+	eps := ranks(c)
+	root := s.Traffic.Root
+	if root < 0 || root >= len(eps) {
+		return nil, 0, fmt.Errorf("scenario: hotspot root %d out of range (%d ranks)", root, len(eps))
+	}
+	if len(eps) < 2 {
+		return nil, 0, fmt.Errorf("scenario: hotspot needs at least 2 ranks, have %d", len(eps))
+	}
+	n := s.Traffic.Size
+	msgs := s.Traffic.Messages
+	sink := eps[root]
+	var senders []*pushpull.Endpoint
+	for r, ep := range eps {
+		if r != root {
+			senders = append(senders, ep)
+		}
+	}
+
+	starts := make([][]sim.Time, len(senders))
+	dones := make([][]sim.Time, len(senders))
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for si, ep := range senders {
+		si, ep := si, ep
+		starts[si] = make([]sim.Time, msgs)
+		dones[si] = make([]sim.Time, msgs)
+		src := ep.Alloc(n)
+		c.Nodes[ep.ID.Node].Spawn(fmt.Sprintf("hot-src%d", si), ep.CPU, func(t *smp.Thread) {
+			for i := 0; i < msgs; i++ {
+				starts[si][i] = t.Now()
+				must(ep.Send(t, sink.ID, src, payload))
+			}
+		})
+	}
+	dst := sink.Alloc(n)
+	c.Nodes[sink.ID.Node].Spawn("hot-sink", sink.CPU, func(t *smp.Thread) {
+		for i := 0; i < msgs; i++ {
+			for si, ep := range senders {
+				_, err := sink.Recv(t, ep.ID, dst, n)
+				must(err)
+				dones[si][i] = t.Now()
+			}
+		}
+	})
+	if err := runSim(c, s); err != nil {
+		return nil, 0, err
+	}
+
+	samples := make([]float64, 0, len(senders)*msgs)
+	for si := range senders {
+		for i := 0; i < msgs; i++ {
+			if dones[si][i] == 0 {
+				return nil, 0, fmt.Errorf("scenario: hotspot sender %d message %d never completed", si, i)
+			}
+			samples = append(samples, dones[si][i].Sub(starts[si][i]).Microseconds())
+		}
+	}
+	return samples, uint64(len(senders)*msgs) * uint64(n), nil
+}
+
+// permutationOf derives a deterministic fixed-point-free permutation of
+// p elements from seed (Fisher-Yates off the scenario's own stream, then
+// a rotation fix-up for any fixed points).
+func permutationOf(p int, seed uint64) []int {
+	rng := sim.NewRand(seed ^ 0xA5C3_96E7_D18B_42F0)
+	perm := make([]int, p)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := p - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := 0; i < p; i++ {
+		if perm[i] == i {
+			perm[i], perm[(i+1)%p] = perm[(i+1)%p], perm[i]
+		}
+	}
+	return perm
+}
+
+// runPermutation streams Messages messages of Size bytes from every rank
+// to its seed-derived permutation partner, all channels concurrently —
+// the classic random-permutation stress of an interconnect. Each rank
+// runs one sender and one receiver thread.
+func runPermutation(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
+	eps := ranks(c)
+	p := len(eps)
+	if p < 2 {
+		return nil, 0, fmt.Errorf("scenario: permutation needs at least 2 ranks, have %d", p)
+	}
+	perm := permutationOf(p, s.Seed)
+	inv := make([]int, p)
+	for i, t := range perm {
+		inv[t] = i
+	}
+	n := s.Traffic.Size
+	msgs := s.Traffic.Messages
+	payload := make([]byte, n)
+
+	starts := make([][]sim.Time, p)
+	dones := make([][]sim.Time, p)
+	for r, ep := range eps {
+		r, ep := r, ep
+		starts[r] = make([]sim.Time, msgs)
+		dones[r] = make([]sim.Time, msgs)
+		to := eps[perm[r]]
+		from := eps[inv[r]]
+		src := ep.Alloc(n)
+		dst := ep.Alloc(n)
+		c.Nodes[ep.ID.Node].Spawn(fmt.Sprintf("perm-src%d", r), ep.CPU, func(t *smp.Thread) {
+			for i := 0; i < msgs; i++ {
+				starts[r][i] = t.Now()
+				must(ep.Send(t, to.ID, src, payload))
+			}
+		})
+		c.Nodes[ep.ID.Node].Spawn(fmt.Sprintf("perm-dst%d", r), ep.CPU, func(t *smp.Thread) {
+			for i := 0; i < msgs; i++ {
+				_, err := ep.Recv(t, from.ID, dst, n)
+				must(err)
+				// Completion of sender inv[r]'s i-th message.
+				dones[inv[r]][i] = t.Now()
+			}
+		})
+	}
+	if err := runSim(c, s); err != nil {
+		return nil, 0, err
+	}
+
+	samples := make([]float64, 0, p*msgs)
+	for r := 0; r < p; r++ {
+		for i := 0; i < msgs; i++ {
+			if dones[r][i] == 0 {
+				return nil, 0, fmt.Errorf("scenario: permutation rank %d message %d never completed", r, i)
+			}
+			samples = append(samples, dones[r][i].Sub(starts[r][i]).Microseconds())
+		}
+	}
+	return samples, uint64(p*msgs) * uint64(n), nil
+}
+
+// runBursty pairs the first half of the ranks with the second half;
+// every sender emits BurstLen back-to-back messages, idles BurstIdleUS,
+// and repeats until Messages messages are out. The off periods let
+// receivers drain, so latency is bimodal: head-of-burst messages see a
+// quiet network, tail-of-burst messages queue behind their own burst.
+func runBursty(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
+	eps := ranks(c)
+	p := len(eps)
+	if p < 2 || p%2 != 0 {
+		return nil, 0, fmt.Errorf("scenario: bursty needs an even rank count >= 2, have %d", p)
+	}
+	burst := s.Traffic.BurstLen
+	if burst <= 0 {
+		burst = 8
+	}
+	idle := sim.Duration(s.Traffic.BurstIdleUS * float64(sim.Microsecond))
+	n := s.Traffic.Size
+	msgs := s.Traffic.Messages
+	payload := make([]byte, n)
+	half := p / 2
+
+	starts := make([][]sim.Time, half)
+	dones := make([][]sim.Time, half)
+	for si := 0; si < half; si++ {
+		si := si
+		src, dst := eps[si], eps[half+si]
+		starts[si] = make([]sim.Time, msgs)
+		dones[si] = make([]sim.Time, msgs)
+		srcBuf := src.Alloc(n)
+		dstBuf := dst.Alloc(n)
+		c.Nodes[src.ID.Node].Spawn(fmt.Sprintf("burst-src%d", si), src.CPU, func(t *smp.Thread) {
+			for i := 0; i < msgs; i++ {
+				if i > 0 && i%burst == 0 && idle > 0 {
+					t.P.Sleep(idle)
+				}
+				starts[si][i] = t.Now()
+				must(src.Send(t, dst.ID, srcBuf, payload))
+			}
+		})
+		c.Nodes[dst.ID.Node].Spawn(fmt.Sprintf("burst-dst%d", si), dst.CPU, func(t *smp.Thread) {
+			for i := 0; i < msgs; i++ {
+				_, err := dst.Recv(t, src.ID, dstBuf, n)
+				must(err)
+				dones[si][i] = t.Now()
+			}
+		})
+	}
+	if err := runSim(c, s); err != nil {
+		return nil, 0, err
+	}
+
+	samples := make([]float64, 0, half*msgs)
+	for si := 0; si < half; si++ {
+		for i := 0; i < msgs; i++ {
+			if dones[si][i] == 0 {
+				return nil, 0, fmt.Errorf("scenario: bursty pair %d message %d never completed", si, i)
+			}
+			samples = append(samples, dones[si][i].Sub(starts[si][i]).Microseconds())
+		}
+	}
+	return samples, uint64(half*msgs) * uint64(n), nil
+}
+
+// runPipeline chains every rank: rank 0 generates Messages messages of
+// Size bytes, each intermediate rank receives from its predecessor and
+// forwards to its successor, and the last rank sinks them. Samples are
+// end-to-end (injection to final delivery) times, so pipeline fill and
+// per-hop store-and-forward cost both show.
+func runPipeline(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
+	eps := ranks(c)
+	p := len(eps)
+	if p < 2 {
+		return nil, 0, fmt.Errorf("scenario: pipeline needs at least 2 ranks, have %d", p)
+	}
+	n := s.Traffic.Size
+	msgs := s.Traffic.Messages
+	payload := make([]byte, n)
+	starts := make([]sim.Time, msgs)
+	dones := make([]sim.Time, msgs)
+
+	head := eps[0]
+	headBuf := head.Alloc(n)
+	c.Nodes[head.ID.Node].Spawn("pipe-head", head.CPU, func(t *smp.Thread) {
+		for i := 0; i < msgs; i++ {
+			starts[i] = t.Now()
+			must(head.Send(t, eps[1].ID, headBuf, payload))
+		}
+	})
+	for r := 1; r < p-1; r++ {
+		r := r
+		ep := eps[r]
+		in, out := ep.Alloc(n), ep.Alloc(n)
+		c.Nodes[ep.ID.Node].Spawn(fmt.Sprintf("pipe-stage%d", r), ep.CPU, func(t *smp.Thread) {
+			for i := 0; i < msgs; i++ {
+				_, err := ep.Recv(t, eps[r-1].ID, in, n)
+				must(err)
+				must(ep.Send(t, eps[r+1].ID, out, payload))
+			}
+		})
+	}
+	tail := eps[p-1]
+	tailBuf := tail.Alloc(n)
+	c.Nodes[tail.ID.Node].Spawn("pipe-tail", tail.CPU, func(t *smp.Thread) {
+		for i := 0; i < msgs; i++ {
+			_, err := tail.Recv(t, eps[p-2].ID, tailBuf, n)
+			must(err)
+			dones[i] = t.Now()
+		}
+	})
+	if err := runSim(c, s); err != nil {
+		return nil, 0, err
+	}
+
+	samples := make([]float64, 0, msgs)
+	for i := 0; i < msgs; i++ {
+		if dones[i] == 0 {
+			return nil, 0, fmt.Errorf("scenario: pipeline message %d never reached the tail", i)
+		}
+		samples = append(samples, dones[i].Sub(starts[i]).Microseconds())
+	}
+	return samples, uint64((p-1)*msgs) * uint64(n), nil
+}

@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builtin returns the named scenarios shipped with the engine: the
+// paper's own measurement shapes expressed declaratively, plus the
+// workload shapes the bespoke bench drivers could not express. Each
+// entry is a complete Spec — print it with Spec.JSON, tweak fields, and
+// feed it back through ParseSpec.
+func Builtin() []Spec {
+	base := func(name, desc string) Spec {
+		s := DefaultSpec()
+		s.Name = name
+		s.Description = desc
+		return s
+	}
+
+	intraPing := base("paper-intranode-pingpong",
+		"paper Fig. 3 headline point: 10 B intranode ping-pong, 12 KB pushed buffer (paper: 7.5 µs single trip)")
+	intraPing.Topology.Kind = "intranode"
+	intraPing.Topology.Nodes = 1
+	intraPing.Topology.ProcsPerNode = 2
+	intraPing.Protocol.PushedBufBytes = 12 << 10
+	intraPing.Traffic = Traffic{Pattern: "pingpong", Size: 10, Messages: 1000}
+
+	interPing := base("paper-internode-pingpong",
+		"paper Fig. 4 full-optimization point: 1400 B internode ping-pong over back-to-back Fast Ethernet")
+	interPing.Traffic = Traffic{Pattern: "pingpong", Size: 1400, Messages: 1000}
+
+	early := base("paper-early-receiver",
+		"paper Fig. 6 (left): compute-then-communicate ping-pong, receiver arrives early (x=500k, y=100k NOPs)")
+	early.Protocol.PushedBufBytes = 4096
+	early.Traffic = Traffic{Pattern: "earlylate", Size: 2048, Messages: 200,
+		ComputeX: 500_000, ComputeY: 100_000}
+
+	late := base("paper-late-receiver",
+		"paper Fig. 6 (right): compute-then-communicate ping-pong, receiver arrives late (x=100k, y=300k NOPs)")
+	late.Protocol.PushedBufBytes = 4096
+	late.Traffic = Traffic{Pattern: "earlylate", Size: 2048, Messages: 200,
+		ComputeX: 100_000, ComputeY: 300_000}
+
+	bw := base("paper-bandwidth",
+		"paper §5 bandwidth body: 8 KB internode stream with per-message 4 B acks (paper peak: 12.1 MB/s)")
+	bw.Traffic = Traffic{Pattern: "bandwidth", Size: 8192, Messages: 200}
+
+	hotspot := base("hotspot",
+		"all-to-one: seven senders converge on one sink over a switch, overflowing its pushed buffer")
+	hotspot.Topology = Topology{Kind: "switch", Nodes: 8, ProcsPerNode: 1, Policy: "symmetric"}
+	hotspot.Traffic = Traffic{Pattern: "hotspot", Size: 2048, Messages: 50}
+
+	perm := base("permutation",
+		"random permutation: every rank streams to a seed-derived partner, all channels concurrently")
+	perm.Topology = Topology{Kind: "switch", Nodes: 6, ProcsPerNode: 1, Policy: "symmetric"}
+	perm.Traffic = Traffic{Pattern: "permutation", Size: 1400, Messages: 50}
+
+	bursty := base("bursty",
+		"on/off senders: 16-message bursts separated by 500 µs of silence, two sender/receiver pairs over a switch")
+	bursty.Topology = Topology{Kind: "switch", Nodes: 4, ProcsPerNode: 1, Policy: "symmetric"}
+	bursty.Traffic = Traffic{Pattern: "bursty", Size: 4096, Messages: 96,
+		BurstLen: 16, BurstIdleUS: 500}
+
+	pipeline := base("pipeline",
+		"store-and-forward chain through four nodes; end-to-end latency includes every hop's push/pull")
+	pipeline.Topology = Topology{Kind: "switch", Nodes: 4, ProcsPerNode: 1, Policy: "symmetric"}
+	pipeline.Traffic = Traffic{Pattern: "pipeline", Size: 4096, Messages: 100}
+
+	wave := base("wavefront",
+		"irregular data-dependent propagation: each delivery triggers sends of payload-derived sizes to payload-derived targets")
+	wave.Topology = Topology{Kind: "switch", Nodes: 6, ProcsPerNode: 1, Policy: "symmetric"}
+	// MinSize stays above the 760 B BTP so every message has a pull
+	// phase: fully eager sub-BTP messages refused under convergence can
+	// stall the shared go-back-N stream permanently (see Spec
+	// .MaxVirtualMS); discard-and-repull cannot.
+	wave.Traffic = Traffic{Pattern: "wavefront", Size: 1024, Messages: 4,
+		Fanout: 2, Depth: 5, MinSize: 800, MaxSize: 2400}
+
+	waveAdaptive := base("wavefront-adaptive",
+		"the wavefront under the AIMD BTP controller: adaptation chases the per-channel buffer headroom of an irregular load")
+	waveAdaptive.Topology = Topology{Kind: "switch", Nodes: 6, ProcsPerNode: 1, Policy: "symmetric"}
+	waveAdaptive.Protocol.Adaptive = true
+	waveAdaptive.Traffic = Traffic{Pattern: "wavefront", Size: 1024, Messages: 4,
+		Fanout: 2, Depth: 5, MinSize: 800, MaxSize: 2400}
+
+	hubHotspot := base("hub-hotspot",
+		"the hotspot on one shared half-duplex segment: collisions and backoff jitter under convergence")
+	hubHotspot.Topology = Topology{Kind: "hub", Nodes: 4, ProcsPerNode: 1, Policy: "symmetric"}
+	hubHotspot.Traffic = Traffic{Pattern: "hotspot", Size: 1400, Messages: 30}
+
+	lossyPerm := base("lossy-permutation",
+		"the permutation over a damaged cable (0.5% frame loss): go-back-N recoveries under concurrent streams")
+	lossyPerm.Topology = Topology{Kind: "switch", Nodes: 4, ProcsPerNode: 1,
+		Policy: "symmetric", LossRate: 0.005}
+	lossyPerm.Protocol.RTOMs = 2
+	lossyPerm.Traffic = Traffic{Pattern: "permutation", Size: 1400, Messages: 40}
+
+	return []Spec{
+		intraPing, interPing, early, late, bw,
+		hotspot, perm, bursty, pipeline, wave,
+		waveAdaptive, hubHotspot, lossyPerm,
+	}
+}
+
+// Names lists the builtin scenario names, sorted.
+func Names() []string {
+	specs := Builtin()
+	names := make([]string, 0, len(specs))
+	for _, s := range specs {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns the builtin scenario with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range Builtin() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+}

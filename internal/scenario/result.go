@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"pushpull/internal/stats"
+)
+
+// Result is the machine-readable outcome of one scenario run. Every
+// field is derived from virtual time and deterministic counters, so a
+// given (spec, seed) pair produces a byte-identical encoding — the
+// Digest makes that property checkable at a glance.
+type Result struct {
+	// Scenario and Pattern identify what ran; Seed is the run's seed.
+	Scenario string `json:"scenario"`
+	Pattern  string `json:"pattern"`
+	Seed     uint64 `json:"seed"`
+	// Ranks is the number of communicating endpoints.
+	Ranks int `json:"ranks"`
+	// VirtualUS is the final virtual clock in microseconds.
+	VirtualUS float64 `json:"virtualUS"`
+	// Receives counts completed application-level Recv operations
+	// across all endpoints — pattern payloads plus the barrier/credit
+	// exchanges some patterns use (it always equals the sum of the
+	// Endpoints' Received fields). Bytes counts pattern payload bytes
+	// only; wire-level protocol traffic is visible in Events.
+	Receives uint64 `json:"receives"`
+	Bytes    uint64 `json:"bytes"`
+	// ThroughputMBps is Bytes over the full virtual run time.
+	ThroughputMBps float64 `json:"throughputMBps"`
+	// Latency summarizes the pattern's per-message samples (µs) with the
+	// paper's middle-80% trimmed-mean methodology.
+	Latency stats.Summary `json:"latency"`
+	// Endpoints reports per-endpoint completed operation counts.
+	Endpoints []EndpointResult `json:"endpoints"`
+	// Events counts structured protocol events by kind (push, park,
+	// discard, pull-req, rto, retransmit, ...).
+	Events map[string]uint64 `json:"events"`
+	// DiscardedBytes totals pushed bytes receivers dropped for lack of
+	// pushed-buffer space (re-fetched by the pull phase).
+	DiscardedBytes uint64 `json:"discardedBytes"`
+	// Samples holds the raw per-message latencies (µs) when the run was
+	// asked to keep them.
+	Samples []float64 `json:"samples,omitempty"`
+	// Digest is a SHA-256 over the canonical encoding of everything
+	// above (including samples): two runs agree iff their digests do.
+	Digest string `json:"digest"`
+}
+
+// EndpointResult is one endpoint's operation counters.
+type EndpointResult struct {
+	Node     int    `json:"node"`
+	Proc     int    `json:"proc"`
+	Sent     uint64 `json:"sent"`
+	Received uint64 `json:"received"`
+}
+
+// seal computes the digest. keepSamples controls whether the raw
+// samples stay in the emitted result; they are always digested, so the
+// digest is insensitive to the choice.
+func (r *Result) seal(samples []float64, keepSamples bool) {
+	r.Samples = samples
+	r.Digest = ""
+	enc, err := json.Marshal(r)
+	if err != nil {
+		panic(err) // plain-data struct: cannot fail
+	}
+	sum := sha256.Sum256(enc)
+	r.Digest = hex.EncodeToString(sum[:])
+	if !keepSamples {
+		r.Samples = nil
+	}
+}
+
+// JSON renders the result indented for files and stdout.
+func (r *Result) JSON() []byte {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package sim
+
+import "testing"
+
+// The scenario engine diagnoses deadlocks from Pending() and reports
+// run time from Now() after the drain, so cancelled events must vanish
+// completely: not run, not counted, and never advancing the clock.
+
+func TestAtCancelWithdrawsEvent(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	h := e.AtCancel(Time(0).Add(Millisecond), PriorityNormal, func() { ran = true })
+	e.Schedule(Microsecond, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d before cancel, want 2", e.Pending())
+	}
+	h.Cancel()
+	h.Cancel() // double cancel is a no-op
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d after cancel, want 1", e.Pending())
+	}
+	end := e.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if end != Time(0).Add(Microsecond) {
+		t.Errorf("clock advanced to %v; a cancelled event moved it past the last real event", end)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d after drain, want 0", e.Pending())
+	}
+}
+
+func TestCancelAfterExecutionIsNoOp(t *testing.T) {
+	e := NewEngine(1)
+	var h *EventHandle
+	h = e.AtCancel(Time(0).Add(Microsecond), PriorityNormal, func() {})
+	e.Schedule(Millisecond, func() {})
+	e.Run()
+	h.Cancel() // event already ran; must not corrupt the pending count
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after late cancel, want 0", e.Pending())
+	}
+}
+
+// TestTimerStopLeavesNothingPending is the regression the scenario
+// engine depends on: a stopped retransmission timer must not leave a
+// stale expiration in the heap (it used to advance the clock a full
+// RTO past the last delivery and false-flag completed runs as
+// livelocked).
+func TestTimerStopLeavesNothingPending(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	tm := NewTimer(e, func() { fired++ })
+	e.Schedule(0, func() {
+		tm.Reset(150 * Millisecond)
+	})
+	e.Schedule(Microsecond, func() {
+		tm.Stop()
+	})
+	end := e.Run()
+	if fired != 0 {
+		t.Errorf("stopped timer fired %d times", fired)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d after stop, want 0", e.Pending())
+	}
+	if end != Time(0).Add(Microsecond) {
+		t.Errorf("run ended at %v; the stopped timer's stale event dragged the clock", end)
+	}
+}
+
+func TestTimerResetSupersedesOldDeadline(t *testing.T) {
+	e := NewEngine(1)
+	var fireTimes []Time
+	tm := NewTimer(e, func() { fireTimes = append(fireTimes, e.Now()) })
+	e.Schedule(0, func() { tm.Reset(Millisecond) })
+	e.Schedule(Microsecond, func() { tm.Reset(2 * Millisecond) })
+	e.Run()
+	want := Time(0).Add(Microsecond).Add(2 * Millisecond)
+	if len(fireTimes) != 1 || fireTimes[0] != want {
+		t.Fatalf("fired at %v, want exactly one firing at %v", fireTimes, want)
+	}
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The scenario engine's determinism rests on the engine's total event
+// order and on Cond waking waiters strictly FIFO (cond.go's contract).
+// These tests pin that contract explicitly: if wake order ever became
+// map-ordered or LIFO, simulations would stay runnable but silently
+// stop being reproducible.
+
+// TestCondSignalIsFIFO parks N processes in a known order and signals
+// one at a time: each Signal must wake the longest-waiting process.
+func TestCondSignalIsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	const n = 8
+	var woken []int
+	for i := 0; i < n; i++ {
+		i := i
+		// Stagger the starts so the wait order is pinned: process i
+		// parks at time i.
+		e.GoAt(Duration(i)*Microsecond, fmt.Sprintf("waiter%d", i), func(p *Process) {
+			c.Wait(p)
+			woken = append(woken, i)
+		})
+	}
+	e.GoAt(Duration(n)*Microsecond, "signaller", func(p *Process) {
+		for i := 0; i < n; i++ {
+			if !c.Signal() {
+				t.Errorf("signal %d found no waiter", i)
+			}
+			// Let the woken process run before the next signal, so any
+			// deviation from FIFO shows in the recorded order.
+			p.Sleep(Microsecond)
+		}
+	})
+	e.Run()
+	for i, got := range woken {
+		if got != i {
+			t.Fatalf("wake order %v is not FIFO", woken)
+		}
+	}
+	if len(woken) != n {
+		t.Fatalf("woke %d of %d waiters", len(woken), n)
+	}
+}
+
+// TestCondBroadcastIsFIFO: Broadcast must wake everyone in wait order.
+func TestCondBroadcastIsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	const n = 6
+	var woken []int
+	for i := 0; i < n; i++ {
+		i := i
+		e.GoAt(Duration(i)*Microsecond, fmt.Sprintf("waiter%d", i), func(p *Process) {
+			c.Wait(p)
+			woken = append(woken, i)
+		})
+	}
+	e.GoAt(Duration(n)*Microsecond, "broadcaster", func(p *Process) {
+		c.Broadcast()
+	})
+	e.Run()
+	if len(woken) != n {
+		t.Fatalf("woke %d of %d waiters", len(woken), n)
+	}
+	for i, got := range woken {
+		if got != i {
+			t.Fatalf("broadcast wake order %v is not FIFO", woken)
+		}
+	}
+}
+
+// TestCondWaitForNoLostWake: WaitFor evaluates its predicate before the
+// first wait, so a condition that already holds must not park at all,
+// and a waiter whose predicate turns true between wakes must proceed.
+func TestCondWaitForNoLostWake(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	ready := true
+	ran := false
+	e.Go("immediate", func(p *Process) {
+		c.WaitFor(p, func() bool { return ready })
+		ran = true
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("WaitFor parked although the predicate already held")
+	}
+	if c.Waiting() != 0 {
+		t.Fatalf("%d processes still parked", c.Waiting())
+	}
+}
+
+// TestCondSignalOnEmpty: signalling with no waiters reports false and
+// must not corrupt later waits.
+func TestCondSignalOnEmpty(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCond(e)
+	if c.Signal() {
+		t.Error("Signal() on an empty cond reported a wake")
+	}
+	ran := false
+	e.Go("waiter", func(p *Process) {
+		c.Wait(p)
+		ran = true
+	})
+	e.Go("signaller", func(p *Process) {
+		p.Sleep(Microsecond)
+		c.Signal()
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("waiter never woke after an earlier empty Signal")
+	}
+}

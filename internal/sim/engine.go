@@ -23,6 +23,29 @@ type event struct {
 	prio Priority
 	seq  uint64 // insertion order; final tiebreak for determinism
 	fn   func()
+	// cancelled events stay in the heap (removal from the middle of a
+	// binary heap is not worth the bookkeeping) but are skipped without
+	// advancing the clock or the executed count when popped; done marks
+	// events that already ran, making a late Cancel a no-op.
+	cancelled bool
+	done      bool
+}
+
+// EventHandle identifies one scheduled event so it can be cancelled.
+type EventHandle struct {
+	e  *Engine
+	ev *event
+}
+
+// Cancel withdraws the event: it will not run, will not advance the
+// virtual clock, and no longer counts as pending. Cancelling twice (or
+// after the event ran) is a no-op.
+func (h *EventHandle) Cancel() {
+	if h == nil || h.ev.cancelled || h.ev.done {
+		return
+	}
+	h.ev.cancelled = true
+	h.e.ncancelled++
 }
 
 type eventHeap []*event
@@ -59,10 +82,11 @@ type Engine struct {
 	stopped bool
 	rng     *Rand
 
-	nproc     int // live (not yet finished) processes
-	fault     any // panic captured from a process, re-raised in Run
-	executed  uint64
-	nameCount map[string]int
+	nproc      int // live (not yet finished) processes
+	fault      any // panic captured from a process, re-raised in Run
+	executed   uint64
+	ncancelled int // cancelled events still sitting in the heap
+	nameCount  map[string]int
 }
 
 // NewEngine returns an engine at virtual time zero with a deterministic
@@ -91,11 +115,23 @@ func (e *Engine) Schedule(d Duration, fn func()) { e.At(e.now.Add(d), PriorityNo
 // that is always a model bug, and silently clamping it would corrupt
 // latency measurements.
 func (e *Engine) At(t Time, prio Priority, fn func()) {
+	e.at(t, prio, fn)
+}
+
+// AtCancel is At returning a handle through which the event can be
+// withdrawn again — the basis of cancellable timers.
+func (e *Engine) AtCancel(t Time, prio Priority, fn func()) *EventHandle {
+	return &EventHandle{e: e, ev: e.at(t, prio, fn)}
+}
+
+func (e *Engine) at(t Time, prio Priority, fn func()) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, prio: prio, seq: e.seq, fn: fn})
+	ev := &event{at: t, prio: prio, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -112,10 +148,17 @@ func (e *Engine) RunUntil(limit Time) Time {
 	e.stopped = false
 	for !e.stopped && len(e.events) > 0 {
 		next := e.events[0]
+		if next.cancelled {
+			// Withdrawn: discard without touching the clock.
+			heap.Pop(&e.events)
+			e.ncancelled--
+			continue
+		}
 		if next.at > limit {
 			break
 		}
 		heap.Pop(&e.events)
+		next.done = true
 		e.now = next.at
 		e.executed++
 		next.fn()
@@ -123,8 +166,8 @@ func (e *Engine) RunUntil(limit Time) Time {
 	return e.now
 }
 
-// Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports the number of queued (non-cancelled) events.
+func (e *Engine) Pending() int { return len(e.events) - e.ncancelled }
 
 // uniqueName disambiguates duplicate process names for tracing.
 func (e *Engine) uniqueName(name string) string {

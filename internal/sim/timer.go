@@ -3,12 +3,17 @@ package sim
 // Timer is a cancellable, resettable one-shot virtual timer, used for
 // protocol timeouts (e.g. go-back-N retransmission). The callback runs in
 // event context at expiry unless the timer was stopped or reset first.
+//
+// Stop and Reset withdraw the previously scheduled expiration outright
+// (EventHandle.Cancel), so a disarmed timer leaves nothing behind: no
+// stale no-op event to advance the clock past the last real activity,
+// and nothing to count as pending work.
 type Timer struct {
-	e     *Engine
-	fn    func()
-	gen   uint64 // increments on Stop/Reset; stale expirations check it
-	armed bool
-	at    Time
+	e      *Engine
+	fn     func()
+	armed  bool
+	at     Time
+	handle *EventHandle
 }
 
 // NewTimer returns an unarmed timer that will run fn on expiry.
@@ -19,22 +24,20 @@ func NewTimer(e *Engine, fn func()) *Timer {
 // Reset (re)arms the timer to fire d from now, cancelling any previous
 // schedule.
 func (t *Timer) Reset(d Duration) {
-	t.gen++
+	t.handle.Cancel()
 	t.armed = true
 	t.at = t.e.now.Add(d)
-	gen := t.gen
-	t.e.At(t.at, PriorityNormal, func() {
-		if t.gen != gen || !t.armed {
-			return // stopped or re-armed since
-		}
+	t.handle = t.e.AtCancel(t.at, PriorityNormal, func() {
 		t.armed = false
+		t.handle = nil
 		t.fn()
 	})
 }
 
 // Stop disarms the timer. It is safe to stop an unarmed timer.
 func (t *Timer) Stop() {
-	t.gen++
+	t.handle.Cancel()
+	t.handle = nil
 	t.armed = false
 }
 
