@@ -1,10 +1,11 @@
 GO ?= go
 
 # ci is the documented tier-1 gate: vet, build, the full test suite
-# under the race detector, and one iteration of every benchmark (so the
-# benchmark-only files at the repo root are compiled AND executed).
+# under the race detector, one iteration of every benchmark (so the
+# benchmark-only files at the repo root are compiled AND executed), and
+# the sweep determinism check.
 .PHONY: ci
-ci: vet build race bench
+ci: vet build race bench sweep-check
 
 .PHONY: vet
 vet:
@@ -37,3 +38,20 @@ fuzz:
 .PHONY: scenarios
 scenarios:
 	$(GO) run ./cmd/pushpull-scen run -out scenarios.json $$($(GO) run ./cmd/pushpull-scen list | awk '{print $$1}')
+
+# sweep-check proves parallelism never changes results: the builtin
+# smoke grid must produce the same aggregate digest on 1 worker and on
+# a real worker pool. The parallel leg pins 8 workers, not GOMAXPROCS:
+# on a single-core CI box GOMAXPROCS resolves to 1 and would compare
+# two serial runs, never exercising the pool at all.
+.PHONY: sweep-check
+sweep-check:
+	@d1=$$($(GO) run ./cmd/pushpull-scen sweep -workers 1 -digest smoke-grid) || exit 1; \
+	dn=$$($(GO) run ./cmd/pushpull-scen sweep -workers 8 -digest smoke-grid) || exit 1; \
+	if [ "$$d1" != "$$dn" ]; then \
+		echo "sweep-check FAILED: workers changed the aggregate digest"; \
+		echo "  1 worker:  $$d1"; \
+		echo "  N workers: $$dn"; \
+		exit 1; \
+	fi; \
+	echo "sweep-check OK: $$d1"

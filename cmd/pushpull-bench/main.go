@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	pushpull-bench [-iters N] [-csv] [experiment ...]
+//	pushpull-bench [-iters N] [-workers N] [-csv] [experiment ...]
 //	pushpull-bench -list
 //
-// With no experiment arguments, every experiment runs in order. Each
+// With no experiment arguments, every experiment runs. Experiments are
+// independent simulations, so they execute across a worker pool (one
+// engine per goroutine, -workers, default GOMAXPROCS) and print in the
+// requested order with identical numbers for any worker count. Each
 // experiment prints one or more tables whose rows correspond to the
 // paper's figure axes; EXPERIMENTS.md records the side-by-side
 // paper-vs-measured readings.
@@ -19,10 +22,12 @@ import (
 	"time"
 
 	"pushpull/internal/bench"
+	"pushpull/internal/stats"
 )
 
 func main() {
 	iters := flag.Int("iters", 1000, "timed iterations per point (paper: 1000)")
+	workers := flag.Int("workers", 0, "experiments run concurrently on this many workers (0 = GOMAXPROCS); never changes the numbers")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Usage = usage
@@ -42,7 +47,7 @@ func main() {
 		}
 	}
 
-	params := bench.Params{Iters: *iters}
+	var exps []bench.Experiment
 	for _, id := range ids {
 		e, err := bench.ByID(id)
 		if err != nil {
@@ -50,8 +55,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "run with -list to see available experiments")
 			os.Exit(2)
 		}
-		start := time.Now()
-		tables := e.Run(params)
+		exps = append(exps, e)
+	}
+
+	params := bench.Params{Iters: *iters}
+	start := time.Now()
+	// Tables stream in input order as experiments complete, so a long
+	// run shows progress and an interrupted one keeps what finished.
+	bench.RunExperimentsStream(exps, params, *workers, func(i int, tables []*stats.Table) {
 		for _, tab := range tables {
 			if *csv {
 				fmt.Print(tab.CSV())
@@ -60,8 +71,11 @@ func main() {
 			}
 		}
 		if !*csv {
-			fmt.Printf("# paper: %s\n# (%s, wall time %.1fs)\n\n", e.Paper, e.ID, time.Since(start).Seconds())
+			fmt.Printf("# paper: %s\n# (%s)\n\n", exps[i].Paper, exps[i].ID)
 		}
+	})
+	if !*csv {
+		fmt.Printf("# %d experiment(s), total wall time %.1fs\n", len(exps), time.Since(start).Seconds())
 	}
 }
 

@@ -7,19 +7,28 @@
 //	pushpull-scen patterns
 //	pushpull-scen spec <scenario>
 //	pushpull-scen run [-seed N] [-messages N] [-size N] [-samples] [-out FILE] <scenario|spec.json> ...
+//	pushpull-scen sweeps
+//	pushpull-scen sweep [-workers N] [-digest] [-print] [-out FILE] <sweep|sweep.json>
 //
 // "run" accepts builtin scenario names (see "list") and paths to JSON
 // spec files (see "spec" for the schema; a file only needs the fields
 // that differ from the paper's testbed defaults). Results go to stdout
 // as a JSON array, or to -out. Rerunning with the same seed reproduces
 // byte-identical results — the digest field makes that checkable.
+//
+// "sweep" expands a base spec over a cartesian parameter grid and runs
+// the points across a worker pool of independent engines (one engine
+// per goroutine). Results are emitted in deterministic grid order with
+// an aggregate digest: the output is byte-identical whatever -workers.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"pushpull/internal/scenario"
 )
@@ -50,6 +59,12 @@ func main() {
 		fmt.Printf("%s\n", spec.JSON())
 	case "run":
 		runCmd(os.Args[2:])
+	case "sweeps":
+		for _, sw := range scenario.BuiltinSweeps() {
+			fmt.Printf("%-12s %4d points  %s\n", sw.Name, sw.Grid.Points(), sw.Description)
+		}
+	case "sweep":
+		sweepCmd(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -110,6 +125,72 @@ func runCmd(args []string) {
 	fmt.Print(blob)
 }
 
+func sweepCmd(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); never changes the results")
+	digest := fs.Bool("digest", false, "print only the aggregate digest to stdout")
+	printSpec := fs.Bool("print", false, "print the sweep's JSON spec instead of running it")
+	samples := fs.Bool("samples", false, "include raw per-message latency samples in every point result")
+	out := fs.String("out", "", "write the sweep result to this file instead of stdout")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pushpull-scen sweep [flags] <sweep|sweep.json>")
+		os.Exit(2)
+	}
+
+	sw, err := resolveSweep(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *printSpec {
+		fmt.Printf("%s\n", sw.JSON())
+		return
+	}
+	var opts []scenario.RunOption
+	if *samples {
+		opts = append(opts, scenario.KeepSamples())
+	}
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	res, err := scenario.RunSweep(sw, w, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "%s: %d points (%d failed) on %d workers in %.2fs (%.1f points/s), digest %s\n",
+		res.Sweep, res.Points, res.Failed, w, elapsed.Seconds(),
+		float64(res.Points)/elapsed.Seconds(), res.Digest[:12])
+
+	if *out != "" {
+		if err := os.WriteFile(*out, append(res.JSON(), '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *digest {
+		fmt.Println(res.Digest)
+		return
+	}
+	if *out == "" {
+		os.Stdout.Write(append(res.JSON(), '\n'))
+	}
+}
+
+// resolveSweep maps a sweep argument to a spec: a builtin name, or a
+// path to a JSON sweep file.
+func resolveSweep(arg string) (scenario.Sweep, error) {
+	if sw, err := scenario.SweepByName(arg); err == nil {
+		return sw, nil
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return scenario.Sweep{}, fmt.Errorf("%q is neither a builtin sweep (see \"pushpull-scen sweeps\") nor a readable sweep file: %w", arg, err)
+	}
+	return scenario.ParseSweep(data)
+}
+
 // resolve maps a run argument to a spec: a builtin name, or a path to a
 // JSON spec file.
 func resolve(arg string) (scenario.Spec, error) {
@@ -137,6 +218,10 @@ usage:
   pushpull-scen spec <scenario>       print a scenario's JSON spec (edit + feed back to run)
   pushpull-scen run [flags] <scenario|spec.json> ...
                                       run scenarios, JSON results to stdout
+  pushpull-scen sweeps                list builtin parameter sweeps
+  pushpull-scen sweep [flags] <sweep|sweep.json>
+                                      expand a base spec over a parameter grid and
+                                      run every point on a worker pool
 
 run flags:
   -seed N       override the seed (same seed => byte-identical result)
@@ -144,5 +229,12 @@ run flags:
   -size N       override message size
   -samples      include raw latency samples in the JSON
   -out FILE     write the JSON array to FILE
+
+sweep flags:
+  -workers N    pool size (0 = GOMAXPROCS); results are byte-identical for any N
+  -digest       print only the aggregate digest (CI determinism checks)
+  -print        print the sweep's JSON spec instead of running it
+  -samples      keep raw latency samples in every point result
+  -out FILE     write the sweep result JSON to FILE
 `)
 }

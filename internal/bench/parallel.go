@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"pushpull/internal/scenario"
+	"pushpull/internal/stats"
+)
+
+// RunExperimentsStream runs the given experiments across a worker pool
+// and calls emit(i, tables) for each experiment in input order, as soon
+// as it and all its predecessors have finished — so a long multi-
+// experiment run streams completed tables instead of buffering
+// everything behind a barrier. Every experiment drives its own clusters
+// on its own single-threaded simulation engines, so the tables are
+// identical for any worker count (TestRunExperimentsWorkerCount pins
+// this). workers <= 0 means GOMAXPROCS.
+func RunExperimentsStream(exps []Experiment, p Params, workers int, emit func(i int, tables []*stats.Table)) {
+	out := make([][]*stats.Table, len(exps))
+	done := make([]chan struct{}, len(exps))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	go scenario.ParallelFor(len(exps), workers, func(i int) {
+		out[i] = exps[i].Run(p)
+		close(done[i])
+	})
+	for i := range exps {
+		<-done[i]
+		emit(i, out[i])
+	}
+}
+
+// RunExperiments is RunExperimentsStream collecting every experiment's
+// tables, in input order.
+func RunExperiments(exps []Experiment, p Params, workers int) [][]*stats.Table {
+	out := make([][]*stats.Table, len(exps))
+	RunExperimentsStream(exps, p, workers, func(i int, tables []*stats.Table) {
+		out[i] = tables
+	})
+	return out
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"testing"
+
+	"pushpull/internal/stats"
+)
+
+// TestRunExperimentsWorkerCount pins RunExperiments' guarantee: the
+// rendered tables are identical for any worker count, and the streaming
+// variant emits strictly in input order however completion interleaves.
+func TestRunExperimentsWorkerCount(t *testing.T) {
+	var exps []Experiment
+	for _, id := range []string{"fig3", "btp2", "threephase"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps = append(exps, e)
+	}
+	p := Params{Iters: 5}
+
+	serial := RunExperiments(exps, p, 1)
+	parallel := RunExperiments(exps, p, 4)
+	if len(serial) != len(exps) || len(parallel) != len(exps) {
+		t.Fatalf("result lengths %d/%d, want %d", len(serial), len(parallel), len(exps))
+	}
+	for i := range exps {
+		if len(serial[i]) == 0 {
+			t.Fatalf("experiment %s produced no tables", exps[i].ID)
+		}
+		if len(serial[i]) != len(parallel[i]) {
+			t.Fatalf("experiment %s: %d tables serial vs %d parallel", exps[i].ID, len(serial[i]), len(parallel[i]))
+		}
+		for j := range serial[i] {
+			if serial[i][j].Render() != parallel[i][j].Render() {
+				t.Errorf("experiment %s table %d differs between 1 and 4 workers", exps[i].ID, j)
+			}
+		}
+	}
+
+	var order []int
+	RunExperimentsStream(exps, p, 4, func(i int, tables []*stats.Table) {
+		order = append(order, i)
+	})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("stream emitted experiments in order %v, want input order", order)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Sweep is a declarative parameter study: one base Spec expanded over a
+// cartesian grid of parameter axes. Like Spec it is a plain struct with
+// a stable JSON encoding, so sweeps are files too. Each grid point is an
+// independent scenario run with its own engine; the expansion order —
+// and therefore the result order and the aggregate digest — is fixed by
+// the spec alone, never by scheduling.
+type Sweep struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Base supplies every field the grid does not vary.
+	Base Spec `json:"base"`
+	Grid Grid `json:"grid"`
+}
+
+// Grid names the swept axes. An empty axis keeps the base value; the
+// expansion is the cartesian product of the non-empty axes, ordered
+// nodes (outermost) > pushedBufBytes > sizes > lossRates > seeds
+// (innermost).
+type Grid struct {
+	// Nodes varies Topology.Nodes.
+	Nodes []int `json:"nodes,omitempty"`
+	// PushedBufBytes varies Protocol.PushedBufBytes.
+	PushedBufBytes []int `json:"pushedBufBytes,omitempty"`
+	// Sizes varies Traffic.Size.
+	Sizes []int `json:"sizes,omitempty"`
+	// LossRates varies Topology.LossRate.
+	LossRates []float64 `json:"lossRates,omitempty"`
+	// Seeds varies Seed.
+	Seeds []uint64 `json:"seeds,omitempty"`
+}
+
+// Point is one expanded grid cell: a complete runnable Spec plus its
+// position in grid order.
+type Point struct {
+	Index int
+	Spec  Spec
+}
+
+// Points reports the expansion size without expanding.
+func (g Grid) Points() int {
+	n := 1
+	for _, axis := range []int{
+		len(g.Nodes), len(g.PushedBufBytes), len(g.Sizes), len(g.LossRates), len(g.Seeds),
+	} {
+		if axis > 0 {
+			n *= axis
+		}
+	}
+	return n
+}
+
+// Expand materializes the grid in its deterministic order. Every point
+// is validated; an invalid cell (e.g. a nodes value the base topology
+// kind cannot host) fails the whole expansion, so a sweep never runs
+// half a study.
+func (sw Sweep) Expand() ([]Point, error) {
+	// Non-positive axis values would be silently ignored by the spec
+	// lowering (clusterConfig only applies them when > 0), leaving the
+	// point labelled with a parameter it did not run — reject them
+	// outright. Sizes <= 0 are caught by Spec.Validate below.
+	for _, n := range sw.Grid.Nodes {
+		if n <= 0 {
+			return nil, fmt.Errorf("scenario: sweep grid nodes value %d is not positive", n)
+		}
+	}
+	for _, b := range sw.Grid.PushedBufBytes {
+		if b <= 0 {
+			return nil, fmt.Errorf("scenario: sweep grid pushedBufBytes value %d is not positive", b)
+		}
+	}
+	for _, l := range sw.Grid.LossRates {
+		if l < 0 || l > 1 {
+			return nil, fmt.Errorf("scenario: sweep grid loss rate %g outside [0, 1]", l)
+		}
+	}
+	axes := []struct {
+		key    string
+		n      int
+		format func(i int) string
+		apply  func(s *Spec, i int)
+	}{
+		{"nodes", len(sw.Grid.Nodes),
+			func(i int) string { return fmt.Sprintf("%d", sw.Grid.Nodes[i]) },
+			func(s *Spec, i int) { s.Topology.Nodes = sw.Grid.Nodes[i] }},
+		{"buf", len(sw.Grid.PushedBufBytes),
+			func(i int) string { return fmt.Sprintf("%d", sw.Grid.PushedBufBytes[i]) },
+			func(s *Spec, i int) { s.Protocol.PushedBufBytes = sw.Grid.PushedBufBytes[i] }},
+		{"size", len(sw.Grid.Sizes),
+			func(i int) string { return fmt.Sprintf("%d", sw.Grid.Sizes[i]) },
+			func(s *Spec, i int) { s.Traffic.Size = sw.Grid.Sizes[i] }},
+		{"loss", len(sw.Grid.LossRates),
+			func(i int) string { return fmt.Sprintf("%g", sw.Grid.LossRates[i]) },
+			func(s *Spec, i int) { s.Topology.LossRate = sw.Grid.LossRates[i] }},
+		{"seed", len(sw.Grid.Seeds),
+			func(i int) string { return fmt.Sprintf("%d", sw.Grid.Seeds[i]) },
+			func(s *Spec, i int) { s.Seed = sw.Grid.Seeds[i] }},
+	}
+
+	base := sw.Base
+	name := sw.Name
+	if name == "" {
+		name = base.Name
+	}
+	points := make([]Point, 0, sw.Grid.Points())
+	// idx walks the mixed-radix counter over the non-empty axes, seeds
+	// fastest — a plain counting loop keeps the order self-evident.
+	idx := make([]int, len(axes))
+	for {
+		spec := base
+		suffix := ""
+		for a, ax := range axes {
+			if ax.n == 0 {
+				continue
+			}
+			ax.apply(&spec, idx[a])
+			if suffix != "" {
+				suffix += ","
+			}
+			suffix += ax.key + "=" + ax.format(idx[a])
+		}
+		spec.Name = name
+		if suffix != "" {
+			spec.Name = name + "/" + suffix
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario: sweep %q point %q: %w", name, spec.Name, err)
+		}
+		points = append(points, Point{Index: len(points), Spec: spec})
+
+		// Increment the counter, innermost (last) axis fastest.
+		a := len(axes) - 1
+		for ; a >= 0; a-- {
+			if axes[a].n == 0 {
+				continue
+			}
+			idx[a]++
+			if idx[a] < axes[a].n {
+				break
+			}
+			idx[a] = 0
+		}
+		if a < 0 {
+			return points, nil
+		}
+	}
+}
+
+// PointResult is one grid cell's outcome. Exactly one of Error and
+// Result is set: a point whose run fails (validation, livelock budget,
+// or a panic out of the protocol model) is reported in place, so one
+// pathological cell cannot void a 200-point study.
+type PointResult struct {
+	Index          int     `json:"index"`
+	Name           string  `json:"name"`
+	Nodes          int     `json:"nodes"`
+	PushedBufBytes int     `json:"pushedBufBytes"`
+	Size           int     `json:"size"`
+	LossRate       float64 `json:"lossRate"`
+	Seed           uint64  `json:"seed"`
+	Error          string  `json:"error,omitempty"`
+	Result         *Result `json:"result,omitempty"`
+}
+
+// SweepResult is the machine-readable outcome of a whole sweep, in grid
+// order. Nothing in it depends on wall time or worker count: running the
+// same sweep with 1 worker or GOMAXPROCS produces a byte-identical
+// encoding, and the aggregate Digest makes that checkable at a glance.
+type SweepResult struct {
+	Sweep       string        `json:"sweep"`
+	Description string        `json:"description,omitempty"`
+	Points      int           `json:"points"`
+	Failed      int           `json:"failed"`
+	Results     []PointResult `json:"results"`
+	// Digest is a SHA-256 over every point's digest (or error) in grid
+	// order: two sweeps agree iff all their runs do.
+	Digest string `json:"digest"`
+}
+
+// JSON renders the sweep result indented for files and stdout.
+func (r *SweepResult) JSON() []byte {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // plain-data struct: cannot fail
+	}
+	return out
+}
+
+// ParallelFor runs do(i) for every i in [0, n) across a pool of
+// workers. It is the repo's one across-runs parallelism primitive: each
+// do call owns its simulation engines outright (engines are single-
+// threaded by design), so parallelism lives strictly across runs, never
+// within one, and results indexed by i need no locking. workers <= 0
+// means GOMAXPROCS; ParallelFor returns when every call has.
+func ParallelFor(n, workers int, do func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			do(i)
+		}
+		return
+	}
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				do(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+}
+
+// RunSweep expands the sweep and runs every point across a worker pool,
+// one simulation engine per goroutine. workers <= 0 means GOMAXPROCS.
+// Results come back in grid order regardless of completion order.
+func RunSweep(sw Sweep, workers int, opts ...RunOption) (*SweepResult, error) {
+	points, err := sw.Expand()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]PointResult, len(points))
+	ParallelFor(len(points), workers, func(i int) {
+		results[i] = runPoint(points[i], opts...)
+	})
+
+	name := sw.Name
+	if name == "" {
+		name = sw.Base.Name
+	}
+	res := &SweepResult{
+		Sweep:       name,
+		Description: sw.Description,
+		Points:      len(results),
+		Results:     results,
+	}
+	h := sha256.New()
+	for i := range results {
+		pr := &results[i]
+		if pr.Error != "" {
+			res.Failed++
+			fmt.Fprintf(h, "%d %s error %s\n", pr.Index, pr.Name, pr.Error)
+			continue
+		}
+		fmt.Fprintf(h, "%d %s %s\n", pr.Index, pr.Name, pr.Result.Digest)
+	}
+	res.Digest = hex.EncodeToString(h.Sum(nil))
+	return res, nil
+}
+
+// runPoint runs one cell, converting errors and model panics into the
+// point's Error field. The recover matters under parallelism: a panic
+// escaping a worker goroutine would kill the whole process, turning one
+// bad cell into zero results.
+func runPoint(pt Point, opts ...RunOption) (pr PointResult) {
+	s := pt.Spec
+	pr = PointResult{
+		Index:          pt.Index,
+		Name:           s.Name,
+		Nodes:          s.Topology.Nodes,
+		PushedBufBytes: s.Protocol.PushedBufBytes,
+		Size:           s.Traffic.Size,
+		LossRate:       s.Topology.LossRate,
+		Seed:           s.Seed,
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			pr.Result = nil
+			pr.Error = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	res, err := Run(s, opts...)
+	if err != nil {
+		pr.Error = err.Error()
+		return pr
+	}
+	pr.Result = res
+	return pr
+}
+
+// ParseSweep overlays JSON onto a default-rooted sweep, so a sweep file
+// only states what differs from the paper's testbed (mirroring
+// ParseSpec).
+func ParseSweep(data []byte) (Sweep, error) {
+	sw := Sweep{Base: DefaultSpec()}
+	if err := json.Unmarshal(data, &sw); err != nil {
+		return Sweep{}, fmt.Errorf("scenario: parsing sweep: %w", err)
+	}
+	if _, err := sw.Expand(); err != nil {
+		return Sweep{}, err
+	}
+	return sw, nil
+}
+
+// JSON renders the sweep spec canonically.
+func (sw Sweep) JSON() []byte {
+	out, err := json.MarshalIndent(sw, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// BuiltinSweeps returns the named parameter studies shipped with the
+// engine: a small grid for CI determinism checks and a larger study
+// exercising every axis.
+func BuiltinSweeps() []Sweep {
+	smoke := Sweep{
+		Name:        "smoke-grid",
+		Description: "small CI grid: permutation traffic over nodes x size x seed (8 points, seconds)",
+		Base:        DefaultSpec(),
+	}
+	smoke.Base.Topology = Topology{Kind: "switch", Nodes: 2, ProcsPerNode: 1, Policy: "symmetric"}
+	smoke.Base.Traffic = Traffic{Pattern: "permutation", Size: 1400, Messages: 10}
+	smoke.Grid = Grid{
+		Nodes: []int{2, 4},
+		Sizes: []int{256, 1400},
+		Seeds: []uint64{1, 2},
+	}
+
+	study := Sweep{
+		Name:        "perm-study",
+		Description: "48-point study: permutation latency vs nodes x pushed buffer x size x loss x seed",
+		Base:        DefaultSpec(),
+	}
+	study.Base.Topology = Topology{Kind: "switch", Nodes: 4, ProcsPerNode: 1, Policy: "symmetric"}
+	study.Base.Protocol.RTOMs = 2
+	study.Base.Traffic = Traffic{Pattern: "permutation", Size: 1400, Messages: 30}
+	study.Grid = Grid{
+		Nodes:          []int{4, 6},
+		PushedBufBytes: []int{4096, 16384},
+		Sizes:          []int{1400, 4096},
+		LossRates:      []float64{0, 0.005},
+		Seeds:          []uint64{1, 2, 3},
+	}
+
+	return []Sweep{smoke, study}
+}
+
+// SweepNames lists the builtin sweep names, sorted.
+func SweepNames() []string {
+	sweeps := BuiltinSweeps()
+	names := make([]string, 0, len(sweeps))
+	for _, sw := range sweeps {
+		names = append(names, sw.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SweepByName returns the builtin sweep with the given name.
+func SweepByName(name string) (Sweep, error) {
+	for _, sw := range BuiltinSweeps() {
+		if sw.Name == name {
+			return sw, nil
+		}
+	}
+	return Sweep{}, fmt.Errorf("scenario: unknown sweep %q (have %v)", name, SweepNames())
+}

@@ -1,0 +1,224 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallSweep shrinks a sweep's traffic for test wall time.
+func smallSweep(sw Sweep) Sweep {
+	if sw.Base.Traffic.Messages > 5 {
+		sw.Base.Traffic.Messages = 5
+	}
+	return sw
+}
+
+// TestSweepExpansionOrder: the grid expands in the documented axis order
+// (nodes > buf > size > loss > seed, seeds innermost), empty axes keep
+// the base value, and every point gets a self-describing name.
+func TestSweepExpansionOrder(t *testing.T) {
+	sw := Sweep{Name: "order", Base: DefaultSpec()}
+	sw.Base.Topology = Topology{Kind: "switch", Nodes: 2, ProcsPerNode: 1}
+	sw.Base.Traffic = Traffic{Pattern: "pingpong", Size: 64, Messages: 3}
+	sw.Grid = Grid{
+		Nodes: []int{2, 4},
+		Sizes: []int{64, 1400},
+		Seeds: []uint64{7, 8},
+	}
+	if got := sw.Grid.Points(); got != 8 {
+		t.Fatalf("Points() = %d, want 8", got)
+	}
+	points, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("expanded %d points, want 8", len(points))
+	}
+	wantNames := []string{
+		"order/nodes=2,size=64,seed=7",
+		"order/nodes=2,size=64,seed=8",
+		"order/nodes=2,size=1400,seed=7",
+		"order/nodes=2,size=1400,seed=8",
+		"order/nodes=4,size=64,seed=7",
+		"order/nodes=4,size=64,seed=8",
+		"order/nodes=4,size=1400,seed=7",
+		"order/nodes=4,size=1400,seed=8",
+	}
+	for i, p := range points {
+		if p.Index != i {
+			t.Errorf("point %d carries index %d", i, p.Index)
+		}
+		if p.Spec.Name != wantNames[i] {
+			t.Errorf("point %d name = %q, want %q", i, p.Spec.Name, wantNames[i])
+		}
+		// The unswept axes keep base values.
+		if p.Spec.Protocol.PushedBufBytes != sw.Base.Protocol.PushedBufBytes {
+			t.Errorf("point %d lost the base pushed-buffer size", i)
+		}
+		if p.Spec.Topology.LossRate != 0 {
+			t.Errorf("point %d invented a loss rate", i)
+		}
+	}
+	if points[5].Spec.Topology.Nodes != 4 || points[5].Spec.Traffic.Size != 64 || points[5].Spec.Seed != 8 {
+		t.Errorf("point 5 = %+v, want nodes=4 size=64 seed=8", points[5].Spec)
+	}
+}
+
+// TestSweepExpansionValidatesEveryPoint: one invalid cell fails the
+// whole expansion — a sweep never silently runs half a study.
+func TestSweepExpansionValidatesEveryPoint(t *testing.T) {
+	sw := Sweep{Name: "invalid", Base: DefaultSpec()} // back-to-back base
+	sw.Grid = Grid{Nodes: []int{2, 8}}                // 8 nodes needs a switch
+	if _, err := sw.Expand(); err == nil || !strings.Contains(err.Error(), "at most 2 nodes") {
+		t.Fatalf("Expand() = %v, want the back-to-back node-count error", err)
+	}
+}
+
+// TestSweepExpansionRejectsInertAxisValues: non-positive nodes/buffer
+// values and out-of-range loss rates would be silently ignored by the
+// spec lowering while still labelling the point — they must fail the
+// expansion instead of mislabelling a study.
+func TestSweepExpansionRejectsInertAxisValues(t *testing.T) {
+	cases := []struct {
+		name string
+		grid Grid
+		want string
+	}{
+		{"zero nodes", Grid{Nodes: []int{0, 2}}, "nodes value 0"},
+		{"zero buffer", Grid{PushedBufBytes: []int{0}}, "pushedBufBytes value 0"},
+		{"negative loss", Grid{LossRates: []float64{-0.1}}, "loss rate -0.1"},
+		{"loss above one", Grid{LossRates: []float64{1.5}}, "loss rate 1.5"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sw := Sweep{Name: "inert", Base: DefaultSpec(), Grid: tc.grid}
+			if _, err := sw.Expand(); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Expand() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSweepWorkerCountDoesNotChangeResults is the subsystem's core
+// guarantee: 1 worker and many workers produce byte-identical sweep
+// results, aggregate digest included. Running this under -race also
+// checks the pool for data races.
+func TestSweepWorkerCountDoesNotChangeResults(t *testing.T) {
+	sw, err := SweepByName("smoke-grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw = smallSweep(sw)
+	serial, err := RunSweep(sw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep(sw, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Digest != parallel.Digest {
+		t.Fatalf("worker count changed the aggregate digest:\n  1 worker:  %s\n  8 workers: %s",
+			serial.Digest, parallel.Digest)
+	}
+	if string(serial.JSON()) != string(parallel.JSON()) {
+		t.Fatal("same digest but different sweep encodings")
+	}
+	if serial.Failed != 0 {
+		t.Fatalf("%d of %d smoke-grid points failed", serial.Failed, serial.Points)
+	}
+	if serial.Points != sw.Grid.Points() {
+		t.Fatalf("ran %d points, grid says %d", serial.Points, sw.Grid.Points())
+	}
+}
+
+// TestSweepReportsPointFailuresInPlace: a cell whose run fails (here: a
+// virtual-time budget exhausted immediately) is reported in its grid
+// slot with the error, and healthy cells still produce results.
+func TestSweepReportsPointFailuresInPlace(t *testing.T) {
+	base := DefaultSpec()
+	base.Topology = Topology{Kind: "switch", Nodes: 2, ProcsPerNode: 1}
+	base.Traffic = Traffic{Pattern: "pingpong", Size: 64, Messages: 3}
+	base.MaxVirtualMS = 0.0001 // nothing completes inside this budget
+	sw := Sweep{Name: "doomed", Base: base, Grid: Grid{Seeds: []uint64{1, 2}}}
+	res, err := RunSweep(sw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 2 {
+		t.Fatalf("Failed = %d, want 2", res.Failed)
+	}
+	for i, pr := range res.Results {
+		if pr.Index != i {
+			t.Errorf("result %d carries index %d", i, pr.Index)
+		}
+		if pr.Result != nil || !strings.Contains(pr.Error, "virtual budget") {
+			t.Errorf("point %d: Result=%v Error=%q, want a virtual-budget error and no result", i, pr.Result, pr.Error)
+		}
+	}
+	// Determinism holds for failures too.
+	again, err := RunSweep(sw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Digest != res.Digest {
+		t.Fatalf("failure digests differ across worker counts: %s vs %s", res.Digest, again.Digest)
+	}
+}
+
+// TestSweepPointResultsCarryTheirParameters: downstream analysis reads
+// the swept parameters off each PointResult, not by re-deriving the grid.
+func TestSweepPointResultsCarryTheirParameters(t *testing.T) {
+	sw, err := SweepByName("smoke-grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw = smallSweep(sw)
+	res, err := RunSweep(sw, 0) // 0 = GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pr := range res.Results {
+		spec := points[i].Spec
+		if pr.Nodes != spec.Topology.Nodes || pr.Size != spec.Traffic.Size ||
+			pr.Seed != spec.Seed || pr.Name != spec.Name {
+			t.Errorf("point %d result parameters %+v do not match its spec", i, pr)
+		}
+		if pr.Result == nil || pr.Result.Digest == "" {
+			t.Errorf("point %d has no sealed result", i)
+		}
+		if pr.Result != nil && pr.Result.Seed != spec.Seed {
+			t.Errorf("point %d ran seed %d, spec says %d", i, pr.Result.Seed, spec.Seed)
+		}
+	}
+}
+
+// TestSweepJSONRoundTrip: sweep specs are files; rendering and parsing
+// one back must be the identity, and parsing overlays base defaults.
+func TestSweepJSONRoundTrip(t *testing.T) {
+	for _, sw := range BuiltinSweeps() {
+		back, err := ParseSweep(sw.JSON())
+		if err != nil {
+			t.Fatalf("%s: %v", sw.Name, err)
+		}
+		if string(back.JSON()) != string(sw.JSON()) {
+			t.Errorf("%s: JSON round trip changed the sweep", sw.Name)
+		}
+	}
+	// A sparse sweep file inherits the testbed defaults in its base.
+	sparse, err := ParseSweep([]byte(`{"name":"sparse","base":{"topology":{"kind":"switch","nodes":2},"traffic":{"pattern":"pingpong","size":64,"messages":3}},"grid":{"seeds":[1,2,3]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.Base.Protocol.BTP != DefaultSpec().Protocol.BTP {
+		t.Errorf("sparse sweep lost protocol defaults: %+v", sparse.Base.Protocol)
+	}
+	if sparse.Grid.Points() != 3 {
+		t.Errorf("sparse sweep expands to %d points, want 3", sparse.Grid.Points())
+	}
+}

@@ -33,13 +33,83 @@ func TestAtCancelWithdrawsEvent(t *testing.T) {
 
 func TestCancelAfterExecutionIsNoOp(t *testing.T) {
 	e := NewEngine(1)
-	var h *EventHandle
-	h = e.AtCancel(Time(0).Add(Microsecond), PriorityNormal, func() {})
+	h := e.AtCancel(Time(0).Add(Microsecond), PriorityNormal, func() {})
 	e.Schedule(Millisecond, func() {})
 	e.Run()
 	h.Cancel() // event already ran; must not corrupt the pending count
 	if e.Pending() != 0 {
 		t.Fatalf("Pending() = %d after late cancel, want 0", e.Pending())
+	}
+}
+
+// TestZeroEventHandleCancelIsNoOp: the zero EventHandle is documented as
+// inert, so holders need no armed/disarmed bookkeeping before calling
+// Cancel (a zero-value Timer field used to dereference nil here).
+func TestZeroEventHandleCancelIsNoOp(t *testing.T) {
+	var h EventHandle
+	h.Cancel() // must not panic
+	e := NewEngine(1)
+	e.Schedule(Microsecond, func() {})
+	h.Cancel() // still inert with engines around
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, a zero handle cancelled a real event", e.Pending())
+	}
+}
+
+// TestStaleHandleCannotCancelRecycledEvent: event structs are pooled, so
+// a handle kept after its event ran must not be able to cancel the
+// unrelated event that later reuses the same struct.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	e := NewEngine(1)
+	h := e.AtCancel(Time(0).Add(Microsecond), PriorityNormal, func() {})
+	e.Run() // the event runs and its struct returns to the pool
+	ran := false
+	h2 := e.AtCancel(e.Now().Add(Microsecond), PriorityNormal, func() { ran = true })
+	h.Cancel() // stale: must not withdraw the recycled incarnation
+	e.Run()
+	if !ran {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	h2.Cancel() // already ran: no-op
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+// TestCancelledEventsDoNotAccumulate is the unbounded-growth regression:
+// a long-lived run arming and disarming many retransmission timers must
+// keep the event heap at O(live events). Tombstoning (the previous
+// implementation) only reclaimed cancelled events when they were popped,
+// so this loop used to grow the heap by one entry per arm/disarm.
+func TestCancelledEventsDoNotAccumulate(t *testing.T) {
+	e := NewEngine(1)
+	tm := NewTimer(e, func() {})
+	const cycles = 100_000
+	for i := 0; i < cycles; i++ {
+		tm.Reset(150 * Millisecond)
+		tm.Stop()
+	}
+	if n := len(e.events); n != 0 {
+		t.Errorf("heap holds %d events after %d arm/disarm cycles, want 0", n, cycles)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d, want 0", e.Pending())
+	}
+	// The same property with interleaved live events: cancellation must
+	// remove from the middle of the heap, not just the ends.
+	live := 0
+	for i := 0; i < 1000; i++ {
+		keep := e.AtCancel(e.Now().Add(Duration(i+1)*Microsecond), PriorityNormal, func() { live++ })
+		drop := e.AtCancel(e.Now().Add(Duration(i+1)*Millisecond), PriorityNormal, func() { t.Error("cancelled event ran") })
+		drop.Cancel()
+		_ = keep
+	}
+	if n := len(e.events); n != 1000 {
+		t.Errorf("heap holds %d events, want exactly the 1000 live ones", n)
+	}
+	e.Run()
+	if live != 1000 {
+		t.Errorf("%d live events ran, want 1000", live)
 	}
 }
 

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Priority orders events that are scheduled for the same virtual time.
 // Lower values run first. Most model code uses PriorityNormal; interrupt
@@ -18,82 +15,85 @@ const (
 	PriorityLow    Priority = 1
 )
 
+// event is one heap-scheduled callback. Event structs are pooled: the
+// engine recycles them through a free list so steady-state scheduling
+// allocates nothing, and gen tells a live incarnation from a recycled
+// one so stale EventHandles are harmless.
 type event struct {
 	at   Time
 	prio Priority
 	seq  uint64 // insertion order; final tiebreak for determinism
 	fn   func()
-	// cancelled events stay in the heap (removal from the middle of a
-	// binary heap is not worth the bookkeeping) but are skipped without
-	// advancing the clock or the executed count when popped; done marks
-	// events that already ran, making a late Cancel a no-op.
-	cancelled bool
-	done      bool
+	idx  int    // position in the heap; -1 once popped or removed
+	gen  uint64 // bumped on every recycle; EventHandles must match it
 }
 
 // EventHandle identifies one scheduled event so it can be cancelled.
+// The zero EventHandle is valid and inert: Cancel on it is a no-op, so
+// holders (timers, protocol state machines) need no armed/disarmed
+// bookkeeping of their own.
 type EventHandle struct {
-	e  *Engine
-	ev *event
+	e   *Engine
+	ev  *event
+	gen uint64
 }
 
 // Cancel withdraws the event: it will not run, will not advance the
-// virtual clock, and no longer counts as pending. Cancelling twice (or
-// after the event ran) is a no-op.
-func (h *EventHandle) Cancel() {
-	if h == nil || h.ev.cancelled || h.ev.done {
+// virtual clock, and no longer counts as pending. The event is removed
+// from the heap in place (sift repair), so cancelled events cost nothing
+// at pop time and Pending()/memory stay proportional to live events.
+// Cancelling twice, after the event ran, or through a zero handle is a
+// no-op.
+func (h EventHandle) Cancel() {
+	// gen mismatch means the event struct was recycled (it ran, or was
+	// cancelled already); idx < 0 catches the event currently executing.
+	if h.ev == nil || h.ev.gen != h.gen || h.ev.idx < 0 {
 		return
 	}
-	h.ev.cancelled = true
-	h.e.ncancelled++
+	h.e.heapRemove(h.ev)
+	h.e.release(h.ev)
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// dispatchEntry is a same-time event on the direct-dispatch queue. The
+// wake/Yield path — schedule at the current timestamp with normal
+// priority — bypasses the heap entirely: entries carry only the sequence
+// number needed to merge correctly against heap events, and live in a
+// value ring so the hottest scheduling path allocates nothing.
+type dispatchEntry struct {
+	seq uint64
+	fn  func()
 }
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; create engines with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now    Time
+	seq    uint64
+	events []*event // index-tracked min-heap on (at, prio, seq)
+	free   []*event // recycled event structs
+
+	// dq is the same-time direct-dispatch FIFO: events at (now,
+	// PriorityNormal) in seq order, dq[dqHead:] pending. Its entries
+	// always carry the current virtual time — time cannot advance while
+	// the queue is non-empty, because anything in it is already runnable.
+	dq     []dispatchEntry
+	dqHead int
+
 	yield   chan struct{} // running process hands control back here
 	stopped bool
 	rng     *Rand
 
-	nproc      int // live (not yet finished) processes
-	fault      any // panic captured from a process, re-raised in Run
-	executed   uint64
-	ncancelled int // cancelled events still sitting in the heap
-	nameCount  map[string]int
+	nproc     int // live (not yet finished) processes
+	fault     any // panic captured from a process, re-raised in Run
+	executed  uint64
+	nameCount map[string]int
 }
 
 // NewEngine returns an engine at virtual time zero with a deterministic
 // random source derived from seed.
 func NewEngine(seed uint64) *Engine {
 	return &Engine{
-		yield:     make(chan struct{}),
+		yield:     make(chan struct{}, 1),
 		rng:       NewRand(seed),
 		nameCount: make(map[string]int),
 	}
@@ -113,15 +113,24 @@ func (e *Engine) Schedule(d Duration, fn func()) { e.At(e.now.Add(d), PriorityNo
 
 // At runs fn at absolute virtual time t. Scheduling in the past panics:
 // that is always a model bug, and silently clamping it would corrupt
-// latency measurements.
+// latency measurements. Events at the current time with normal priority
+// take the direct-dispatch queue and never touch the heap.
 func (e *Engine) At(t Time, prio Priority, fn func()) {
+	if t == e.now && prio == PriorityNormal {
+		e.seq++
+		e.dq = append(e.dq, dispatchEntry{seq: e.seq, fn: fn})
+		return
+	}
 	e.at(t, prio, fn)
 }
 
 // AtCancel is At returning a handle through which the event can be
-// withdrawn again — the basis of cancellable timers.
-func (e *Engine) AtCancel(t Time, prio Priority, fn func()) *EventHandle {
-	return &EventHandle{e: e, ev: e.at(t, prio, fn)}
+// withdrawn again — the basis of cancellable timers. Cancellable events
+// always go through the heap (the dispatch queue has no removal), so
+// prefer At for events that will certainly run.
+func (e *Engine) AtCancel(t Time, prio Priority, fn func()) EventHandle {
+	ev := e.at(t, prio, fn)
+	return EventHandle{e: e, ev: ev, gen: ev.gen}
 }
 
 func (e *Engine) at(t Time, prio Priority, fn func()) *event {
@@ -129,9 +138,30 @@ func (e *Engine) at(t Time, prio Priority, fn func()) *event {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	ev := &event{at: t, prio: prio, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
+	ev := e.alloc()
+	ev.at, ev.prio, ev.seq, ev.fn = t, prio, e.seq, fn
+	e.heapPush(ev)
 	return ev
+}
+
+// alloc takes an event struct from the free list, or mints one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// release recycles an executed or cancelled event. Bumping gen here
+// invalidates every outstanding handle to this incarnation.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.idx = -1
+	ev.gen++
+	e.free = append(e.free, ev)
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -144,30 +174,165 @@ func (e *Engine) Run() Time { return e.RunUntil(Time(1<<63 - 1)) }
 // RunUntil executes events with timestamps <= limit, then returns. The
 // clock is left at the last executed event (or limit if nothing ran after
 // it); pending later events remain queued.
+//
+// The loop is a two-way merge of the heap and the direct-dispatch queue:
+// both are ordered by (time, priority, seq), so popping the smaller head
+// preserves the engine's total execution order exactly.
 func (e *Engine) RunUntil(limit Time) Time {
 	e.stopped = false
-	for !e.stopped && len(e.events) > 0 {
-		next := e.events[0]
-		if next.cancelled {
-			// Withdrawn: discard without touching the clock.
-			heap.Pop(&e.events)
-			e.ncancelled--
-			continue
-		}
-		if next.at > limit {
+	for !e.stopped {
+		hasDQ := e.dqHead < len(e.dq)
+		hasHeap := len(e.events) > 0
+		if !hasDQ && !hasHeap {
 			break
 		}
-		heap.Pop(&e.events)
-		next.done = true
-		e.now = next.at
+		useHeap := hasHeap
+		if hasDQ && hasHeap {
+			// The dispatch head's key is (e.now, PriorityNormal, seq);
+			// the heap wins only with a strictly smaller key.
+			top := e.events[0]
+			if top.at > e.now || (top.at == e.now &&
+				(top.prio > PriorityNormal ||
+					(top.prio == PriorityNormal && top.seq > e.dq[e.dqHead].seq))) {
+				useHeap = false
+			}
+		}
+		if useHeap {
+			next := e.events[0]
+			if next.at > limit {
+				break
+			}
+			e.heapPopTop()
+			e.now = next.at
+			e.executed++
+			fn := next.fn
+			e.release(next)
+			fn()
+			continue
+		}
+		if e.now > limit {
+			break
+		}
+		fn := e.dq[e.dqHead].fn
+		e.dq[e.dqHead].fn = nil
+		e.dqHead++
+		if e.dqHead == len(e.dq) {
+			e.dq, e.dqHead = e.dq[:0], 0
+		} else if e.dqHead >= 64 && e.dqHead*2 >= len(e.dq) {
+			// A self-sustaining same-time chain never fully drains the
+			// queue; compact so consumed head space is reused. The
+			// vacated tail must drop its closure references like the
+			// pop path does, or they outlive their events.
+			n := copy(e.dq, e.dq[e.dqHead:])
+			for i := n; i < len(e.dq); i++ {
+				e.dq[i].fn = nil
+			}
+			e.dq, e.dqHead = e.dq[:n], 0
+		}
 		e.executed++
-		next.fn()
+		fn()
 	}
 	return e.now
 }
 
-// Pending reports the number of queued (non-cancelled) events.
-func (e *Engine) Pending() int { return len(e.events) - e.ncancelled }
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) + (len(e.dq) - e.dqHead) }
+
+// eventLess is the engine's total execution order.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+// The heap is hand-rolled rather than container/heap so that every
+// element knows its own index (idx), which is what makes EventHandle
+// .Cancel an O(log n) in-place removal instead of a tombstone.
+
+func (e *Engine) heapPush(ev *event) {
+	ev.idx = len(e.events)
+	e.events = append(e.events, ev)
+	e.siftUp(ev.idx)
+}
+
+func (e *Engine) heapPopTop() {
+	h := e.events
+	h[0].idx = -1
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.events = h[:n]
+	if n > 0 {
+		e.events[0] = last
+		last.idx = 0
+		e.siftDown(0)
+	}
+}
+
+// heapRemove takes ev out of the middle of the heap, repairing the
+// invariant around the element moved into its slot.
+func (e *Engine) heapRemove(ev *event) {
+	i := ev.idx
+	h := e.events
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.events = h[:n]
+	ev.idx = -1
+	if i == n {
+		return
+	}
+	e.events[i] = last
+	last.idx = i
+	e.siftDown(i)
+	if last.idx == i {
+		e.siftUp(i)
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.events
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].idx = i
+		i = parent
+	}
+	h[i] = ev
+	ev.idx = i
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.events
+	n := len(h)
+	ev := h[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && eventLess(h[r], h[l]) {
+			m = r
+		}
+		if !eventLess(h[m], ev) {
+			break
+		}
+		h[i] = h[m]
+		h[i].idx = i
+		i = m
+	}
+	h[i] = ev
+	ev.idx = i
+}
 
 // uniqueName disambiguates duplicate process names for tracing.
 func (e *Engine) uniqueName(name string) string {

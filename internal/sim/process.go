@@ -13,7 +13,11 @@ type Process struct {
 	e      *Engine
 	name   string
 	resume chan struct{}
-	done   bool
+	// transferFn is the bound transfer method, created once: scheduling
+	// p.transfer directly would allocate a fresh method-value closure on
+	// every wake and sleep.
+	transferFn func()
+	done       bool
 	// waiting marks the process as parked on a Cond/Queue/Resource so that
 	// double-wakes can be detected as model bugs.
 	waiting bool
@@ -28,7 +32,8 @@ func (e *Engine) Go(name string, body func(p *Process)) *Process {
 
 // GoAt is like Go but delays the start of the process by d.
 func (e *Engine) GoAt(d Duration, name string, body func(p *Process)) *Process {
-	p := &Process{e: e, name: e.uniqueName(name), resume: make(chan struct{})}
+	p := &Process{e: e, name: e.uniqueName(name), resume: make(chan struct{}, 1)}
+	p.transferFn = p.transfer
 	e.nproc++
 	e.Schedule(d, func() {
 		go func() {
@@ -53,6 +58,13 @@ func (e *Engine) GoAt(d Duration, name string, body func(p *Process)) *Process {
 
 // transfer hands the engine's control token to the process and blocks until
 // the process parks or finishes. Must be called from engine context.
+//
+// Both control channels are buffered (capacity 1), so handing the token
+// over costs each side a single blocking channel operation: the resume
+// send completes immediately and the engine parks only on the yield
+// receive; symmetrically the process's yield send completes immediately —
+// the engine regains control without a second rendezvous — and the
+// process parks only on its resume receive.
 func (p *Process) transfer() {
 	p.resume <- struct{}{}
 	<-p.e.yield
@@ -77,7 +89,7 @@ func (p *Process) wake() {
 		panic("sim: waking finished process " + p.name)
 	}
 	p.waiting = false
-	p.e.At(p.e.now, PriorityNormal, p.transfer)
+	p.e.At(p.e.now, PriorityNormal, p.transferFn)
 }
 
 // Name reports the process's (unique) name.
@@ -98,7 +110,7 @@ func (p *Process) Sleep(d Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: %s sleeping negative duration %d", p.name, d))
 	}
-	p.e.At(p.e.now.Add(d), PriorityNormal, p.transfer)
+	p.e.At(p.e.now.Add(d), PriorityNormal, p.transferFn)
 	p.park()
 }
 

@@ -5,20 +5,32 @@ package sim
 // event context at expiry unless the timer was stopped or reset first.
 //
 // Stop and Reset withdraw the previously scheduled expiration outright
-// (EventHandle.Cancel), so a disarmed timer leaves nothing behind: no
-// stale no-op event to advance the clock past the last real activity,
-// and nothing to count as pending work.
+// (EventHandle.Cancel removes it from the event heap in place), so a
+// disarmed timer leaves nothing behind: no stale event to advance the
+// clock past the last real activity, nothing to count as pending work,
+// and no heap growth however many times it is re-armed. Arming and
+// disarming allocate nothing in steady state.
 type Timer struct {
-	e      *Engine
-	fn     func()
+	e  *Engine
+	fn func()
+	// expire is the scheduled callback, closed over once here: re-arming
+	// with a fresh closure per Reset would put an allocation on the
+	// retransmission hot path.
+	expire func()
 	armed  bool
 	at     Time
-	handle *EventHandle
+	handle EventHandle
 }
 
 // NewTimer returns an unarmed timer that will run fn on expiry.
 func NewTimer(e *Engine, fn func()) *Timer {
-	return &Timer{e: e, fn: fn}
+	t := &Timer{e: e, fn: fn}
+	t.expire = func() {
+		t.armed = false
+		t.handle = EventHandle{}
+		t.fn()
+	}
+	return t
 }
 
 // Reset (re)arms the timer to fire d from now, cancelling any previous
@@ -27,17 +39,13 @@ func (t *Timer) Reset(d Duration) {
 	t.handle.Cancel()
 	t.armed = true
 	t.at = t.e.now.Add(d)
-	t.handle = t.e.AtCancel(t.at, PriorityNormal, func() {
-		t.armed = false
-		t.handle = nil
-		t.fn()
-	})
+	t.handle = t.e.AtCancel(t.at, PriorityNormal, t.expire)
 }
 
 // Stop disarms the timer. It is safe to stop an unarmed timer.
 func (t *Timer) Stop() {
 	t.handle.Cancel()
-	t.handle = nil
+	t.handle = EventHandle{}
 	t.armed = false
 }
 

@@ -1,0 +1,42 @@
+// Benchmarks for the parallel sweep runner: wall-clock cost of a whole
+// parameter study, serial vs worker pool. The aggregate digest is
+// asserted on every iteration, so these double as a continuous check
+// that parallelism never changes results.
+package main
+
+import (
+	"testing"
+
+	"pushpull/internal/scenario"
+)
+
+func runSweepBenchmark(b *testing.B, workers int) {
+	sw, err := scenario.SweepByName("smoke-grid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var digest string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.RunSweep(sw, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed != 0 {
+			b.Fatalf("%d of %d points failed", res.Failed, res.Points)
+		}
+		if digest == "" {
+			digest = res.Digest
+		} else if res.Digest != digest {
+			b.Fatalf("digest changed between iterations: %s vs %s", digest, res.Digest)
+		}
+		b.ReportMetric(float64(res.Points), "points")
+	}
+}
+
+// BenchmarkSweepSerial is the 8-point smoke grid on one worker.
+func BenchmarkSweepSerial(b *testing.B) { runSweepBenchmark(b, 1) }
+
+// BenchmarkSweepParallel is the same grid on GOMAXPROCS workers; the
+// speedup over BenchmarkSweepSerial is the machine's core scaling.
+func BenchmarkSweepParallel(b *testing.B) { runSweepBenchmark(b, 0) }
