@@ -2,10 +2,10 @@ GO ?= go
 
 # ci is the documented tier-1 gate: vet, build, the full test suite
 # under the race detector, one iteration of every benchmark (so the
-# benchmark-only files at the repo root are compiled AND executed), and
-# the sweep determinism check.
+# benchmark-only files at the repo root are compiled AND executed), the
+# sweep determinism check, and a smoke run of every example binary.
 .PHONY: ci
-ci: vet build race bench sweep-check
+ci: vet build race bench sweep-check examples
 
 .PHONY: vet
 vet:
@@ -38,6 +38,27 @@ fuzz:
 .PHONY: scenarios
 scenarios:
 	$(GO) run ./cmd/pushpull-scen run -out scenarios.json $$($(GO) run ./cmd/pushpull-scen list | awk '{print $$1}')
+
+# digests recaptures the pinned builtin-scenario digests
+# (internal/scenario/testdata/digests.json). Recapture is legitimate
+# ONLY for wire-behavior changes — a protocol redesign, a cost-model
+# change, a new builtin scenario; see README "Pinned digests". Review
+# the diff: a digest that moves under a pure optimization is a bug.
+.PHONY: digests
+digests:
+	$(GO) test ./internal/scenario -run TestBuiltinDigestsPinned -update -v
+
+# examples builds and runs every example binary in its -short
+# configuration. Each example drives its cluster under a virtual-time
+# budget (cluster.RunWithin), so a protocol stall fails the smoke run
+# with a nonzero exit instead of spinning forever.
+.PHONY: examples
+examples:
+	@for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run ./$$d -short >/dev/null || exit 1; \
+	done; \
+	echo "examples OK"
 
 # sweep-check proves parallelism never changes results: the builtin
 # smoke grid must produce the same aggregate digest on 1 worker and on

@@ -20,6 +20,11 @@
 // the points across a worker pool of independent engines (one engine
 // per goroutine). Results are emitted in deterministic grid order with
 // an aggregate digest: the output is byte-identical whatever -workers.
+//
+// Exit codes: 0 on success, 1 on operational errors, 2 on usage errors,
+// and 3 when any run or sweep point exhausted its virtual-time budget —
+// the signature of a protocol deadlock or retransmission livelock — so
+// CI and sweep drivers detect stalls mechanically.
 package main
 
 import (
@@ -108,6 +113,10 @@ func runCmd(args []string) {
 		}
 		res, err := scenario.Run(spec, opts...)
 		if err != nil {
+			if scenario.IsBudgetError(err) {
+				fmt.Fprintln(os.Stderr, "pushpull-scen:", err)
+				os.Exit(exitBudget)
+			}
 			fatal(err)
 		}
 		results = append(results, string(res.JSON()))
@@ -163,6 +172,15 @@ func sweepCmd(args []string) {
 	fmt.Fprintf(os.Stderr, "%s: %d points (%d failed) on %d workers in %.2fs (%.1f points/s), digest %s\n",
 		res.Sweep, res.Points, res.Failed, w, elapsed.Seconds(),
 		float64(res.Points)/elapsed.Seconds(), res.Digest[:12])
+	stalled := 0
+	for i := range res.Results {
+		if res.Results[i].BudgetExhausted {
+			stalled++
+		}
+	}
+	if stalled > 0 {
+		fmt.Fprintf(os.Stderr, "pushpull-scen: %d point(s) exhausted their virtual-time budget (deadlock or retransmission livelock)\n", stalled)
+	}
 
 	if *out != "" {
 		if err := os.WriteFile(*out, append(res.JSON(), '\n'), 0o644); err != nil {
@@ -171,10 +189,11 @@ func sweepCmd(args []string) {
 	}
 	if *digest {
 		fmt.Println(res.Digest)
-		return
-	}
-	if *out == "" {
+	} else if *out == "" {
 		os.Stdout.Write(append(res.JSON(), '\n'))
+	}
+	if stalled > 0 {
+		os.Exit(exitBudget)
 	}
 }
 
@@ -203,6 +222,10 @@ func resolve(arg string) (scenario.Spec, error) {
 	}
 	return scenario.ParseSpec(data)
 }
+
+// exitBudget is the distinct exit code for virtual-time-budget
+// exhaustion: a stalled protocol, not an operational error.
+const exitBudget = 3
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pushpull-scen:", err)

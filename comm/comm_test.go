@@ -1,0 +1,410 @@
+package comm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pushpull/comm"
+	"pushpull/internal/cluster"
+	"pushpull/internal/pushpull"
+	"pushpull/internal/smp"
+)
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i*31)
+	}
+	return b
+}
+
+func twoNode() *cluster.Cluster { return cluster.New(cluster.DefaultConfig()) }
+
+func intranode() *cluster.Cluster {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 1
+	cfg.ProcsPerNode = 2
+	return cluster.New(cfg)
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	c := twoNode()
+	a, b := comm.At(c, 0, 0), comm.At(c, 1, 0)
+	msg := pattern(5000, 1)
+	var got []byte
+	c.Spawn(0, 0, "s", func(th *smp.Thread) {
+		if err := a.Send(th, b.ID(), msg); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Spawn(1, 0, "r", func(th *smp.Thread) {
+		g, err := b.Recv(th, a.ID(), len(msg))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = g
+	})
+	c.Run()
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("round trip corrupted: got %d bytes", len(got))
+	}
+}
+
+func TestTaggedMatchingOutOfOrder(t *testing.T) {
+	// Two tags sent in one order, received in the other: tag lanes match
+	// independently, so the receives complete in their own order.
+	c := twoNode()
+	a, b := comm.At(c, 0, 0), comm.At(c, 1, 0)
+	odd, even := pattern(900, 3), pattern(1300, 4)
+	var gotOdd, gotEven []byte
+	c.Spawn(0, 0, "s", func(th *smp.Thread) {
+		if err := a.Send(th, b.ID(), odd, comm.WithTag(1)); err != nil {
+			t.Error(err)
+		}
+		if err := a.Send(th, b.ID(), even, comm.WithTag(2)); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Spawn(1, 0, "r", func(th *smp.Thread) {
+		g2, err := b.Recv(th, a.ID(), 2000, comm.WithTag(2))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		g1, err := b.Recv(th, a.ID(), 2000, comm.WithTag(1))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		gotOdd, gotEven = g1, g2
+	})
+	c.Run()
+	if !bytes.Equal(gotOdd, odd) || !bytes.Equal(gotEven, even) {
+		t.Fatal("tagged receives bound the wrong messages")
+	}
+}
+
+func TestAnyTagMatchesAndReportsStatus(t *testing.T) {
+	c := twoNode()
+	a, b := comm.At(c, 0, 0), comm.At(c, 1, 0)
+	msg := pattern(600, 5)
+	var st comm.Status
+	c.Spawn(0, 0, "s", func(th *smp.Thread) {
+		if err := a.Send(th, b.ID(), msg, comm.WithTag(7)); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Spawn(1, 0, "r", func(th *smp.Thread) {
+		got, s, err := b.From(a.ID()).RecvMsg(th, 1000, comm.WithTag(comm.AnyTag))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, msg) {
+			t.Error("any-tag receive corrupted")
+		}
+		st = s
+	})
+	c.Run()
+	if st.Tag != 7 || st.Source != a.ID() {
+		t.Errorf("status = %+v, want tag 7 from %v", st, a.ID())
+	}
+}
+
+func TestAnySourceMatchesBothSenders(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 3
+	c := cluster.New(cfg)
+	sink := comm.At(c, 0, 0)
+	s1, s2 := comm.At(c, 1, 0), comm.At(c, 2, 0)
+	for i, s := range []*comm.Comm{s1, s2} {
+		s, seed := s, byte(i+1)
+		c.Spawn(s.ID().Node, 0, "s", func(th *smp.Thread) {
+			if err := s.Send(th, sink.ID(), pattern(2000, seed)); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	seen := make(map[comm.ProcessID]int)
+	c.Spawn(0, 0, "r", func(th *smp.Thread) {
+		for i := 0; i < 2; i++ {
+			_, st, err := sink.From(comm.AnySource).RecvMsg(th, 4000)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			seen[st.Source]++
+		}
+	})
+	c.Run()
+	if seen[s1.ID()] != 1 || seen[s2.ID()] != 1 {
+		t.Errorf("wildcard receive saw %v, want one message from each sender", seen)
+	}
+}
+
+func TestOpTestBeforeCompletion(t *testing.T) {
+	c := twoNode()
+	a, b := comm.At(c, 0, 0), comm.At(c, 1, 0)
+	msg := pattern(3000, 6)
+	c.Spawn(1, 0, "r", func(th *smp.Thread) {
+		op := b.Irecv(th, a.ID(), len(msg))
+		// Polled immediately, the operation cannot have completed: the
+		// send has not even started.
+		if done, data, err := op.Test(); done || data != nil || err != nil {
+			t.Errorf("Test before completion = (%v, %d bytes, %v), want pending", done, len(data), err)
+		}
+		got, err := op.Wait(th)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(got, msg) {
+			t.Error("nonblocking receive corrupted")
+		}
+		if done, data, err := op.Test(); !done || err != nil || !bytes.Equal(data, msg) {
+			t.Error("Test after Wait should report the completed outcome")
+		}
+	})
+	c.Spawn(0, 0, "s", func(th *smp.Thread) {
+		th.Compute(50_000) // let the receiver post and poll first
+		if err := a.Send(th, b.ID(), msg); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Run()
+}
+
+func TestDoubleWaitReturnsSameOutcome(t *testing.T) {
+	c := twoNode()
+	a, b := comm.At(c, 0, 0), comm.At(c, 1, 0)
+	msg := pattern(800, 7)
+	c.Spawn(0, 0, "s", func(th *smp.Thread) {
+		if err := a.Send(th, b.ID(), msg); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Spawn(1, 0, "r", func(th *smp.Thread) {
+		op := b.Irecv(th, a.ID(), len(msg))
+		first, err1 := op.Wait(th)
+		second, err2 := op.Wait(th)
+		if err1 != nil || err2 != nil {
+			t.Errorf("double Wait errored: %v / %v", err1, err2)
+		}
+		if !bytes.Equal(first, msg) || !bytes.Equal(second, msg) {
+			t.Error("double Wait changed the outcome")
+		}
+	})
+	c.Run()
+}
+
+func TestWaitAllReportsFailedOp(t *testing.T) {
+	c := twoNode()
+	a, b := comm.At(c, 0, 0), comm.At(c, 1, 0)
+	big := pattern(4000, 8)
+	small := pattern(100, 9)
+	c.Spawn(0, 0, "s", func(th *smp.Thread) {
+		if err := a.Send(th, b.ID(), big); err != nil {
+			t.Error(err)
+		}
+		if err := a.Send(th, b.ID(), small); err != nil {
+			t.Error(err)
+		}
+	})
+	finished := false
+	var g1, g2 []byte
+	c.Spawn(1, 0, "r", func(th *smp.Thread) {
+		// The first receive's buffer is too small for the 4000-byte
+		// message: that Op fails and releases the message, which a
+		// pending receive must pick up. While it was bound to the
+		// failing op, the 100-byte message became its lane's head, so
+		// the released message may legally bind after it — order across
+		// a failed receive is not guaranteed, delivery of both is.
+		bad := b.Irecv(th, a.ID(), 500)
+		good := b.Irecv(th, a.ID(), 5000)
+		good2 := b.Irecv(th, a.ID(), 5000)
+		if err := comm.WaitAll(th, bad, good, good2); err == nil {
+			t.Error("WaitAll with an undersized receive returned nil")
+		}
+		if _, err := bad.Wait(th); err == nil {
+			t.Error("undersized receive did not fail")
+		}
+		var err error
+		if g1, err = good.Wait(th); err != nil {
+			t.Errorf("first surviving receive failed: %v", err)
+		}
+		if g2, err = good2.Wait(th); err != nil {
+			t.Errorf("second surviving receive failed: %v", err)
+		}
+		finished = true
+	})
+	c.Run()
+	if !finished {
+		t.Fatal("receiver never completed — a released message was not re-matched")
+	}
+	if !(bytes.Equal(g1, big) && bytes.Equal(g2, small)) &&
+		!(bytes.Equal(g1, small) && bytes.Equal(g2, big)) {
+		t.Errorf("surviving receives got %d and %d bytes; want the 4000- and 100-byte messages between them", len(g1), len(g2))
+	}
+}
+
+func TestZeroLengthTaggedMessage(t *testing.T) {
+	// A zero-length message on a tagged channel: pure envelope, on both
+	// routes.
+	for _, build := range []func() *cluster.Cluster{twoNode, intranode} {
+		c := build()
+		a := comm.At(c, 0, 0)
+		var b *comm.Comm
+		if len(c.Nodes) == 1 {
+			b = comm.At(c, 0, 1)
+		} else {
+			b = comm.At(c, 1, 0)
+		}
+		var st comm.Status
+		var got []byte = []byte{0xFF} // sentinel: must become empty
+		c.Spawn(a.ID().Node, 0, "s", func(th *smp.Thread) {
+			if err := a.Send(th, b.ID(), nil, comm.WithTag(42)); err != nil {
+				t.Error(err)
+			}
+		})
+		c.Spawn(b.ID().Node, b.Endpoint().CPU, "r", func(th *smp.Thread) {
+			g, s, err := b.From(a.ID()).RecvMsg(th, 0, comm.WithTag(42))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got, st = g, s
+		})
+		c.Run()
+		if len(got) != 0 {
+			t.Errorf("zero-length receive returned %d bytes", len(got))
+		}
+		if st.Tag != 42 {
+			t.Errorf("zero-length message lost its tag: %+v", st)
+		}
+	}
+}
+
+func TestWithBTPOverridePerMessage(t *testing.T) {
+	// WithBTP(0) forces a pure announcement + pull; WithBTP(len) pushes
+	// everything eagerly. Both must deliver intact, and the fully pushed
+	// variant must finish the receive without a pull request.
+	c := twoNode()
+	a, b := comm.At(c, 0, 0), comm.At(c, 1, 0)
+	msg := pattern(1200, 11)
+	var first, second []byte
+	c.Spawn(0, 0, "s", func(th *smp.Thread) {
+		if err := a.Send(th, b.ID(), msg, comm.WithBTP(0)); err != nil {
+			t.Error(err)
+		}
+		if err := a.Send(th, b.ID(), msg, comm.WithBTP(len(msg))); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Spawn(1, 0, "r", func(th *smp.Thread) {
+		var err error
+		if first, err = b.Recv(th, a.ID(), len(msg)); err != nil {
+			t.Error(err)
+		}
+		if second, err = b.Recv(th, a.ID(), len(msg)); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Run()
+	if !bytes.Equal(first, msg) || !bytes.Equal(second, msg) {
+		t.Fatal("BTP-overridden transfers corrupted")
+	}
+}
+
+func TestWithBufferUsesCallerRegion(t *testing.T) {
+	c := twoNode()
+	a, b := comm.At(c, 0, 0), comm.At(c, 1, 0)
+	msg := pattern(2000, 12)
+	src := a.Alloc(len(msg))
+	dst := b.Alloc(len(msg))
+	var got []byte
+	c.Spawn(0, 0, "s", func(th *smp.Thread) {
+		if err := a.Send(th, b.ID(), msg, comm.WithBuffer(src)); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Spawn(1, 0, "r", func(th *smp.Thread) {
+		g, err := b.Recv(th, a.ID(), len(msg), comm.WithBuffer(dst))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = g
+	})
+	c.Run()
+	if !bytes.Equal(got, msg) {
+		t.Fatal("WithBuffer transfer corrupted")
+	}
+}
+
+func TestDirectionMisuseFailsCleanly(t *testing.T) {
+	c := twoNode()
+	a, b := comm.At(c, 0, 0), comm.At(c, 1, 0)
+	c.Spawn(0, 0, "s", func(th *smp.Thread) {
+		if err := a.From(b.ID()).Send(th, []byte{1}); err == nil {
+			t.Error("send on an incoming channel succeeded")
+		}
+		op := a.From(b.ID()).Isend(th, []byte{1})
+		if err := comm.WaitAll(th, op); err == nil {
+			t.Error("nonblocking send on an incoming channel succeeded")
+		}
+		if _, err := a.To(b.ID()).Recv(th, 4); err == nil {
+			t.Error("receive on an outgoing channel succeeded")
+		}
+	})
+	c.Run()
+	if got := pushpull.AnySource; got.Node != -1 {
+		t.Error("AnySource sentinel changed")
+	}
+}
+
+func TestPerChannelIsolationUnderEagerOverflow(t *testing.T) {
+	// Three channels from one node converge on one endpoint with a
+	// one-slot pushed buffer and fully eager (size <= BTP) messages. The
+	// receiver deliberately serves the channels in reverse send order,
+	// the shape that livelocked the shared per-node-pair stream: with
+	// per-channel sessions every refused fragment recovers because the
+	// other channels keep draining.
+	opts := pushpull.DefaultOptions()
+	opts.PushedBufBytes = 2048 // one 2 KB slot
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 2
+	cfg.ProcsPerNode = 3
+	cfg.Opts = opts
+	c := cluster.New(cfg)
+	sink := comm.At(c, 1, 0)
+	const n = 512 // below the 760 B BTP: fully eager, no pull phase
+	for p := 0; p < 3; p++ {
+		s := comm.At(c, 0, p)
+		seed := byte(p + 1)
+		c.Spawn(0, s.Endpoint().CPU, "s", func(th *smp.Thread) {
+			if err := s.Send(th, sink.ID(), pattern(n, seed)); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	var order []int
+	c.Spawn(1, 0, "r", func(th *smp.Thread) {
+		th.Compute(200_000)                // arrive late: every fragment parks or is refused
+		for _, p := range []int{2, 1, 0} { // reverse send order
+			got, err := sink.Recv(th, comm.ProcessID{Node: 0, Proc: p}, n)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(got, pattern(n, byte(p+1))) {
+				t.Errorf("channel %d corrupted", p)
+			}
+			order = append(order, p)
+		}
+	})
+	c.Run()
+	if len(order) != 3 {
+		t.Fatalf("only %d of 3 cross-channel receives completed (livelock?)", len(order))
+	}
+}

@@ -1,0 +1,57 @@
+package comm
+
+import "pushpull/internal/pushpull"
+
+// Op is the one request type of the API: every nonblocking operation —
+// send or receive — returns an Op, completed with Wait (blocking),
+// polled with Test, or batched through WaitAll. Completing an Op more
+// than once is valid and returns the same outcome.
+type Op struct {
+	req *pushpull.Request
+	// err short-circuits an operation that failed before it started
+	// (e.g. a send posted on an incoming channel).
+	err error
+}
+
+// failedOp wraps an immediate error in a completed Op, so misuse
+// surfaces through the normal Wait/Test flow instead of a nil handle.
+func failedOp(err error) *Op { return &Op{err: err} }
+
+// Wait parks the calling thread until the operation completes. For a
+// receive it returns the received bytes; for a send the data is nil.
+func (op *Op) Wait(t *Thread) ([]byte, error) {
+	if op.err != nil {
+		return nil, op.err
+	}
+	return op.req.Wait(t)
+}
+
+// Test reports whether the operation has completed, without blocking.
+// Once it returns true, data and err are the operation's outcome.
+func (op *Op) Test() (done bool, data []byte, err error) {
+	if op.err != nil {
+		return true, nil, op.err
+	}
+	return op.req.Test()
+}
+
+// Status reports the completed operation's matched envelope (source and
+// tag) — informative after an AnySource or AnyTag receive. Valid only
+// once the Op has completed.
+func (op *Op) Status() Status {
+	if op.err != nil {
+		return Status{}
+	}
+	return op.req.Status()
+}
+
+// WaitAll completes every Op in order and returns the first error.
+func WaitAll(t *Thread, ops ...*Op) error {
+	var first error
+	for _, op := range ops {
+		if _, err := op.Wait(t); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

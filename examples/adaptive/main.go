@@ -1,110 +1,146 @@
-// Adaptive demonstrates the adaptive Bytes-To-Push controller — the
-// paper's §3 remark that "applications can dynamically change the size
-// of the pushed buffer to adapt to the runtime environment", made
-// concrete as an AIMD policy fed by pull-request feedback.
+// Adaptive demonstrates dynamic Bytes-To-Push — the paper's §3 remark
+// that "applications can dynamically change the size of the pushed
+// buffer to adapt to the runtime environment" — at both levels the comm
+// API exposes it: the AIMD controller (internal/adapt) choosing BTP from
+// pull-request feedback, and the per-message comm.WithBTP override an
+// application can set by hand.
 //
 // A sender streams messages to a receiver whose behaviour shifts phase
 // by phase: first it is early (parked in Recv when every push arrives),
 // then late (posting its receive ~300 µs after the push), then early
-// again. The program prints the controller's per-phase BTP trajectory
-// and the wire bytes wasted on discarded pushes, against the static
-// default.
+// again. The program prints the wire bytes wasted on discarded pushes
+// under the static default, the AIMD controller, and a manual
+// WithBTP(0) policy applied during the late phase only.
 //
 // Run with: go run ./examples/adaptive
 package main
 
 import (
+	"flag"
 	"fmt"
+	"log"
 
+	"pushpull/comm"
 	"pushpull/internal/adapt"
 	"pushpull/internal/cluster"
-	"pushpull/internal/pushpull"
-	"pushpull/internal/smp"
+	"pushpull/internal/sim"
 )
 
 const (
-	msgsPerPhase = 60
-	msgSize      = 3000
-	pushedBuf    = 2048 // one ring slot: a late multi-fragment push overflows
+	msgSize   = 3000
+	pushedBuf = 2048 // one ring slot: a late multi-fragment push overflows
 )
 
 // phases alternate receiver behaviour: true = late.
 var phases = []bool{false, true, false}
 
-func run(adaptive bool) (wasted uint64, trajectory []int) {
+// policy selects the sender's BTP strategy per run.
+type policy int
+
+const (
+	static policy = iota
+	aimd
+	manual // WithBTP(0) while the receiver is known to be late
+)
+
+func (p policy) String() string {
+	switch p {
+	case static:
+		return "static 760"
+	case aimd:
+		return "adaptive AIMD"
+	default:
+		return "WithBTP(0) late"
+	}
+}
+
+func run(p policy, msgsPerPhase int) (wasted uint64, trajectory []int) {
 	cfg := cluster.DefaultConfig()
 	cfg.Opts.PushedBufBytes = pushedBuf
 	c := cluster.New(cfg)
 	var ctl *adapt.Controller
-	if adaptive {
+	if p == aimd {
 		ac := adapt.DefaultConfig()
 		ac.Max = pushedBuf // never push past the receiver's buffer
 		ctl = adapt.NewController(ac)
 		c.Stacks[0].SetAdapter(ctl)
 	}
 
-	sender := c.Endpoint(0, 0)
-	receiver := c.Endpoint(1, 0)
-	ch := pushpull.ChannelID{From: sender.ID, To: receiver.ID}
+	sender := comm.At(c, 0, 0)
+	receiver := comm.At(c, 1, 0)
+	ch := comm.ChannelID{From: sender.ID(), To: receiver.ID()}
 	msg := make([]byte, msgSize)
 	credit := []byte{1}
-	src := sender.Alloc(msgSize)
-	creditDst := sender.Alloc(1)
-	dst := receiver.Alloc(msgSize)
-	creditSrc := receiver.Alloc(1)
 
 	phaseEndBTP := make([]int, len(phases))
 
-	c.Nodes[0].Spawn("sender", sender.CPU, func(t *smp.Thread) {
-		for p := range phases {
+	c.Spawn(0, 0, "sender", func(t *comm.Thread) {
+		for ph, late := range phases {
 			for i := 0; i < msgsPerPhase; i++ {
-				if _, err := sender.Recv(t, receiver.ID, creditDst, 1); err != nil {
+				if _, err := sender.Recv(t, receiver.ID(), 1); err != nil {
 					panic(err)
 				}
-				if err := sender.Send(t, receiver.ID, src, msg); err != nil {
+				var opts []comm.Option
+				if p == manual && late {
+					// The application knows this phase's receiver lags:
+					// push nothing, let the pull fetch everything.
+					opts = append(opts, comm.WithBTP(0))
+				}
+				if err := sender.Send(t, receiver.ID(), msg, opts...); err != nil {
 					panic(err)
 				}
 			}
 			if ctl != nil {
-				phaseEndBTP[p] = ctl.Current(ch)
+				phaseEndBTP[ph] = ctl.Current(ch)
+			} else if p == manual && late {
+				phaseEndBTP[ph] = 0
 			} else {
-				phaseEndBTP[p] = cfg.Opts.BTP
+				phaseEndBTP[ph] = cfg.Opts.BTP
 			}
 		}
 	})
-	c.Nodes[1].Spawn("receiver", receiver.CPU, func(t *smp.Thread) {
+	c.Spawn(1, 0, "receiver", func(t *comm.Thread) {
 		for _, lateHere := range phases {
 			for i := 0; i < msgsPerPhase; i++ {
-				if err := receiver.Send(t, sender.ID, creditSrc, credit); err != nil {
+				if err := receiver.Send(t, sender.ID(), credit); err != nil {
 					panic(err)
 				}
 				if lateHere {
 					t.Compute(60_000) // post the receive ~300 µs after the push
 				}
-				if _, err := receiver.Recv(t, sender.ID, dst, msgSize); err != nil {
+				if _, err := receiver.Recv(t, sender.ID(), msgSize); err != nil {
 					panic(err)
 				}
 			}
 		}
 	})
-	c.Run()
+	if _, err := c.RunWithin(sim.Duration(120 * sim.Second)); err != nil {
+		log.Fatal(err)
+	}
 	return c.Stacks[1].DiscardedBytes(), phaseEndBTP
 }
 
 func main() {
+	short := flag.Bool("short", false, "shrink the run for smoke testing")
+	flag.Parse()
+	msgsPerPhase := 60
+	if *short {
+		msgsPerPhase = 15
+	}
+
 	fmt.Printf("%d B messages, %d B pushed buffer, %d messages per phase\n",
 		msgSize, pushedBuf, msgsPerPhase)
 	fmt.Println("phases: early -> late -> early")
 	fmt.Println()
 
-	staticWaste, staticBTP := run(false)
-	adaptWaste, adaptBTP := run(true)
-
 	fmt.Printf("%-16s %-24s %s\n", "policy", "BTP at phase ends", "wire bytes wasted on discarded pushes")
-	fmt.Printf("%-16s %-24v %d\n", "static 760", staticBTP, staticWaste)
-	fmt.Printf("%-16s %-24v %d\n", "adaptive AIMD", adaptBTP, adaptWaste)
+	for _, p := range []policy{static, aimd, manual} {
+		waste, btp := run(p, msgsPerPhase)
+		fmt.Printf("%-16s %-24s %d\n", p, fmt.Sprint(btp), waste)
+	}
 	fmt.Println()
-	fmt.Println("The controller grows the push while the receiver is early, halves it")
-	fmt.Println("on every overflow once the receiver turns late, and recovers when the")
-	fmt.Println("receiver turns early again — the sawtooth hugs the buffer's capacity.")
+	fmt.Println("The AIMD controller grows the push while the receiver is early, halves")
+	fmt.Println("it on every overflow once the receiver turns late, and recovers when")
+	fmt.Println("the receiver turns early again; WithBTP(0) is the same adaptation done")
+	fmt.Println("by hand when the application knows its own phase structure.")
 }

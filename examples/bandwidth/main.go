@@ -11,6 +11,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"pushpull/internal/bench"
@@ -19,7 +20,14 @@ import (
 )
 
 func main() {
+	short := flag.Bool("short", false, "shrink the run for smoke testing")
+	flag.Parse()
 	sizes := []int{256, 1024, 4096, 8192, 16384, 32768, 65536}
+	intraIters, interIters := 100, 50
+	if *short {
+		sizes = []int{1024, 8192}
+		intraIters, interIters = 20, 10
+	}
 
 	fmt.Println("== intranode (cross-space zero buffer, one copy) ==")
 	fmt.Printf("%-10s %12s\n", "size(B)", "MB/s")
@@ -28,7 +36,7 @@ func main() {
 		opts.PushedBufBytes = 64 << 10
 		cfg := cluster.DefaultConfig()
 		cfg.Opts = opts
-		w := bench.Workload{Cluster: cfg, Intra: true, Size: n, Iters: 100}
+		w := bench.Workload{Cluster: cfg, Intra: true, Size: n, Iters: intraIters}
 		fmt.Printf("%-10d %12.1f\n", n, bench.Bandwidth(w))
 	}
 
@@ -36,7 +44,7 @@ func main() {
 	fmt.Printf("%-10s %12s\n", "size(B)", "MB/s")
 	for _, n := range sizes {
 		cfg := cluster.DefaultConfig()
-		w := bench.Workload{Cluster: cfg, Size: n, Iters: 50}
+		w := bench.Workload{Cluster: cfg, Size: n, Iters: interIters}
 		fmt.Printf("%-10d %12.2f\n", n, bench.Bandwidth(w))
 	}
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"pushpull/internal/cluster"
@@ -23,8 +24,10 @@ const (
 	numNodes     = 4
 	procsPerNode = 2
 	vectorElems  = 512 // 4 KB allreduce vectors
-	iterations   = 10
 )
+
+// iterations is shrunk by -short for smoke runs.
+var iterations = 10
 
 func world(mode pushpull.Mode) *collective.World {
 	cfg := cluster.DefaultConfig()
@@ -53,10 +56,15 @@ func timeCollective(mode pushpull.Mode, body func(r *collective.Rank)) sim.Durat
 			end = r.Thread().Now()
 		}
 	})
-	return end.Sub(start) / iterations
+	return end.Sub(start) / sim.Duration(iterations)
 }
 
 func main() {
+	short := flag.Bool("short", false, "shrink the run for smoke testing")
+	flag.Parse()
+	if *short {
+		iterations = 3
+	}
 	modes := []pushpull.Mode{pushpull.PushPull, pushpull.PushZero, pushpull.PushAll, pushpull.ThreePhase}
 
 	fmt.Printf("%d nodes x %d procs = %d ranks, %d-element int64 vectors, mean of %d iterations\n\n",

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"pushpull/internal/bench"
@@ -20,6 +21,12 @@ import (
 )
 
 func main() {
+	short := flag.Bool("short", false, "shrink the run for smoke testing")
+	flag.Parse()
+	iters := 50
+	if *short {
+		iters = 6
+	}
 	type scenario struct {
 		name string
 		x, y int64
@@ -47,7 +54,7 @@ func main() {
 				opts.PushedBufBytes = 4096 // the paper's Fig. 6 buffer
 				cfg := cluster.DefaultConfig()
 				cfg.Opts = opts
-				w := bench.Workload{Cluster: cfg, Size: n, Iters: 50}
+				w := bench.Workload{Cluster: cfg, Size: n, Iters: iters}
 				fmt.Printf(" %14.1f", bench.EarlyLate(w, sc.x, sc.y).TrimmedMean)
 			}
 			fmt.Println()

@@ -5,8 +5,11 @@
 //
 // Four quad-CPU nodes hang off a store-and-forward switch. Every node
 // runs three processes; each process sends a burst of messages to one
-// process on every other node and receives the symmetric traffic. The
-// run reports per-node handler distribution across CPUs (the symmetric-
+// process on every other node and receives the symmetric traffic. Each
+// message is tagged with its burst sequence number, and the receivers
+// drain each channel with tag-narrowed receives — exercising the comm
+// API's tag lanes across many concurrent per-channel sessions. The run
+// reports per-node handler distribution across CPUs (the symmetric-
 // interrupt load balancing at work) and verifies that every channel
 // delivered its messages in order and intact.
 //
@@ -14,24 +17,31 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
+	"pushpull/comm"
 	"pushpull/internal/cluster"
 	"pushpull/internal/pushpull"
 	"pushpull/internal/sim"
-	"pushpull/internal/smp"
 )
 
 const (
 	nodes     = 4
 	procs     = 3 // per node
-	msgsPer   = 5 // per channel
 	msgSize   = 2048
 	pushedBuf = 64 << 10
 )
 
 func main() {
+	short := flag.Bool("short", false, "shrink the run for smoke testing")
+	flag.Parse()
+	msgsPer := 5 // per channel
+	if *short {
+		msgsPer = 2
+	}
+
 	opts := pushpull.DefaultOptions()
 	opts.PushedBufBytes = pushedBuf
 	cfg := cluster.DefaultConfig()
@@ -52,43 +62,45 @@ func main() {
 	checked := 0
 	for node := 0; node < nodes; node++ {
 		for proc := 0; proc < procs; proc++ {
-			self := c.Endpoint(node, proc)
+			self := comm.At(c, node, proc)
 			node, proc := node, proc
 
 			// Sender thread: a burst to the same-numbered process on
-			// every other node.
-			src := self.Alloc(msgSize)
-			c.Spawn(node, self.CPU, fmt.Sprintf("tx-n%dp%d", node, proc), func(t *smp.Thread) {
+			// every other node, each message tagged with its sequence.
+			c.Spawn(node, self.Endpoint().CPU, fmt.Sprintf("tx-n%dp%d", node, proc), func(t *comm.Thread) {
 				for dst := 0; dst < nodes; dst++ {
 					if dst == node {
 						continue
 					}
-					to := c.Endpoint(dst, proc).ID
+					to := comm.At(c, dst, proc).ID()
 					for seq := 0; seq < msgsPer; seq++ {
-						if err := self.Send(t, to, src, payload(node, proc, seq)); err != nil {
+						if err := self.Send(t, to, payload(node, proc, seq), comm.WithTag(seq)); err != nil {
 							log.Fatal(err)
 						}
 					}
 				}
 			})
 
-			// Receiver thread: drain every inbound channel in order.
-			dstBuf := self.Alloc(msgSize)
-			c.Spawn(node, self.CPU, fmt.Sprintf("rx-n%dp%d", node, proc), func(t *smp.Thread) {
+			// Receiver thread: drain every inbound channel, narrowing
+			// each receive to the expected burst tag.
+			c.Spawn(node, self.Endpoint().CPU, fmt.Sprintf("rx-n%dp%d", node, proc), func(t *comm.Thread) {
 				for srcNode := 0; srcNode < nodes; srcNode++ {
 					if srcNode == node {
 						continue
 					}
-					from := c.Endpoint(srcNode, proc).ID
+					from := comm.At(c, srcNode, proc)
 					for seq := 0; seq < msgsPer; seq++ {
-						got, err := self.Recv(t, from, dstBuf, msgSize)
+						got, st, err := self.From(from.ID()).RecvMsg(t, msgSize, comm.WithTag(seq))
 						if err != nil {
 							log.Fatal(err)
+						}
+						if st.Tag != seq {
+							log.Fatalf("message from %v matched tag %d, wanted %d", from.ID(), st.Tag, seq)
 						}
 						want := payload(srcNode, proc, seq)
 						for i := range want {
 							if got[i] != want[i] {
-								log.Fatalf("corruption on %v->n%d.p%d message %d", from, node, proc, seq)
+								log.Fatalf("corruption on %v->n%d.p%d message %d", from.ID(), node, proc, seq)
 							}
 						}
 						checked++
@@ -98,7 +110,10 @@ func main() {
 		}
 	}
 
-	end := c.Run()
+	end, err := c.RunWithin(sim.Duration(120 * sim.Second))
+	if err != nil {
+		log.Fatal(err)
+	}
 	total := nodes * procs * (nodes - 1) * msgsPer
 	fmt.Printf("delivered %d/%d messages (%d channels) intact in %v of virtual time\n",
 		checked, total, nodes*procs*(nodes-1), end)
@@ -112,17 +127,15 @@ func main() {
 		fmt.Println()
 	}
 
-	var retrans uint64
+	var retrans, sessions uint64
 	for i := range c.Stacks {
+		sessions += uint64(c.Stacks[i].Sessions())
 		for j := range c.Stacks {
-			if i == j {
-				continue
+			if i != j {
+				retrans += c.Stacks[i].LinkStats(j).Retransmissions
 			}
-			snd, _ := c.Stacks[i].Session(j)
-			retrans += snd.Retransmissions()
 		}
 	}
-	fmt.Printf("\ngo-back-N retransmissions across all %d sessions: %d\n", nodes*(nodes-1), retrans)
+	fmt.Printf("\ngo-back-N retransmissions across %d per-channel session halves: %d\n", sessions, retrans)
 	fmt.Printf("switch drops: %d\n", c.Switch.Dropped())
-	_ = sim.Time(0)
 }

@@ -2,53 +2,58 @@
 //
 // It builds the paper's two-node testbed (quad Pentium Pro SMPs on
 // 100 Mbit/s Fast Ethernet, simulated in virtual time), sends one message
-// from a process on node 0 to a process on node 1, and prints what
-// arrived and how long the simulated transfer took.
+// from a process on node 0 to a process on node 1 through the public
+// comm API, and prints what arrived and how long the simulated transfer
+// took.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
+	"pushpull/comm"
 	"pushpull/internal/cluster"
 	"pushpull/internal/sim"
-	"pushpull/internal/smp"
 )
 
 func main() {
+	flag.Bool("short", false, "shrink the run for smoke testing (this example is already minimal)")
+	flag.Parse()
+
 	// The default configuration is the paper's testbed with fully
 	// optimized Push-Pull (BTP(1)=80, BTP(2)=680, masking + overlapping).
 	c := cluster.New(cluster.DefaultConfig())
 
-	sender := c.Endpoint(0, 0)   // process 0 on node 0
-	receiver := c.Endpoint(1, 0) // process 0 on node 1
+	sender := comm.At(c, 0, 0)   // process 0 on node 0
+	receiver := comm.At(c, 1, 0) // process 0 on node 1
 
 	msg := []byte("hello from node 0 over simulated Fast Ethernet")
-	src := sender.Alloc(len(msg))   // page-aligned source buffer
-	dst := receiver.Alloc(len(msg)) // destination buffer
 
 	// Application threads run on specific CPUs of their SMP node and are
 	// charged virtual time for every protocol stage.
-	c.Spawn(0, sender.CPU, "sender", func(t *smp.Thread) {
+	c.Spawn(0, 0, "sender", func(t *comm.Thread) {
 		start := t.Now()
-		if err := sender.Send(t, receiver.ID, src, msg); err != nil {
+		if err := sender.Send(t, receiver.ID(), msg); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("send() returned after %v (push phase done; pull proceeds asynchronously)\n",
 			t.Now().Sub(start))
 	})
-	c.Spawn(1, receiver.CPU, "receiver", func(t *smp.Thread) {
+	c.Spawn(1, 0, "receiver", func(t *comm.Thread) {
 		start := t.Now()
-		got, err := receiver.Recv(t, sender.ID, dst, len(msg))
+		got, err := receiver.Recv(t, sender.ID(), len(msg))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("recv() returned %q after %v\n", got, t.Now().Sub(start))
 	})
 
-	end := c.Run()
-	_ = sim.Time(end)
+	end, err := c.RunWithin(sim.Duration(10 * sim.Second))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("virtual time elapsed: %v\n", end)
 }

@@ -10,12 +10,16 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"pushpull/internal/scenario"
 )
 
 func main() {
+	short := flag.Bool("short", false, "shrink the run for smoke testing")
+	flag.Parse()
+
 	spec := scenario.DefaultSpec()
 	spec.Name = "example-wavefront"
 	spec.Description = "irregular data-dependent traffic, static vs adaptive BTP"
@@ -35,6 +39,10 @@ func main() {
 		MaxSize: 2400,
 	}
 
+	if *short {
+		spec.Traffic.Messages = 2
+		spec.Traffic.Depth = 3
+	}
 	for _, adaptive := range []bool{false, true} {
 		spec.Protocol.Adaptive = adaptive
 		res, err := scenario.Run(spec)

@@ -6,35 +6,41 @@
 //
 // Four quad-CPU nodes hang off a Fast Ethernet switch. Each iteration
 // every node computes on its slab, then exchanges halo rows with both
-// neighbours. The program reports the total virtual runtime under the
-// three messaging mechanisms: Push-Pull's steadiness under timing skew is
-// exactly the paper's closing claim ("Push-Pull Messaging could flexibly
-// adapt to the cluster environment with different computation load").
+// neighbours through the comm API, tagging the two directions so the
+// receives can never cross-match. The program reports the total virtual
+// runtime under the three messaging mechanisms: Push-Pull's steadiness
+// under timing skew is exactly the paper's closing claim ("Push-Pull
+// Messaging could flexibly adapt to the cluster environment with
+// different computation load").
 //
 // Run with: go run ./examples/stencil
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
+	"pushpull/comm"
 	"pushpull/internal/cluster"
 	"pushpull/internal/pushpull"
 	"pushpull/internal/sim"
-	"pushpull/internal/smp"
 )
 
 const (
-	numNodes   = 4
-	iterations = 20
-	haloBytes  = 8192 // two pages of boundary data per neighbour
+	numNodes  = 4
+	haloBytes = 8192 // two pages of boundary data per neighbour
 	// computeCycles per iteration; slightly unbalanced across ranks so
 	// receives are genuinely early on some nodes and late on others.
 	baseCompute = 300_000
 	skewCompute = 60_000
+	// Halo direction tags: a rank's "downward" halo (toward rank-1) must
+	// never match a receive expecting the "upward" one.
+	tagUp   = 1
+	tagDown = 2
 )
 
-func run(mode pushpull.Mode) sim.Time {
+func run(mode pushpull.Mode, iterations int) sim.Time {
 	opts := pushpull.DefaultOptions()
 	opts.Mode = mode
 	opts.PushedBufBytes = 4096 // the paper's Fig. 6 budget
@@ -48,53 +54,64 @@ func run(mode pushpull.Mode) sim.Time {
 	halo := make([]byte, haloBytes)
 	for rank := 0; rank < numNodes; rank++ {
 		rank := rank
-		self := c.Endpoint(rank, 0)
+		self := comm.At(c, rank, 0)
 		left, right := rank-1, rank+1
-		sendL, sendR := self.Alloc(haloBytes), self.Alloc(haloBytes)
-		recvL, recvR := self.Alloc(haloBytes), self.Alloc(haloBytes)
-		c.Spawn(rank, 0, fmt.Sprintf("rank%d", rank), func(t *smp.Thread) {
+		c.Spawn(rank, 0, fmt.Sprintf("rank%d", rank), func(t *comm.Thread) {
 			for it := 0; it < iterations; it++ {
 				// Compute phase: rank-dependent load imbalance.
 				t.Compute(int64(baseCompute + rank*skewCompute))
-				// Halo exchange: eager sends, then receives.
+				// Halo exchange: eager sends, then receives, directions
+				// kept apart by tag.
 				if left >= 0 {
-					if err := self.Send(t, c.Endpoint(left, 0).ID, sendL, halo); err != nil {
+					if err := self.Send(t, comm.ProcessID{Node: left}, halo, comm.WithTag(tagDown)); err != nil {
 						log.Fatal(err)
 					}
 				}
 				if right < numNodes {
-					if err := self.Send(t, c.Endpoint(right, 0).ID, sendR, halo); err != nil {
+					if err := self.Send(t, comm.ProcessID{Node: right}, halo, comm.WithTag(tagUp)); err != nil {
 						log.Fatal(err)
 					}
 				}
 				if left >= 0 {
-					if _, err := self.Recv(t, c.Endpoint(left, 0).ID, recvL, haloBytes); err != nil {
+					if _, err := self.Recv(t, comm.ProcessID{Node: left}, haloBytes, comm.WithTag(tagUp)); err != nil {
 						log.Fatal(err)
 					}
 				}
 				if right < numNodes {
-					if _, err := self.Recv(t, c.Endpoint(right, 0).ID, recvR, haloBytes); err != nil {
+					if _, err := self.Recv(t, comm.ProcessID{Node: right}, haloBytes, comm.WithTag(tagDown)); err != nil {
 						log.Fatal(err)
 					}
 				}
 			}
 		})
 	}
-	return c.Run()
+	end, err := c.RunWithin(sim.Duration(120 * sim.Second))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return end
 }
 
 func main() {
+	short := flag.Bool("short", false, "shrink the run for smoke testing")
+	flag.Parse()
+	iterations := 20
+	if *short {
+		iterations = 5
+	}
+
 	fmt.Printf("1-D stencil, %d nodes, %d iterations, %d B halos, skewed compute\n\n",
 		numNodes, iterations, haloBytes)
 	fmt.Printf("%-12s %16s %18s\n", "mechanism", "total runtime", "per iteration")
 	for _, mode := range []pushpull.Mode{pushpull.PushZero, pushpull.PushPull, pushpull.PushAll} {
-		total := run(mode)
-		per := sim.Duration(total) / iterations
+		total := run(mode, iterations)
+		per := sim.Duration(total) / sim.Duration(iterations)
 		fmt.Printf("%-12s %16v %18v\n", mode, total, per)
 	}
 	fmt.Println("\nWith 8 KB halos and the paper's 4 KB pushed buffers, Push-All's eager")
 	fmt.Println("fragments overflow whenever a neighbour is still computing, and only")
-	fmt.Println("go-back-N timeouts recover them. Push-Pull pushes one fragment per")
-	fmt.Println("message — within budget — and pulls the rest when the receive posts,")
-	fmt.Println("which is the paper's robustness argument for real parallel programs.")
+	fmt.Println("go-back-N timeouts recover them — now confined to the offending")
+	fmt.Println("channel's eager lane. Push-Pull pushes one fragment per message —")
+	fmt.Println("within budget — and pulls the rest when the receive posts, which is")
+	fmt.Println("the paper's robustness argument for real parallel programs.")
 }

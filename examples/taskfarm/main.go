@@ -1,28 +1,32 @@
 // Taskfarm runs a master-worker farm — the other classic COMP
-// application shape besides the stencil — over Push-Pull Messaging.
+// application shape besides the stencil — over the public comm API.
 // A master on node 0 deals variable-sized work items to self-scheduling
 // workers spread across the cluster's remaining processors; each worker
-// returns its result and implicitly requests the next item. Irregular
-// task sizes mean workers' receives are never synchronized with the
-// master's sends — the exact asynchrony the paper's early/late receiver
-// tests (§5.3) probe, and the pushed buffer absorbs.
+// returns its result and implicitly requests the next item. The master
+// receives results with comm.AnySource, so the next task goes to
+// whichever worker finished first — true self-scheduling, which the old
+// per-channel probe order could only approximate. Irregular task sizes
+// mean workers' receives are never synchronized with the master's sends
+// — the exact asynchrony the paper's early/late receiver tests (§5.3)
+// probe, and the pushed buffer absorbs.
 //
 // Run with: go run ./examples/taskfarm
 package main
 
 import (
 	"encoding/binary"
+	"flag"
 	"fmt"
+	"log"
 
+	"pushpull/comm"
 	"pushpull/internal/cluster"
 	"pushpull/internal/pushpull"
 	"pushpull/internal/sim"
-	"pushpull/internal/smp"
 )
 
 const (
 	numNodes   = 3
-	numTasks   = 48
 	resultSize = 2048 // each worker returns a 2 KB result
 )
 
@@ -31,7 +35,7 @@ func taskCycles(i int) int64 {
 	return int64(40_000 + (i*2654435761)%360_000) // 0.2 .. 2 ms
 }
 
-func run(mode pushpull.Mode) (makespan sim.Time, perWorker []int) {
+func run(mode pushpull.Mode, numTasks int) (makespan sim.Time, perWorker []int) {
 	cfg := cluster.DefaultConfig()
 	cfg.Nodes = numNodes
 	cfg.ProcsPerNode = 2
@@ -39,66 +43,61 @@ func run(mode pushpull.Mode) (makespan sim.Time, perWorker []int) {
 	cfg.Opts.PushedBufBytes = 16 << 10
 	c := cluster.New(cfg)
 
-	master := c.Endpoint(0, 0)
-	var workers []*pushpull.Endpoint
+	master := comm.At(c, 0, 0)
+	var workers []*comm.Comm
+	workerIdx := make(map[comm.ProcessID]int)
 	for n := 0; n < numNodes; n++ {
 		for p := 0; p < 2; p++ {
 			if n == 0 && p == 0 {
 				continue // the master's slot
 			}
-			workers = append(workers, c.Endpoint(n, p))
+			w := comm.At(c, n, p)
+			workerIdx[w.ID()] = len(workers)
+			workers = append(workers, w)
 		}
 	}
 	perWorker = make([]int, len(workers))
 
 	// Master: deal tasks on demand; a result doubles as a work request.
-	c.Nodes[0].Spawn("master", master.CPU, func(t *smp.Thread) {
+	c.Spawn(0, 0, "master", func(t *comm.Thread) {
 		task := make([]byte, 8)
-		taskBuf := master.Alloc(8)
-		dst := master.Alloc(resultSize)
 		next := 0
-		// Prime every worker with one task.
-		for w := range workers {
-			binary.LittleEndian.PutUint64(task, uint64(next))
-			next++
-			if err := master.Send(t, workers[w].ID, taskBuf, task); err != nil {
-				panic(err)
-			}
-		}
-		done := 0
-		for done < numTasks {
-			// Any result releases the next task; receive in round-robin
-			// probe order (channels are per-worker FIFO).
-			w := done % len(workers)
-			if _, err := master.Recv(t, workers[w].ID, dst, resultSize); err != nil {
-				panic(err)
-			}
-			perWorker[w]++
-			done++
-			binary.LittleEndian.PutUint64(task, uint64(next))
+		deal := func(to comm.ProcessID) {
 			var payload []byte
 			if next < numTasks {
+				binary.LittleEndian.PutUint64(task, uint64(next))
 				payload = task
 			} else {
 				payload = []byte{0xFF} // poison pill: 1-byte stop marker
 			}
 			next++
-			if err := master.Send(t, workers[w].ID, taskBuf, payload); err != nil {
+			if err := master.Send(t, to, payload); err != nil {
 				panic(err)
 			}
+		}
+		// Prime every worker with one task.
+		for w := range workers {
+			deal(workers[w].ID())
+		}
+		// Whichever worker answers first gets the next task.
+		for done := 0; done < numTasks; done++ {
+			_, st, err := master.From(comm.AnySource).RecvMsg(t, resultSize)
+			if err != nil {
+				panic(err)
+			}
+			perWorker[workerIdx[st.Source]]++
+			deal(st.Source)
 		}
 		makespan = t.Now()
 	})
 
 	for w := range workers {
 		w := w
-		ep := workers[w]
-		c.Nodes[ep.ID.Node].Spawn(fmt.Sprintf("worker%d", w), ep.CPU, func(t *smp.Thread) {
-			taskDst := ep.Alloc(8)
+		cm := workers[w]
+		c.Spawn(cm.ID().Node, cm.Endpoint().CPU, fmt.Sprintf("worker%d", w), func(t *comm.Thread) {
 			result := make([]byte, resultSize)
-			resultBuf := ep.Alloc(resultSize)
 			for {
-				b, err := ep.Recv(t, master.ID, taskDst, 8)
+				b, err := cm.Recv(t, master.ID(), 8)
 				if err != nil {
 					panic(err)
 				}
@@ -107,25 +106,34 @@ func run(mode pushpull.Mode) (makespan sim.Time, perWorker []int) {
 				}
 				id := int(binary.LittleEndian.Uint64(b))
 				t.Compute(taskCycles(id))
-				if err := ep.Send(t, master.ID, resultBuf, result); err != nil {
+				if err := cm.Send(t, master.ID(), result); err != nil {
 					panic(err)
 				}
 			}
 		})
 	}
-	c.Run()
+	if _, err := c.RunWithin(sim.Duration(120 * sim.Second)); err != nil {
+		log.Fatal(err)
+	}
 	return makespan, perWorker
 }
 
 func main() {
+	short := flag.Bool("short", false, "shrink the run for smoke testing")
+	flag.Parse()
+	numTasks := 48
+	if *short {
+		numTasks = 12
+	}
+
 	fmt.Printf("%d irregular tasks (0.2-2 ms), %d workers on %d quad-CPU nodes, 2 KB results\n\n",
 		numTasks, numNodes*2-1, numNodes)
 	fmt.Printf("%-14s %12s   %s\n", "mode", "makespan", "tasks per worker")
 	for _, mode := range []pushpull.Mode{pushpull.PushPull, pushpull.PushZero, pushpull.PushAll, pushpull.ThreePhase} {
-		makespan, per := run(mode)
+		makespan, per := run(mode, numTasks)
 		fmt.Printf("%-14s %12v   %v\n", mode, makespan, per)
 	}
-	fmt.Println("\nThe farm's self-scheduling keeps workers busy regardless of mechanism;")
-	fmt.Println("the messaging mode decides how much of the task hand-off latency the")
-	fmt.Println("workers eat between tasks — the three-phase handshake pays twice per task.")
+	fmt.Println("\nThe farm's any-source self-scheduling keeps workers busy regardless of")
+	fmt.Println("mechanism; the messaging mode decides how much of the task hand-off")
+	fmt.Println("latency the workers eat between tasks — three-phase pays twice per task.")
 }

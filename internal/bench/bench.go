@@ -6,9 +6,9 @@
 // tests, and middle-80 % trimmed means over repeated iterations.
 //
 // The measurement bodies themselves live in internal/scenario as
-// declarative traffic patterns; bench contributes the paper's workload
-// sweeps (which sizes, which option combinations, which derived
-// quantities) on top of that engine.
+// declarative traffic patterns programmed against the public comm API;
+// bench contributes the paper's workload sweeps (which sizes, which
+// option combinations, which derived quantities) on top of that engine.
 package bench
 
 import (

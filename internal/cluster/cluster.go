@@ -6,6 +6,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"pushpull/internal/ether"
@@ -198,6 +199,26 @@ func (c *Cluster) Spawn(node, cpu int, name string, body func(t *smp.Thread)) {
 // Run drives the simulation to completion and returns the final virtual
 // time.
 func (c *Cluster) Run() sim.Time { return c.Engine.Run() }
+
+// ErrBudget marks a run that exhausted its virtual-time budget with
+// events still pending — the signature of a protocol deadlock or
+// retransmission livelock. Both RunWithin and the scenario engine's
+// budget errors wrap it (scenario.ErrVirtualBudget is this value), so
+// errors.Is classifies them uniformly.
+var ErrBudget = errors.New("virtual-time budget exhausted")
+
+// RunWithin drives the simulation at most budget of virtual time and
+// returns an ErrBudget-wrapping error if events were still pending when
+// it expired. The examples run under it so a stalled protocol fails
+// their smoke runs instead of spinning.
+func (c *Cluster) RunWithin(budget sim.Duration) (sim.Time, error) {
+	limit := c.Engine.Now().Add(budget) // relative: reusable on an advanced engine
+	end := c.Engine.RunUntil(limit)
+	if n := c.Engine.Pending(); n > 0 {
+		return end, fmt.Errorf("cluster: %w: %v elapsed with %d events still pending (deadlock or livelock)", ErrBudget, budget, n)
+	}
+	return end, nil
+}
 
 // SetRecorder attaches one structured trace recorder to every stack (and
 // through them every NIC and go-back-N session) in the cluster.

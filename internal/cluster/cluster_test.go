@@ -3,6 +3,7 @@ package cluster
 import (
 	"testing"
 
+	"pushpull/internal/pushpull"
 	"pushpull/internal/smp"
 )
 
@@ -124,20 +125,43 @@ func TestSpawnRunsOnRequestedCPU(t *testing.T) {
 	}
 }
 
-func TestAllPairsSessionsExist(t *testing.T) {
+func TestChannelSessionsMaterializeLazily(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Nodes = 3
 	c := New(cfg)
 	for i := 0; i < 3; i++ {
-		for j := 0; j < 3; j++ {
-			if i == j {
-				continue
-			}
-			snd, rcv := c.Stacks[i].Session(j)
-			if snd == nil || rcv == nil {
-				t.Errorf("missing session %d->%d", i, j)
-			}
+		if n := c.Stacks[i].Sessions(); n != 0 {
+			t.Errorf("node %d has %d sessions before any traffic", i, n)
 		}
+	}
+	a, b := c.Endpoint(0, 0), c.Endpoint(1, 0)
+	src, dst := a.Alloc(4000), b.Alloc(4000)
+	msg := make([]byte, 4000)
+	c.Spawn(0, 0, "s", func(th *smp.Thread) {
+		if err := a.Send(th, b.ID, src, msg); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Spawn(1, 0, "r", func(th *smp.Thread) {
+		if _, err := b.Recv(th, a.ID, dst, 4000); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Run()
+	// Exactly the used channel has sessions: the out half on node 0, the
+	// in half on node 1, nothing on the uninvolved node 2.
+	ch := pushpull.ChannelID{From: a.ID, To: b.ID}
+	if n := c.Stacks[0].Sessions(); n != 1 {
+		t.Errorf("sender node has %d sessions, want 1", n)
+	}
+	if n := c.Stacks[1].Sessions(); n != 1 {
+		t.Errorf("receiver node has %d sessions, want 1", n)
+	}
+	if n := c.Stacks[2].Sessions(); n != 0 {
+		t.Errorf("idle node has %d sessions, want 0", n)
+	}
+	if st := c.Stacks[1].ChannelStats(ch); st.Delivered == 0 {
+		t.Error("receiving side delivered no packets on the channel's data lane")
 	}
 }
 

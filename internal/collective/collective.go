@@ -1,35 +1,35 @@
 // Package collective implements MPI-style collective operations —
 // barrier, broadcast, reduce, allreduce, scatter, gather, allgather,
-// all-to-all — on top of Push-Pull Messaging endpoints.
+// all-to-all — on top of the public comm API.
 //
 // The paper positions Push-Pull as the messaging layer for parallel
 // programs on COMPs ("a typical compute-then-communicate parallel
 // program", §5.3); this package is that program layer: the collectives a
 // real application would call, built purely from the point-to-point
-// public API (Send/Recv/Isend/Irecv), with the classic algorithms of the
-// era — binomial trees, recursive doubling, rings. Collectives therefore
-// inherit whatever messaging mode the cluster is configured with, which
-// is what makes mode ablations at the application level possible.
+// public API (comm.Send/Recv/Isend/Irecv), with the classic algorithms
+// of the era — binomial trees, recursive doubling, rings. Collectives
+// therefore inherit whatever messaging mode the cluster is configured
+// with, which is what makes mode ablations at the application level
+// possible.
 package collective
 
 import (
 	"fmt"
 
+	"pushpull/comm"
 	"pushpull/internal/cluster"
-	"pushpull/internal/pushpull"
 	"pushpull/internal/sim"
 	"pushpull/internal/smp"
-	"pushpull/internal/vm"
 )
 
-// World maps collective ranks onto the endpoints of a cluster,
+// World maps collective ranks onto the processes of a cluster,
 // node-major: rank r is process r%procs on node r/procs.
 type World struct {
 	c     *cluster.Cluster
-	ranks []*pushpull.Endpoint
+	ranks []*comm.Comm
 }
 
-// NewWorld builds the rank space over every endpoint of the cluster.
+// NewWorld builds the rank space over every process of the cluster.
 func NewWorld(c *cluster.Cluster) *World {
 	w := &World{c: c}
 	for n := range c.Stacks {
@@ -39,7 +39,7 @@ func NewWorld(c *cluster.Cluster) *World {
 			if ep == nil {
 				break
 			}
-			w.ranks = append(w.ranks, ep)
+			w.ranks = append(w.ranks, comm.Attach(ep))
 			p++
 		}
 	}
@@ -60,10 +60,11 @@ func (w *World) Cluster() *cluster.Cluster { return w.c }
 // It panics if any rank's collective fails: collectives are programming
 // errors when they fail, not runtime conditions.
 func (w *World) Run(body func(r *Rank)) sim.Time {
-	for i, ep := range w.ranks {
-		r := &Rank{w: w, id: i, ep: ep}
-		node := w.c.Nodes[ep.ID.Node]
-		node.Spawn(fmt.Sprintf("rank%d", i), ep.CPU, func(t *smp.Thread) {
+	for i, cm := range w.ranks {
+		r := &Rank{w: w, id: i, cm: cm}
+		id := cm.ID()
+		node := w.c.Nodes[id.Node]
+		node.Spawn(fmt.Sprintf("rank%d", i), cm.Endpoint().CPU, func(t *smp.Thread) {
 			r.t = t
 			body(r)
 		})
@@ -76,16 +77,8 @@ func (w *World) Run(body func(r *Rank)) sim.Time {
 type Rank struct {
 	w  *World
 	id int
-	ep *pushpull.Endpoint
+	cm *comm.Comm
 	t  *smp.Thread
-
-	sendBufs map[int]buf
-	recvBufs map[int]buf
-}
-
-type buf struct {
-	addr vm.VirtAddr
-	cap  int
 }
 
 // ID reports this rank's number; Size the world size.
@@ -95,61 +88,33 @@ func (r *Rank) Size() int { return r.w.Size() }
 // Thread exposes the rank's thread for application compute phases.
 func (r *Rank) Thread() *smp.Thread { return r.t }
 
+// Comm exposes the rank's messaging handle for point-to-point calls
+// beyond the collective vocabulary.
+func (r *Rank) Comm() *comm.Comm { return r.cm }
+
 // Compute burns application cycles (the paper's NOP loops).
 func (r *Rank) Compute(cycles int64) { r.t.Compute(cycles) }
 
-// sendBuf returns a reusable registered send buffer toward peer, at
-// least n bytes long. One buffer per peer suffices: a rank has at most
-// one outstanding send per peer inside a collective step.
-func (r *Rank) sendBuf(peer, n int) vm.VirtAddr {
-	if r.sendBufs == nil {
-		r.sendBufs = make(map[int]buf)
-	}
-	return growBuf(r.sendBufs, r.ep, peer, n)
-}
+// peer returns rank to's process identity.
+func (r *Rank) peer(to int) comm.ProcessID { return r.w.ranks[to].ID() }
 
-// recvBuf is sendBuf's receive-side counterpart.
-func (r *Rank) recvBuf(peer, n int) vm.VirtAddr {
-	if r.recvBufs == nil {
-		r.recvBufs = make(map[int]buf)
-	}
-	return growBuf(r.recvBufs, r.ep, peer, n)
-}
-
-func growBuf(m map[int]buf, ep *pushpull.Endpoint, peer, n int) vm.VirtAddr {
-	b, ok := m[peer]
-	if !ok || b.cap < n {
-		// Round up generously so repeated collectives reuse one buffer.
-		c := 1024
-		for c < n {
-			c *= 2
-		}
-		b = buf{addr: ep.Alloc(c), cap: c}
-		m[peer] = b
-	}
-	return b.addr
-}
-
-// Send transmits data to rank to (blocking, like pushpull.Send: returns
+// Send transmits data to rank to (blocking, like comm.Send: returns
 // when the local send completes).
 func (r *Rank) Send(to int, data []byte) {
-	addr := r.sendBuf(to, len(data))
-	if err := r.ep.Send(r.t, r.w.ranks[to].ID, addr, data); err != nil {
+	if err := r.cm.Send(r.t, r.peer(to), data); err != nil {
 		panic(fmt.Sprintf("collective: rank %d send to %d: %v", r.id, to, err))
 	}
 }
 
 // Isend starts a nonblocking send to rank to.
-func (r *Rank) Isend(to int, data []byte) *pushpull.Request {
-	addr := r.sendBuf(to, len(data))
-	return r.ep.Isend(r.t, r.w.ranks[to].ID, addr, data)
+func (r *Rank) Isend(to int, data []byte) *comm.Op {
+	return r.cm.Isend(r.t, r.peer(to), data)
 }
 
 // Recv blocks until the next message from rank from arrives and returns
 // its bytes. n bounds the expected size.
 func (r *Rank) Recv(from, n int) []byte {
-	addr := r.recvBuf(from, n)
-	b, err := r.ep.Recv(r.t, r.w.ranks[from].ID, addr, n)
+	b, err := r.cm.Recv(r.t, r.peer(from), n)
 	if err != nil {
 		panic(fmt.Sprintf("collective: rank %d recv from %d: %v", r.id, from, err))
 	}
@@ -157,9 +122,8 @@ func (r *Rank) Recv(from, n int) []byte {
 }
 
 // Irecv starts a nonblocking receive of up to n bytes from rank from.
-func (r *Rank) Irecv(from, n int) *pushpull.Request {
-	addr := r.recvBuf(from, n)
-	return r.ep.Irecv(r.t, r.w.ranks[from].ID, addr, n)
+func (r *Rank) Irecv(from, n int) *comm.Op {
+	return r.cm.Irecv(r.t, r.peer(from), n)
 }
 
 // SendRecv exchanges messages with two peers concurrently (send to one,

@@ -38,7 +38,7 @@ func TestWorldSizeAndMapping(t *testing.T) {
 	// Node-major: ranks 0-2 on node 0, ranks 3-5 on node 1.
 	seen := make(map[int][2]int)
 	w.Run(func(r *Rank) {
-		seen[r.ID()] = [2]int{r.ep.ID.Node, r.ep.ID.Proc}
+		seen[r.ID()] = [2]int{r.Comm().ID().Node, r.Comm().ID().Proc}
 	})
 	for rank := 0; rank < 6; rank++ {
 		want := [2]int{rank / 3, rank % 3}

@@ -212,9 +212,9 @@ func TestDuplicatePullRequestIgnored(t *testing.T) {
 	if !bytes.Equal(got, data) {
 		t.Fatal("transfer corrupted")
 	}
-	snd, _ := c.Stacks[1].Session(0) // pull requests flow receiver->sender
-	if snd.Retransmissions() != 0 {
-		t.Errorf("pull request retransmitted %d times in a clean run", snd.Retransmissions())
+	// Pull requests flow receiver->sender on the channel's control lane.
+	if n := c.Stacks[1].LinkStats(0).Retransmissions; n != 0 {
+		t.Errorf("pull request retransmitted %d times in a clean run", n)
 	}
 }
 

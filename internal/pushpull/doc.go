@@ -36,12 +36,30 @@
 //     arrives and overlaps the second fragment's transmission, hiding the
 //     acknowledgement latency.
 //
+// # Transport
+//
+// Every directed channel (sender→receiver process pair) owns its own
+// go-back-N sessions, split into three lanes: eager pushed fragments
+// (the optimistic traffic a full pushed buffer may refuse), pull-phase
+// fragments (receiver-requested, never refused), and control (pull
+// requests). The split means a refused fully-eager fragment stalls only
+// its own channel's eager lane — it can never sit in front of another
+// channel's traffic, nor in front of the pull data that frees the
+// pushed buffer, which is what used to turn the Fig. 6 collapse into a
+// permanent livelock on the old shared per-node-pair stream.
+//
+// Receive matching is lane-FIFO per (channel, tag), with AnySource and
+// AnyTag wildcards; zero-length messages carry only their envelope.
+//
 // # Use
 //
-// Build a Stack per node, register Endpoints (one per communicating
-// process), connect stacks either intranode (same node) or through
-// NIC/link pairs (see package cluster for assembly), then call
-// Endpoint.Send and Endpoint.Recv from application threads. All calls
-// take the calling smp.Thread, which is charged the CPU time the
-// corresponding protocol stage costs on the simulated machine.
+// This package is the protocol engine; applications program against the
+// public comm package (package comm at the repository root), which
+// wraps Endpoints in per-channel handles, managed staging buffers and
+// the unified Op request type. Building blocks here: a Stack per node,
+// Endpoints (one per communicating process), stacks connected either
+// intranode (same node) or through NIC/link pairs (see package cluster
+// for assembly). All calls take the calling smp.Thread, which is
+// charged the CPU time the corresponding protocol stage costs on the
+// simulated machine.
 package pushpull

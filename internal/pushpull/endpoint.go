@@ -32,13 +32,27 @@ type Endpoint struct {
 	pending []*recvOp     // registered, unmatched receive operations
 	sendOps map[sendKey]*sendOp
 	nextMsg map[ChannelID]uint64
-	// nextBind is the next message id each channel's receives must bind,
-	// enforcing FIFO channel semantics even when multi-rail striping
-	// makes later messages' fragments arrive first.
-	nextBind map[ChannelID]uint64
+	// nextLane is the next lane sequence number to assign per outgoing
+	// (channel, tag) lane.
+	nextLane map[laneKey]uint64
+	// nextBind is the next lane sequence each (channel, tag) lane's
+	// receives must bind, enforcing FIFO lane semantics even when
+	// multi-rail striping makes later messages' fragments arrive first.
+	nextBind map[laneKey]uint64
 
 	sent, received uint64
+
+	// apiHandle memoizes the public comm package's per-process handle,
+	// so repeated comm.At/Attach calls share one channel cache and one
+	// set of staging buffers. One engine is single-threaded; no lock.
+	apiHandle any
 }
+
+// APIHandle returns the memoized public-API handle (see comm.Attach).
+func (ep *Endpoint) APIHandle() any { return ep.apiHandle }
+
+// SetAPIHandle stores the public-API handle for this endpoint.
+func (ep *Endpoint) SetAPIHandle(h any) { ep.apiHandle = h }
 
 // Stack returns the owning stack.
 func (ep *Endpoint) Stack() *Stack { return ep.stack }
@@ -51,48 +65,77 @@ func (ep *Endpoint) Received() uint64 { return ep.received }
 func (ep *Endpoint) Alloc(n int) vm.VirtAddr { return ep.Space.Alloc(n) }
 
 // Send transmits data (which the caller has placed at addr in the
-// endpoint's space) to process to. It returns when the local send
+// endpoint's space) to process to, with tag 0 and the protocol's
+// configured BTP. See SendOpt for the tunable form.
+func (ep *Endpoint) Send(t *smp.Thread, to ProcessID, addr vm.VirtAddr, data []byte) error {
+	return ep.SendOpt(t, to, addr, data, DefaultSendOptions())
+}
+
+// SendOpt transmits data to process to. It returns when the local send
 // operation completes — after the push phase; the pull phase proceeds
 // asynchronously, reading the source buffer until the message is fully
-// transferred, exactly like the paper's send.
-func (ep *Endpoint) Send(t *smp.Thread, to ProcessID, addr vm.VirtAddr, data []byte) error {
-	if len(data) == 0 {
-		return fmt.Errorf("pushpull: empty send from %v", ep.ID)
+// transferred, exactly like the paper's send. Zero-length messages are
+// valid: they transfer no data but carry their (tag, lane) envelope and
+// complete a matching receive.
+func (ep *Endpoint) SendOpt(t *smp.Thread, to ProcessID, addr vm.VirtAddr, data []byte, o SendOptions) error {
+	if to == AnySource {
+		return fmt.Errorf("pushpull: send to AnySource from %v", ep.ID)
 	}
-	if _, err := ep.Space.Translate(addr, len(data)); err != nil {
-		return fmt.Errorf("pushpull: send source: %w", err)
+	if o.Tag == AnyTag {
+		return fmt.Errorf("pushpull: send with wildcard tag from %v", ep.ID)
+	}
+	if len(data) > 0 {
+		if _, err := ep.Space.Translate(addr, len(data)); err != nil {
+			return fmt.Errorf("pushpull: send source: %w", err)
+		}
 	}
 	ch := ChannelID{From: ep.ID, To: to}
 	msgID := ep.nextMsg[ch]
 	ep.nextMsg[ch] = msgID + 1
+	lane := laneKey{ch: ch, tag: o.Tag}
+	laneSeq := ep.nextLane[lane]
+	ep.nextLane[lane] = laneSeq + 1
 
 	if ep.stack.intranode(to) {
-		ep.stack.sendIntra(t, ep, ch, msgID, addr, data)
+		ep.stack.sendIntra(t, ep, ch, msgID, addr, data, o, laneSeq)
 	} else {
-		ep.stack.sendInter(t, ep, ch, msgID, addr, data)
+		ep.stack.sendInter(t, ep, ch, msgID, addr, data, o, laneSeq)
 	}
 	ep.sent++
 	return nil
 }
 
-// Recv blocks until the next message on channel from→ep arrives and is
-// fully placed in the destination buffer at addr (bufLen bytes, which
-// must be large enough). It returns the received bytes.
+// Recv blocks until the next tag-0 message on channel from→ep arrives
+// and is fully placed in the destination buffer at addr (bufLen bytes).
+// See RecvOpt for tagged and wildcard receives.
 func (ep *Endpoint) Recv(t *smp.Thread, from ProcessID, addr vm.VirtAddr, bufLen int) ([]byte, error) {
-	if bufLen <= 0 {
-		return nil, fmt.Errorf("pushpull: non-positive receive buffer on %v", ep.ID)
+	b, _, err := ep.RecvOpt(t, from, addr, bufLen, RecvOptions{})
+	return b, err
+}
+
+// RecvOpt blocks until the next eligible message arrives and is fully
+// placed in the destination buffer at addr (bufLen bytes, which must be
+// large enough). from may be AnySource and o.Tag may be AnyTag; the
+// returned Status reports what actually matched. Within one (channel,
+// tag) lane messages bind strictly in send order; wildcard receives bind
+// the eligible message that started arriving first.
+func (ep *Endpoint) RecvOpt(t *smp.Thread, from ProcessID, addr vm.VirtAddr, bufLen int, o RecvOptions) ([]byte, Status, error) {
+	if bufLen < 0 {
+		return nil, Status{}, fmt.Errorf("pushpull: negative receive buffer on %v", ep.ID)
 	}
-	if _, err := ep.Space.Translate(addr, bufLen); err != nil {
-		return nil, fmt.Errorf("pushpull: receive destination: %w", err)
+	if bufLen > 0 {
+		if _, err := ep.Space.Translate(addr, bufLen); err != nil {
+			return nil, Status{}, fmt.Errorf("pushpull: receive destination: %w", err)
+		}
 	}
 	cfg := ep.stack.Node.Cfg
-	ch := ChannelID{From: from, To: ep.ID}
 
 	t.Exec(cfg.CallOverhead)
 	t.Exec(cfg.SyscallEntry)
 
 	op := &recvOp{
-		ch:     ch,
+		src:    from,
+		tag:    o.Tag,
 		addr:   addr,
 		bufLen: bufLen,
 		done:   sim.NewCond(ep.stack.Node.Engine),
@@ -105,8 +148,15 @@ func (ep *Endpoint) Recv(t *smp.Thread, from ProcessID, addr vm.VirtAddr, bufLen
 	// always intranode), registration is visible only once translation
 	// has finished — which is what loses the Push-All race for multi-page
 	// buffers (Fig. 3).
-	cost := ep.Space.TranslateCost(addr, bufLen)
-	masked := ep.stack.Opts.MaskTranslation && !ep.stack.intranode(from)
+	cost := sim.Duration(0)
+	if bufLen > 0 {
+		cost = ep.Space.TranslateCost(addr, bufLen)
+	}
+	// An AnySource receive may be bound by an intranode sender, whose
+	// zero-buffer direct push copies at bind time with no way to wait
+	// out a pending translation — so wildcard receives register
+	// unmasked, like intranode ones.
+	masked := ep.stack.Opts.MaskTranslation && from != AnySource && !ep.stack.intranode(from)
 	t.Exec(cfg.QueueOp)
 	if masked {
 		op.zbReadyAt = t.Now().Add(cost)
@@ -117,20 +167,16 @@ func (ep *Endpoint) Recv(t *smp.Thread, from ProcessID, addr vm.VirtAddr, bufLen
 		op.zbReadyAt = t.Now()
 		ep.register(t, op)
 	}
-	op.zb = translateOrDie(ep.Space, addr, bufLen)
+	if bufLen > 0 {
+		op.zb = translateOrDie(ep.Space, addr, bufLen)
+	}
 
 	// Service loop: drain buffered fragments, start the pull when its
-	// time comes, park until the message completes.
-	for {
-		if op.msg == nil {
-			ep.match(op)
-		}
+	// time comes, park until the message completes. Matching (and the
+	// buffer-overflow failure, which never consumes the message) happens
+	// in settle, driven by registration and arrivals.
+	for op.err == nil {
 		if m := op.msg; m != nil {
-			if m.total > bufLen {
-				op.err = fmt.Errorf("pushpull: message of %d bytes exceeds %d-byte receive buffer on %v", m.total, bufLen, ep.ID)
-				ep.unbind(op)
-				break
-			}
 			ep.drainBuffered(t, m)
 			ep.maybeStartPull(t, m, false)
 			if m.complete {
@@ -142,69 +188,122 @@ func (ep *Endpoint) Recv(t *smp.Thread, from ProcessID, addr vm.VirtAddr, bufLen
 	}
 	if op.err != nil {
 		t.Exec(cfg.SyscallExit)
-		return nil, op.err
+		return nil, Status{}, op.err
 	}
 	msg := op.msg
 	t.Exec(cfg.SyscallExit)
 	ep.received++
-	return msg.buf, nil
+	return msg.buf, Status{Source: msg.ch.From, Tag: msg.tag}, nil
 }
 
 // register makes a receive operation visible to senders and handlers.
 func (ep *Endpoint) register(t *smp.Thread, op *recvOp) {
 	ep.pending = append(ep.pending, op)
 	// A sender may already have parked fragments (or an announcement):
-	// match immediately so the wait loop sees them.
-	ep.match(op)
+	// settle immediately so the wait loop sees them.
+	ep.settle(op, nil)
 }
 
-// match binds op to its channel's next-in-sequence inbound message, if it
-// has started arriving. Binding strictly by message id (not arrival
-// order) keeps channels FIFO when rail striping reorders arrivals.
-func (ep *Endpoint) match(op *recvOp) {
-	want := ep.nextBind[op.ch]
+// eligible reports whether m may bind a receive: it must be its lane's
+// next message. Binding strictly by lane sequence (not arrival order)
+// keeps lanes FIFO when rail striping reorders arrivals.
+func (ep *Endpoint) eligible(m *inboundMsg) bool {
+	return m.op == nil && m.laneSeq == ep.nextBind[m.lane()]
+}
+
+// bestMatch returns the eligible inbound message op's pattern matches,
+// or nil: at most one per lane is eligible, and wildcard patterns take
+// the one that started arriving first.
+func (ep *Endpoint) bestMatch(op *recvOp) *inboundMsg {
 	for _, m := range ep.inbound {
-		if m.op == nil && m.ch == op.ch && m.msgID == want {
-			ep.bind(op, m)
+		if ep.eligible(m) && op.matches(m) {
+			return m
+		}
+	}
+	return nil
+}
+
+// bind ties a receive operation to an inbound message, removes the op
+// from the pending list, and advances the lane. The caller must have
+// validated capacity: a message never binds a receive it overflows.
+func (ep *Endpoint) bind(op *recvOp, m *inboundMsg) {
+	op.msg = m
+	m.op = op
+	ep.nextBind[m.lane()] = m.laneSeq + 1
+	ep.dropPending(op)
+}
+
+// fail resolves a receive with an error, without consuming any message.
+func (ep *Endpoint) fail(op *recvOp, err error) {
+	op.err = err
+	ep.dropPending(op)
+}
+
+func (ep *Endpoint) dropPending(op *recvOp) {
+	for i, p := range ep.pending {
+		if p == op {
+			ep.pending = append(ep.pending[:i], ep.pending[i+1:]...)
 			return
 		}
 	}
 }
 
-// bind ties a receive operation to an inbound message and removes the op
-// from the pending list.
-func (ep *Endpoint) bind(op *recvOp, m *inboundMsg) {
-	op.msg = m
-	m.op = op
-	ep.nextBind[m.ch] = m.msgID + 1
-	for i, p := range ep.pending {
-		if p == op {
-			ep.pending = append(ep.pending[:i], ep.pending[i+1:]...)
-			break
+// settle resolves pending receives against eligible inbound messages
+// until nothing more changes. Called after any state change that can
+// create eligibility — an arrival or a lane advance. Receives resolve
+// in posting order; a receive whose matched message overflows its
+// buffer *fails without consuming it* (the message stays for a retry
+// with room, and no pull phase ever starts on its behalf), exactly like
+// a truncating MPI receive.
+//
+// Waking: a failed receive is always woken (nothing else ever will). A
+// bound receive is woken unless the resolution involves the exempt op
+// (registering in this very thread — its service loop runs next) or the
+// exempt message (being delivered right now — the delivery path signals
+// the bound receive itself, and an extra wake here would cost the
+// receiver a spurious wake latency).
+func (ep *Endpoint) settle(exemptOp *recvOp, exemptMsg *inboundMsg) {
+	for {
+		progressed := false
+		for _, op := range ep.pending {
+			m := ep.bestMatch(op)
+			if m == nil {
+				continue
+			}
+			if m.total > op.bufLen {
+				ep.fail(op, fmt.Errorf("pushpull: message of %d bytes exceeds %d-byte receive buffer on %v", m.total, op.bufLen, ep.ID))
+				if op != exemptOp {
+					op.done.Broadcast()
+				}
+			} else {
+				ep.bind(op, m)
+				if op != exemptOp && m != exemptMsg {
+					op.done.Broadcast()
+				}
+			}
+			progressed = true
+			break // the pending list changed: rescan from the front
+		}
+		if !progressed {
+			return
 		}
 	}
 }
 
-// unbind detaches a failed receive op, leaving the message for a retry
-// with a bigger buffer.
-func (ep *Endpoint) unbind(op *recvOp) {
-	if op.msg != nil {
-		ep.nextBind[op.msg.ch] = op.msg.msgID // the retry must bind it again
-		op.msg.op = nil
-		op.msg = nil
+// intraDirectRecv returns the pending receive a not-yet-registered
+// intranode message m would bind directly (m must be its lane's next
+// message and fit the receive's buffer), or nil — in which case the
+// message parks and settle resolves it, including failing an
+// undersized receive.
+func (ep *Endpoint) intraDirectRecv(m *inboundMsg) *recvOp {
+	if !ep.eligible(m) {
+		return nil
 	}
-	for i, p := range ep.pending {
-		if p == op {
-			ep.pending = append(ep.pending[:i], ep.pending[i+1:]...)
-			break
-		}
-	}
-}
-
-// pendingFor returns the oldest unmatched receive op for ch, or nil.
-func (ep *Endpoint) pendingFor(ch ChannelID) *recvOp {
 	for _, op := range ep.pending {
-		if op.ch == ch {
+		if op.matches(m) {
+			if m.total > op.bufLen {
+				return nil
+			}
 			return op
 		}
 	}
@@ -221,16 +320,11 @@ func (ep *Endpoint) findInbound(ch ChannelID, msgID uint64) *inboundMsg {
 	return nil
 }
 
-// addInbound registers a newly arriving message and binds it to a waiting
-// receive op if it is the channel's next message in sequence.
+// addInbound registers a newly arriving message and settles it against
+// the pending receives.
 func (ep *Endpoint) addInbound(m *inboundMsg) {
 	ep.inbound = append(ep.inbound, m)
-	if m.msgID != ep.nextBind[m.ch] {
-		return
-	}
-	if op := ep.pendingFor(m.ch); op != nil {
-		ep.bind(op, m)
-	}
+	ep.settle(nil, m)
 }
 
 // removeInbound drops a completed message from the inbound list.

@@ -34,8 +34,7 @@ func TestRxRingOverflowRecovered(t *testing.T) {
 	if c.NICs[1].RxDropped() == 0 {
 		t.Error("two-slot rx ring dropped nothing; the overflow path was not exercised")
 	}
-	snd, _ := c.Stacks[0].Session(1)
-	if snd.Retransmissions() == 0 {
+	if c.Stacks[0].LinkStats(1).Retransmissions == 0 {
 		t.Error("rx-ring drops caused no retransmissions")
 	}
 }

@@ -13,26 +13,29 @@ import (
 // either masked (scheduled after transmission starts, §4.3) or paid up
 // front. Push-and-Acknowledge Overlapping (§4.4) splits the pushed bytes
 // into BTP(1)+BTP(2) so the receiver's pull request overlaps the second
-// fragment's wire time.
-func (s *Stack) sendInter(t *smp.Thread, ep *Endpoint, ch ChannelID, msgID uint64, addr vmAddr, data []byte) {
+// fragment's wire time. Every fragment rides the channel's own data-lane
+// go-back-N session.
+func (s *Stack) sendInter(t *smp.Thread, ep *Endpoint, ch ChannelID, msgID uint64, addr vmAddr, data []byte, so SendOptions, laneSeq uint64) {
 	if s.Opts.Mode == ThreePhase {
-		s.sendInterThreePhase(t, ep, ch, msgID, addr, data)
+		s.sendInterThreePhase(t, ep, ch, msgID, addr, data, so, laneSeq)
 		return
 	}
 	cfg := s.Node.Cfg
 	opts := s.Opts
 	total := len(data)
 	btp := opts.interBTP(total)
-	if s.Adapter != nil && opts.Mode == PushPull {
+	if so.BTP >= 0 && opts.Mode == PushPull {
+		btp = so.BTP
+	} else if s.Adapter != nil && opts.Mode == PushPull {
 		btp = s.Adapter.BTP(ch, total)
-		if btp < 0 {
-			btp = 0
-		}
-		if btp > total {
-			btp = total
-		}
 	}
-	sess := s.session(ch.To.Node)
+	if btp < 0 {
+		btp = 0
+	}
+	if btp > total {
+		btp = total
+	}
+	sess := s.outSession(ch)
 
 	t.Exec(cfg.CallOverhead)
 	if !opts.UserTrigger {
@@ -41,10 +44,10 @@ func (s *Stack) sendInter(t *smp.Thread, ep *Endpoint, ch ChannelID, msgID uint6
 	t.Exec(cfg.QueueOp) // register the send operation
 	s.event(trace.KindSend, "%v#%d send %dB internode, push %dB", ch, msgID, total, btp)
 
-	op := &sendOp{ch: ch, msgID: msgID, addr: addr, data: data, pushed: btp, start: t.Now()}
+	op := &sendOp{ch: ch, msgID: msgID, tag: so.Tag, addr: addr, data: data, pushed: btp, start: t.Now()}
 	ep.sendOps[sendKey{ch, msgID}] = op
 
-	translated := false
+	translated := total == 0 // nothing to translate for an empty message
 	translate := func() {
 		translated = true
 		cost := ep.Space.TranslateCost(addr, total)
@@ -52,7 +55,7 @@ func (s *Stack) sendInter(t *smp.Thread, ep *Endpoint, ch ChannelID, msgID uint6
 		t.Exec(cost)
 		op.srcZB = translateOrDie(ep.Space, addr, total)
 	}
-	if !opts.MaskTranslation {
+	if !opts.MaskTranslation && total > 0 {
 		// Unmasked: find out physical addresses before any transmission.
 		translate()
 	}
@@ -73,13 +76,13 @@ func (s *Stack) sendInter(t *smp.Thread, ep *Endpoint, ch ChannelID, msgID uint6
 		if run == 0 {
 			// Empty first run: transmit a bare announcement so the pull
 			// request is triggered as early as possible.
-			ann := fragMsg{ch: ch, msgID: msgID, total: total, pushTotal: btp, preloaded: true}
+			ann := fragMsg{ch: ch, msgID: msgID, tag: so.Tag, laneSeq: laneSeq, total: total, pushTotal: btp, preloaded: true}
 			if opts.UserTrigger {
 				t.Exec(s.nicTrigger())
 			} else {
 				t.Exec(s.nicKernelTrigger())
 			}
-			sess.send(ann.wireBytes(), ann)
+			sess.send(laneEager, ann.wireBytes(), ann)
 			continue
 		}
 		for run > 0 {
@@ -90,6 +93,8 @@ func (s *Stack) sendInter(t *smp.Thread, ep *Endpoint, ch ChannelID, msgID uint6
 			frag := fragMsg{
 				ch:        ch,
 				msgID:     msgID,
+				tag:       so.Tag,
+				laneSeq:   laneSeq,
 				offset:    off,
 				data:      data[off : off+n],
 				total:     total,
@@ -118,23 +123,23 @@ func (s *Stack) sendInter(t *smp.Thread, ep *Endpoint, ch ChannelID, msgID uint6
 				translate()
 			}
 			s.event(trace.KindPush, "%v#%d push frag [%d:%d) preloaded=%v", ch, msgID, frag.offset, frag.offset+n, frag.preloaded)
-			sess.send(frag.wireBytes(), frag)
+			sess.send(laneEager, frag.wireBytes(), frag)
 			off += n
 			run -= n
 		}
 	}
 	if btp == 0 {
-		// Pushing nothing (Push-Zero, or Push-Pull swept down to BTP=0):
-		// the push phase transfers no data, but the announcement frame
-		// still occupies the wire (the paper's point about Push-Zero
-		// wasting bandwidth in the early-receiver test).
-		ann := fragMsg{ch: ch, msgID: msgID, total: total, pushTotal: 0, preloaded: true}
+		// Pushing nothing (Push-Zero, a zero-length message, or Push-Pull
+		// swept down to BTP=0): the push phase transfers no data, but the
+		// announcement frame still occupies the wire (the paper's point
+		// about Push-Zero wasting bandwidth in the early-receiver test).
+		ann := fragMsg{ch: ch, msgID: msgID, tag: so.Tag, laneSeq: laneSeq, total: total, pushTotal: 0, preloaded: true}
 		if opts.UserTrigger {
 			t.Exec(s.nicTrigger())
 		} else {
 			t.Exec(s.nicKernelTrigger())
 		}
-		sess.send(ann.wireBytes(), ann)
+		sess.send(laneEager, ann.wireBytes(), ann)
 	}
 
 	if !translated {
@@ -143,8 +148,9 @@ func (s *Stack) sendInter(t *smp.Thread, ep *Endpoint, ch ChannelID, msgID uint6
 		translate()
 	}
 
-	if btp == total && opts.Mode != PushZero {
-		// Fully pushed: nothing to pull; the send op is complete.
+	if btp == total {
+		// Fully pushed (or zero-length): nothing to pull; the send op is
+		// complete.
 		s.finishSend(ep, op)
 	}
 	if !opts.UserTrigger {
@@ -180,7 +186,8 @@ func pushRuns(opts Options, btp, total int) []int {
 
 // deliverFrag handles one in-order data fragment at the receive side,
 // in reception-handler context. It reports false when the fragment could
-// not be buffered, which the go-back-N layer treats as loss.
+// not be buffered, which the go-back-N layer treats as loss — stalling
+// only this channel's stream.
 func (s *Stack) deliverFrag(t *smp.Thread, f fragMsg) bool {
 	cfg := s.Node.Cfg
 	ep := s.eps[f.ch.To.Proc]
@@ -193,6 +200,8 @@ func (s *Stack) deliverFrag(t *smp.Thread, f fragMsg) bool {
 		m = &inboundMsg{
 			ch:        f.ch,
 			msgID:     f.msgID,
+			tag:       f.tag,
+			laneSeq:   f.laneSeq,
 			total:     f.total,
 			pushTotal: f.pushTotal,
 			buf:       make([]byte, f.total),
@@ -232,9 +241,9 @@ func (s *Stack) deliverFrag(t *smp.Thread, f fragMsg) bool {
 			m.slots++
 			m.buffered = append(m.buffered, f)
 			s.event(trace.KindPark, "%v#%d frag [%d:%d) parked in pushed buffer (slot %d/%d)", f.ch, f.msgID, f.offset, f.offset+len(f.data), ep.ring.slotsUsed(), ep.ring.slots)
-		case f.pushTotal < f.total:
-			// Buffer full, but a pull phase follows: discard this
-			// optimistic push and let the pull request re-fetch the
+		case !m.pullSent && f.pushTotal < f.total:
+			// Buffer full, but a pull phase is still to come: discard
+			// this optimistic push and let the pull request re-fetch the
 			// range. Accepting (and acking) the fragment keeps the
 			// in-order stream moving — refusing it would stall pull
 			// traffic of earlier messages behind the retransmission.
@@ -245,7 +254,13 @@ func (s *Stack) deliverFrag(t *smp.Thread, f fragMsg) bool {
 			// Fully eager message (Push-All or a short fully-pushed
 			// transfer): no pull phase exists to re-fetch the data, so
 			// the fragment must be refused and recovered by go-back-N —
-			// the paper's Fig. 6 collapse.
+			// the paper's Fig. 6 collapse, now confined to this
+			// channel's eager lane. (The pullSent guard above is pure
+			// defense: match-time capacity validation means a receive
+			// never detaches after starting a pull, so an unbound
+			// message with the pull request already out cannot occur —
+			// but if it ever did, a discard here would be an
+			// unrecoverable hole, while refusal retransmits.)
 			s.event(trace.KindRefuse, "%v#%d frag [%d:%d) REFUSED: pushed buffer full", f.ch, f.msgID, f.offset, f.offset+len(f.data))
 			return false
 		}
@@ -258,14 +273,15 @@ func (s *Stack) deliverFrag(t *smp.Thread, f fragMsg) bool {
 }
 
 // sendPullReq transmits the acknowledgement-cum-pull-request for m from
-// the receive side (handler or receive process context).
+// the receive side (handler or receive process context), on the
+// channel's own control lane.
 func (s *Stack) sendPullReq(t *smp.Thread, m *inboundMsg) {
 	cfg := s.Node.Cfg
 	t.Exec(cfg.QueueOp)
 	t.Exec(s.nicKernelTrigger())
 	s.event(trace.KindPullReq, "%v#%d pull request (ack) for [%d:%d), %d dropped ranges", m.ch, m.msgID, m.pushTotal, m.total, len(m.dropped))
 	req := pullReqMsg{ch: m.ch, msgID: m.msgID, fromOffset: m.pushTotal, redo: m.dropped}
-	s.session(m.ch.From.Node).send(req.wireBytes(), req)
+	s.inSession(m.ch).send(laneCtrl, req.wireBytes(), req)
 }
 
 // servePull runs at the send side when the pull request arrives: grant it
@@ -302,7 +318,7 @@ func (s *Stack) servePull(t *smp.Thread, req pullReqMsg) {
 		t.P.Sleep(op.srcReadyAt.Sub(t.Now()))
 	}
 	s.event(trace.KindPullGrant, "%v#%d pull granted, transmitting [%d:%d) + %d redo ranges", req.ch, req.msgID, op.pushed, len(op.data), len(req.redo))
-	sess := s.session(req.ch.To.Node)
+	sess := s.outSession(req.ch)
 	total := len(op.data)
 	ranges := append(append([]byteRange(nil), req.redo...), byteRange{Off: op.pushed, N: total - op.pushed})
 	for _, r := range ranges {
@@ -314,6 +330,7 @@ func (s *Stack) servePull(t *smp.Thread, req pullReqMsg) {
 			frag := fragMsg{
 				ch:        req.ch,
 				msgID:     req.msgID,
+				tag:       op.tag,
 				offset:    off,
 				data:      op.data[off : off+n],
 				total:     total,
@@ -321,7 +338,7 @@ func (s *Stack) servePull(t *smp.Thread, req pullReqMsg) {
 				pull:      true,
 			}
 			t.Exec(s.nicKernelTrigger())
-			sess.send(frag.wireBytes(), frag)
+			sess.send(lanePull, frag.wireBytes(), frag)
 			off += n
 		}
 	}

@@ -14,7 +14,7 @@ import (
 // buffer — the destination user buffer directly, so the push phase needs
 // no address translation. Only the pull kernel thread, which runs in a
 // foreign context, must translate the source.
-func (s *Stack) sendIntra(t *smp.Thread, ep *Endpoint, ch ChannelID, msgID uint64, addr vmAddr, data []byte) {
+func (s *Stack) sendIntra(t *smp.Thread, ep *Endpoint, ch ChannelID, msgID uint64, addr vmAddr, data []byte, so SendOptions, laneSeq uint64) {
 	cfg := s.Node.Cfg
 	total := len(data)
 	btp := s.Opts.intraBTP(total)
@@ -24,11 +24,12 @@ func (s *Stack) sendIntra(t *smp.Thread, ep *Endpoint, ch ChannelID, msgID uint6
 	t.Exec(cfg.QueueOp) // register the send operation
 	s.event(trace.KindSend, "%v#%d send %dB intranode, push %dB", ch, msgID, total, btp)
 
-	op := &sendOp{ch: ch, msgID: msgID, addr: addr, data: data, pushed: btp}
+	op := &sendOp{ch: ch, msgID: msgID, tag: so.Tag, addr: addr, data: data, pushed: btp}
 	op.srcReadyAt = t.Now() // intranode: pull thread translates on its own
-	if s.Opts.Mode == ThreePhase {
+	if s.Opts.Mode == ThreePhase && btp < total {
 		// Three-phase is synchronous: the sender parks until the pull
-		// kernel thread has fully served the transfer.
+		// kernel thread has fully served the transfer. A fully pushed
+		// (zero-length) message has nothing to pull and never parks.
 		op.done = sim.NewCond(s.Node.Engine)
 	}
 	ep.sendOps[sendKey{ch, msgID}] = op
@@ -41,16 +42,19 @@ func (s *Stack) sendIntra(t *smp.Thread, ep *Endpoint, ch ChannelID, msgID uint6
 	m := &inboundMsg{
 		ch:        ch,
 		msgID:     msgID,
+		tag:       so.Tag,
+		laneSeq:   laneSeq,
 		total:     total,
 		pushTotal: btp,
 		buf:       make([]byte, total),
 	}
 
-	if rop := peer.pendingFor(ch); rop != nil && rop.msg == nil && !s.Opts.DisableZeroBuffer {
+	if rop := peer.intraDirectRecv(m); rop != nil && !s.Opts.DisableZeroBuffer {
 		// Receive already registered (destination zero buffer known):
 		// push straight into the destination buffer — one copy.
 		peer.bind(rop, m)
 		peer.inbound = append(peer.inbound, m)
+		peer.settle(rop, m) // the lane advanced: later parked messages may now match
 		if btp > 0 {
 			t.Copy(btp, false)
 			copy(m.buf[:btp], data[:btp])

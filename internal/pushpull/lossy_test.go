@@ -51,8 +51,7 @@ func TestLossRecoveryCostsRetransmissions(t *testing.T) {
 		if !bytes.Equal(got, data) {
 			t.Fatal("integrity lost")
 		}
-		snd, _ := c.Stacks[0].Session(1)
-		return done, snd.Retransmissions()
+		return done, c.Stacks[0].LinkStats(1).Retransmissions
 	}
 	cleanT, cleanR := run(0)
 	lossyT, lossyR := run(0.05)

@@ -21,23 +21,29 @@ type Request struct {
 	done     *sim.Cond
 	complete bool
 	data     []byte
+	status   Status
 	err      error
 }
 
-// Isend starts a nonblocking send of data (placed at addr in the
+// Isend starts a nonblocking tag-0 send of data (placed at addr in the
 // endpoint's space) to process to, returning immediately with a Request.
 // The data buffer must not be modified until the request completes.
 func (ep *Endpoint) Isend(t *smp.Thread, to ProcessID, addr vm.VirtAddr, data []byte) *Request {
+	return ep.IsendOpt(t, to, addr, data, DefaultSendOptions())
+}
+
+// IsendOpt is Isend with per-operation options (tag, BTP override).
+func (ep *Endpoint) IsendOpt(t *smp.Thread, to ProcessID, addr vm.VirtAddr, data []byte, o SendOptions) *Request {
 	req := &Request{done: sim.NewCond(ep.stack.Node.Engine)}
 	t.Exec(ep.stack.Node.Cfg.CallOverhead) // posting cost on the caller
 	ep.stack.Node.Spawn(fmt.Sprintf("isend/%v", ep.ID), ep.CPU, func(ht *smp.Thread) {
-		err := ep.Send(ht, to, addr, data)
-		req.finish(nil, err)
+		err := ep.SendOpt(ht, to, addr, data, o)
+		req.finish(nil, Status{Source: ep.ID, Tag: o.Tag}, err)
 	})
 	return req
 }
 
-// Irecv starts a nonblocking receive of the next message on channel
+// Irecv starts a nonblocking receive of the next tag-0 message on channel
 // from→ep into addr (bufLen bytes), returning immediately with a Request.
 // Wait (or a successful Test) returns the received bytes.
 //
@@ -45,18 +51,25 @@ func (ep *Endpoint) Isend(t *smp.Thread, to ProcessID, addr vm.VirtAddr, data []
 // messages in posting order, matching the FIFO channel semantics of
 // blocking Recv.
 func (ep *Endpoint) Irecv(t *smp.Thread, from ProcessID, addr vm.VirtAddr, bufLen int) *Request {
+	return ep.IrecvOpt(t, from, addr, bufLen, RecvOptions{})
+}
+
+// IrecvOpt is Irecv with per-operation options; from may be AnySource
+// and o.Tag may be AnyTag. The Request's Status reports what matched.
+func (ep *Endpoint) IrecvOpt(t *smp.Thread, from ProcessID, addr vm.VirtAddr, bufLen int, o RecvOptions) *Request {
 	req := &Request{done: sim.NewCond(ep.stack.Node.Engine)}
 	t.Exec(ep.stack.Node.Cfg.CallOverhead)
 	ep.stack.Node.Spawn(fmt.Sprintf("irecv/%v", ep.ID), ep.CPU, func(ht *smp.Thread) {
-		b, err := ep.Recv(ht, from, addr, bufLen)
-		req.finish(b, err)
+		b, st, err := ep.RecvOpt(ht, from, addr, bufLen, o)
+		req.finish(b, st, err)
 	})
 	return req
 }
 
 // finish records the outcome and wakes every waiter.
-func (req *Request) finish(data []byte, err error) {
+func (req *Request) finish(data []byte, st Status, err error) {
 	req.data = data
+	req.status = st
 	req.err = err
 	req.complete = true
 	req.done.Broadcast()
@@ -80,6 +93,11 @@ func (req *Request) Test() (bool, []byte, error) {
 	}
 	return true, req.data, req.err
 }
+
+// Status reports the completed operation's envelope: for a receive, the
+// source and tag that matched (informative after AnySource / AnyTag).
+// Valid only once the request has completed.
+func (req *Request) Status() Status { return req.status }
 
 // WaitAll completes every request in order and returns the first error.
 func WaitAll(t *smp.Thread, reqs ...*Request) error {

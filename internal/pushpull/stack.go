@@ -13,22 +13,43 @@ import (
 )
 
 // Stack is the messaging layer of one node: the endpoints living there,
-// plus one go-back-N session per rail toward every peer node reachable
-// through the attached NICs.
+// plus one pair of go-back-N lanes *per directed channel* toward every
+// peer node reachable through the attached NICs.
+//
+// Per-channel sessions are the protocol-level fix for the shared-stream
+// livelock: a refused fully-eager fragment stalls only its own channel's
+// stream, so pull traffic and other channels keep draining the pushed
+// buffer and the refused fragment's retransmission eventually lands.
+// Each channel owns a data lane (sender→receiver fragments) and a
+// control lane (receiver→sender pull requests), one go-back-N pair per
+// rail.
 //
 // A node may attach several NICs ("rails"); fragments of one message are
 // striped across rails round-robin, realizing the paper's §6 outlook —
 // "a more general mechanism to work with multiple network interfaces
 // using multiple processors". Per-rail go-back-N keeps each rail in
 // order; cross-rail reordering is absorbed by offset-addressed assembly
-// and strict message-id receive matching.
+// and strict lane-sequence receive matching.
 type Stack struct {
 	Node *smp.Node
 	Opts Options
 
 	eps   map[int]*Endpoint
-	peers map[int]*peerSession
+	peers map[int]bool // wired peer nodes (AddPeer)
 	nics  []*nic.NIC
+	// outSess/inSess hold this node's halves of every channel session it
+	// has touched: outSess for channels this node sends on (data-lane
+	// sender + control-lane receiver), inSess for channels it receives
+	// on (data-lane receiver + control-lane sender). Sessions are
+	// created lazily on first use; sessOrder records creation order so
+	// post-run iteration (stats, recorders) is deterministic.
+	outSess   map[ChannelID]*chanSession
+	inSess    map[ChannelID]*chanSession
+	sessOrder []*chanSession
+	// curT is the handler thread currently delivering a packet; the
+	// go-back-N deliver callbacks have no thread parameter, and handlers
+	// are serialized by rxLock, so passing it through the stack is safe.
+	curT *smp.Thread
 	// rxLock serializes reception handlers (paper §2 stage 1: "the
 	// system has to restrict that only one user or kernel thread invokes
 	// the thread at a time"). Without it, a handler sleeping in a copy
@@ -59,11 +80,13 @@ func NewStack(n *smp.Node, opts Options) *Stack {
 		panic(err)
 	}
 	return &Stack{
-		Node:   n,
-		Opts:   opts,
-		eps:    make(map[int]*Endpoint),
-		peers:  make(map[int]*peerSession),
-		rxLock: sim.NewResource(n.Engine, fmt.Sprintf("rxlock/n%d", n.ID)),
+		Node:    n,
+		Opts:    opts,
+		eps:     make(map[int]*Endpoint),
+		peers:   make(map[int]bool),
+		outSess: make(map[ChannelID]*chanSession),
+		inSess:  make(map[ChannelID]*chanSession),
+		rxLock:  sim.NewResource(n.Engine, fmt.Sprintf("rxlock/n%d", n.ID)),
 	}
 }
 
@@ -76,15 +99,19 @@ func (s *Stack) trace(format string, args ...any) {
 // SetRecorder attaches a structured trace recorder to the stack and
 // propagates it to the attached NICs and go-back-N sessions, so one
 // recorder sees the whole node's protocol, link and reliability events.
-// Call after the topology is wired (AttachNIC / AddPeer).
+// Sessions created later inherit it at creation.
 func (s *Stack) SetRecorder(rec *trace.Recorder) {
 	s.Rec = rec
 	for _, nc := range s.nics {
 		nc.Rec = rec
 	}
-	for _, sess := range s.peers {
+	for _, sess := range s.sessOrder {
 		for _, r := range sess.rails {
-			r.snd.SetTrace(rec, s.Node.ID)
+			for l := lane(0); l < numLanes; l++ {
+				if snd := r.snd[l]; snd != nil {
+					snd.SetTrace(rec, s.Node.ID)
+				}
+			}
 		}
 	}
 }
@@ -113,7 +140,8 @@ func (s *Stack) NewEndpoint(proc, cpu int) *Endpoint {
 		ring:     newPushedBuffer(s.Node.Engine, s.Opts.PushedBufBytes),
 		sendOps:  make(map[sendKey]*sendOp),
 		nextMsg:  make(map[ChannelID]uint64),
-		nextBind: make(map[ChannelID]uint64),
+		nextLane: make(map[laneKey]uint64),
+		nextBind: make(map[laneKey]uint64),
 	}
 	s.eps[proc] = ep
 	return ep
@@ -144,103 +172,107 @@ func (s *Stack) NIC() *nic.NIC {
 // Rails reports the number of attached NICs.
 func (s *Stack) Rails() int { return len(s.nics) }
 
-// AddPeer creates the go-back-N sessions (one per rail) toward peer
-// node. All NICs must be attached first.
+// AddPeer wires peer node into the topology. Channel sessions toward it
+// are created lazily, one per directed channel, on first use. All NICs
+// must be attached first.
 func (s *Stack) AddPeer(peerNode int) {
 	if len(s.nics) == 0 {
 		panic("pushpull: AddPeer before AttachNIC")
 	}
-	if _, dup := s.peers[peerNode]; dup {
+	if s.peers[peerNode] {
 		panic(fmt.Sprintf("pushpull: duplicate peer %d on node %d", peerNode, s.Node.ID))
 	}
-	sess := &peerSession{stack: s, peer: peerNode}
-	for i := range s.nics {
-		r := &rail{sess: sess, idx: i, nic: s.nics[i]}
-		r.snd = gbn.NewSender(s.Node.Engine, s.Opts.GBN, r.transmitPacket)
-		r.rcv = gbn.NewReceiver(sess.deliverPacket, r.transmitAck)
-		sess.rails = append(sess.rails, r)
-	}
-	s.peers[peerNode] = sess
+	s.peers[peerNode] = true
 }
 
-// Session returns the go-back-N halves of rail 0 toward peer, for
-// statistics (RailSession gives a specific rail).
-func (s *Stack) Session(peer int) (*gbn.Sender, *gbn.Receiver) {
-	return s.RailSession(peer, 0)
-}
-
-// RailSession returns the go-back-N halves of one rail toward peer.
-func (s *Stack) RailSession(peer, railIdx int) (*gbn.Sender, *gbn.Receiver) {
-	sess := s.peers[peer]
-	if sess == nil || railIdx >= len(sess.rails) {
-		return nil, nil
-	}
-	r := sess.rails[railIdx]
-	return r.snd, r.rcv
-}
-
-// handleFrame is the reception handler (paper §2 stages 3-4): it runs in
-// interrupt or polling context on the CPU the node's policy chose.
-func (s *Stack) handleFrame(railIdx int, t *smp.Thread, f ether.Frame) {
-	sess := s.peers[f.Src]
-	if sess == nil {
-		s.event(trace.KindError, "frame from unknown peer %d dropped", f.Src)
-		return
-	}
-	r := sess.rails[railIdx]
-	wm, ok := f.Payload.(wireMsg)
-	if !ok {
-		panic(fmt.Sprintf("pushpull: node %d received foreign payload %T", s.Node.ID, f.Payload))
-	}
-	if wm.isAck {
-		// Link acks touch only the go-back-N sender and never sleep; they
-		// bypass the handler lock like a real driver's ack fast path.
-		r.snd.OnAck(wm.ack.ack)
-		return
-	}
-	pkt := wm.pkt.(gbn.Packet)
-	s.rxLock.Acquire(t.P)
-	sess.curT = t
-	r.rcv.OnPacket(pkt)
-	sess.curT = nil
-	s.rxLock.Release()
-}
-
-// peerSession is one node pair's reliable transport: one go-back-N
-// session per rail, multiplexing every channel between the two nodes.
-type peerSession struct {
+// chanSession is one node's half of a directed channel's reliable
+// transport. At the channel's From node (out = true) each rail carries
+// go-back-N *senders* for the eager and pull data lanes and a *receiver*
+// for the control lane's pull requests; at the To node the roles mirror.
+type chanSession struct {
 	stack *Stack
-	peer  int
-	rails []*rail
-	next  int // round-robin rail cursor
-	// curT is the handler thread currently delivering a packet; the
-	// go-back-N deliver callback has no thread parameter, and the
-	// simulation is single-threaded, so passing it through the session
-	// is safe.
-	curT *smp.Thread
+	ch    ChannelID
+	peer  int  // remote node
+	out   bool // true at ch.From's node
+	rails []*chanRail
+	next  [numLanes]int // per-lane round-robin rail cursors
 }
 
-// rail is one NIC's reliable lane toward the peer.
-type rail struct {
-	sess *peerSession
+// chanRail is one NIC's lane set for a channel session: per lane, a
+// sender or a receiver depending on which side of the channel this node
+// is (the unused halves stay nil).
+type chanRail struct {
+	sess *chanSession
 	idx  int
 	nic  *nic.NIC
-	snd  *gbn.Sender
-	rcv  *gbn.Receiver
+	snd  [numLanes]*gbn.Sender
+	rcv  [numLanes]*gbn.Receiver
 }
 
-// send stripes a protocol packet onto the next rail.
-func (ps *peerSession) send(bytes int, data any) {
-	r := ps.rails[ps.next]
-	ps.next = (ps.next + 1) % len(ps.rails)
-	r.snd.Send(bytes, data)
+// outSession returns (creating if needed) the sending-side session of
+// channel ch: this node transmits data fragments and receives pull
+// requests.
+func (s *Stack) outSession(ch ChannelID) *chanSession {
+	if sess := s.outSess[ch]; sess != nil {
+		return sess
+	}
+	sess := s.newSession(ch, ch.To.Node, true)
+	s.outSess[ch] = sess
+	return sess
 }
 
-// transmitPacket hands a go-back-N packet to this rail's NIC. It must
-// not block the caller (it may run in handler or timer context), so the
-// enqueue — which can wait for outgoing-FIFO space — happens on a helper
-// process.
-func (r *rail) transmitPacket(pkt gbn.Packet) {
+// inSession returns (creating if needed) the receiving-side session of
+// channel ch: this node receives data fragments and transmits pull
+// requests.
+func (s *Stack) inSession(ch ChannelID) *chanSession {
+	if sess := s.inSess[ch]; sess != nil {
+		return sess
+	}
+	sess := s.newSession(ch, ch.From.Node, false)
+	s.inSess[ch] = sess
+	return sess
+}
+
+func (s *Stack) newSession(ch ChannelID, peer int, out bool) *chanSession {
+	if !s.peers[peer] {
+		panic(fmt.Sprintf("pushpull: node %d has no peer wiring toward node %d (channel %v)", s.Node.ID, peer, ch))
+	}
+	sess := &chanSession{stack: s, ch: ch, peer: peer, out: out}
+	for i := range s.nics {
+		r := &chanRail{sess: sess, idx: i, nic: s.nics[i]}
+		for l := lane(0); l < numLanes; l++ {
+			l := l
+			if l.toSender() != out {
+				// This node transmits on the lane.
+				r.snd[l] = gbn.NewSender(s.Node.Engine, s.Opts.GBN, func(pkt gbn.Packet) { r.transmit(l, pkt) })
+				r.snd[l].SetTrace(s.Rec, s.Node.ID)
+			} else {
+				// This node receives on the lane.
+				deliver := sess.deliverFrag
+				if l == laneCtrl {
+					deliver = sess.deliverCtrl
+				}
+				r.rcv[l] = gbn.NewReceiver(deliver, func(ack uint32) { r.transmitAck(l, ack) })
+			}
+		}
+		sess.rails = append(sess.rails, r)
+	}
+	s.sessOrder = append(s.sessOrder, sess)
+	return sess
+}
+
+// send stripes a protocol packet onto the lane's next rail.
+func (ps *chanSession) send(l lane, bytes int, data any) {
+	r := ps.rails[ps.next[l]]
+	ps.next[l] = (ps.next[l] + 1) % len(ps.rails)
+	r.snd[l].Send(bytes, data)
+}
+
+// transmit hands a go-back-N packet to this rail's NIC, addressed to the
+// given lane. It must not block the caller (it may run in handler or
+// timer context), so the enqueue — which can wait for outgoing-FIFO
+// space — happens on a helper process.
+func (r *chanRail) transmit(l lane, pkt gbn.Packet) {
 	preloaded := false
 	switch d := pkt.Data.(type) {
 	case fragMsg:
@@ -253,44 +285,147 @@ func (r *rail) transmitPacket(pkt gbn.Packet) {
 		Src:          s.Node.ID,
 		Dst:          r.sess.peer,
 		PayloadBytes: pkt.Bytes,
-		Payload:      wireMsg{pkt: pkt},
+		Payload:      wireMsg{ch: r.sess.ch, lane: l, pkt: pkt},
 	}
 	s.Node.Engine.Go(fmt.Sprintf("tx/n%d->n%d.r%d", s.Node.ID, r.sess.peer, r.idx), func(p *sim.Process) {
 		r.nic.Send(p, nic.TxRequest{Frame: frame, Preloaded: preloaded})
 	})
 }
 
-// transmitAck sends a raw cumulative link acknowledgement on this rail
-// (not itself reliable; a lost ack is recovered by the data
+// transmitAck sends a raw cumulative link acknowledgement for one lane
+// on this rail (not itself reliable; a lost ack is recovered by the data
 // retransmission path).
-func (r *rail) transmitAck(ack uint32) {
+func (r *chanRail) transmitAck(l lane, ack uint32) {
 	s := r.sess.stack
 	frame := ether.Frame{
 		Src:          s.Node.ID,
 		Dst:          r.sess.peer,
 		PayloadBytes: linkAckMsg{}.wireBytes(),
-		Payload:      wireMsg{isAck: true, ack: linkAckMsg{ack: ack}},
+		Payload:      wireMsg{ch: r.sess.ch, lane: l, isAck: true, ack: linkAckMsg{ack: ack}},
 	}
 	s.Node.Engine.Go(fmt.Sprintf("tx-ack/n%d->n%d.r%d", s.Node.ID, r.sess.peer, r.idx), func(p *sim.Process) {
 		r.nic.Send(p, nic.TxRequest{Frame: frame, Preloaded: true})
 	})
 }
 
-// deliverPacket is the go-back-N upward delivery: an in-order protocol
-// packet for this node. It reports whether the packet could be consumed;
-// false (no pushed-buffer space) makes go-back-N treat it as lost.
-func (ps *peerSession) deliverPacket(pkt gbn.Packet) bool {
-	t := ps.curT
-	switch m := pkt.Data.(type) {
-	case fragMsg:
-		return ps.stack.deliverFrag(t, m)
-	case pullReqMsg:
-		ps.stack.servePull(t, m)
-		return true
-	default:
-		panic(fmt.Sprintf("pushpull: unknown packet payload %T", pkt.Data))
+// deliverFrag is the eager and pull lanes' go-back-N upward delivery: an
+// in-order fragment for this node. It reports whether the fragment could
+// be consumed; false (no pushed-buffer space) makes go-back-N treat it
+// as lost — stalling only this channel's eager lane.
+func (ps *chanSession) deliverFrag(pkt gbn.Packet) bool {
+	f, ok := pkt.Data.(fragMsg)
+	if !ok {
+		panic(fmt.Sprintf("pushpull: data lane carried %T", pkt.Data))
+	}
+	return ps.stack.deliverFrag(ps.stack.curT, f)
+}
+
+// deliverCtrl is the control lane's upward delivery at the data sender:
+// the channel's pull requests.
+func (ps *chanSession) deliverCtrl(pkt gbn.Packet) bool {
+	req, ok := pkt.Data.(pullReqMsg)
+	if !ok {
+		panic(fmt.Sprintf("pushpull: control lane carried %T", pkt.Data))
+	}
+	ps.stack.servePull(ps.stack.curT, req)
+	return true
+}
+
+// handleFrame is the reception handler (paper §2 stages 3-4): it runs in
+// interrupt or polling context on the CPU the node's policy chose, and
+// routes the frame to its channel's session and lane.
+func (s *Stack) handleFrame(railIdx int, t *smp.Thread, f ether.Frame) {
+	if !s.peers[f.Src] {
+		s.event(trace.KindError, "frame from unknown peer %d dropped", f.Src)
+		return
+	}
+	wm, ok := f.Payload.(wireMsg)
+	if !ok {
+		panic(fmt.Sprintf("pushpull: node %d received foreign payload %T", s.Node.ID, f.Payload))
+	}
+	// Eager/pull lane traffic arrives at the channel's To node (its in
+	// session); control traffic arrives at the From node (out session).
+	// Acks travel the opposite way and land on the transmitting half.
+	sessionOf := func(recvSide bool) *chanSession {
+		if wm.lane.toSender() == recvSide {
+			return s.outSession(wm.ch)
+		}
+		return s.inSession(wm.ch)
+	}
+	if wm.isAck {
+		// Link acks touch only a go-back-N sender and never sleep; they
+		// bypass the handler lock like a real driver's ack fast path.
+		sessionOf(false).rails[railIdx].snd[wm.lane].OnAck(wm.ack.ack)
+		return
+	}
+	pkt := wm.pkt.(gbn.Packet)
+	sess := sessionOf(true)
+	s.rxLock.Acquire(t.P)
+	s.curT = t
+	sess.rails[railIdx].rcv[wm.lane].OnPacket(pkt)
+	s.curT = nil
+	s.rxLock.Release()
+}
+
+// LinkStats aggregates the go-back-N counters of every channel session
+// between this node and peer, both lanes: the transmitting halves on
+// this node (data out plus control out) and the receiving halves (data
+// in plus control in).
+type LinkStats struct {
+	// Transmitting halves on this node toward peer.
+	Retransmissions, Timeouts, Outstanding, Queued uint64
+	// Receiving halves on this node from peer.
+	Delivered, Rejected, OutOfOrder, Duplicates uint64
+}
+
+// LinkStats sums the reliability counters of every session toward/from
+// peer (see LinkStats fields). ChannelStats narrows to one channel.
+func (s *Stack) LinkStats(peer int) LinkStats {
+	var st LinkStats
+	for _, sess := range s.sessOrder {
+		if sess.peer != peer {
+			continue
+		}
+		sess.addStats(&st)
+	}
+	return st
+}
+
+// ChannelStats sums the reliability counters of one channel's sessions
+// at this node (out and in halves, every rail and lane).
+func (s *Stack) ChannelStats(ch ChannelID) LinkStats {
+	var st LinkStats
+	if sess := s.outSess[ch]; sess != nil {
+		sess.addStats(&st)
+	}
+	if sess := s.inSess[ch]; sess != nil {
+		sess.addStats(&st)
+	}
+	return st
+}
+
+func (ps *chanSession) addStats(st *LinkStats) {
+	for _, r := range ps.rails {
+		for l := lane(0); l < numLanes; l++ {
+			if snd := r.snd[l]; snd != nil {
+				st.Retransmissions += snd.Retransmissions()
+				st.Timeouts += snd.Timeouts()
+				st.Outstanding += uint64(snd.Outstanding())
+				st.Queued += uint64(snd.Queued())
+			}
+			if rcv := r.rcv[l]; rcv != nil {
+				st.Delivered += rcv.Delivered()
+				st.Rejected += rcv.Rejected()
+				st.OutOfOrder += rcv.OutOfOrder()
+				st.Duplicates += rcv.Duplicates()
+			}
+		}
 	}
 }
+
+// Sessions reports how many channel sessions this node has materialized
+// (out and in halves counted separately).
+func (s *Stack) Sessions() int { return len(s.sessOrder) }
 
 // DiscardedBytes reports pushed bytes this node's receive side discarded
 // for lack of pushed-buffer space (later re-fetched by pull requests).
@@ -298,16 +433,6 @@ func (s *Stack) DiscardedBytes() uint64 { return s.discardedBytes }
 
 // intranode reports whether dst lives on this node.
 func (s *Stack) intranode(dst ProcessID) bool { return dst.Node == s.Node.ID }
-
-// session returns the peer session toward node, panicking if the topology
-// was never wired (a configuration bug, not a runtime condition).
-func (s *Stack) session(node int) *peerSession {
-	sess := s.peers[node]
-	if sess == nil {
-		panic(fmt.Sprintf("pushpull: node %d has no session toward node %d", s.Node.ID, node))
-	}
-	return sess
-}
 
 // nicTrigger reports the user-level doorbell cost (rail 0; rails are
 // identical hardware).

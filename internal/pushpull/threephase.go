@@ -27,18 +27,30 @@ import (
 
 // sendInterThreePhase is the internode three-phase send: translate, RTS,
 // park until CTS, transmit everything, return.
-func (s *Stack) sendInterThreePhase(t *smp.Thread, ep *Endpoint, ch ChannelID, msgID uint64, addr vmAddr, data []byte) {
+func (s *Stack) sendInterThreePhase(t *smp.Thread, ep *Endpoint, ch ChannelID, msgID uint64, addr vmAddr, data []byte, so SendOptions, laneSeq uint64) {
 	cfg := s.Node.Cfg
 	total := len(data)
-	sess := s.session(ch.To.Node)
+	sess := s.outSession(ch)
 
 	t.Exec(cfg.CallOverhead)
 	t.Exec(cfg.SyscallEntry)
 	t.Exec(cfg.QueueOp) // register the send operation
 	s.event(trace.KindSend, "%v#%d send %dB three-phase", ch, msgID, total)
 
-	op := &sendOp{ch: ch, msgID: msgID, addr: addr, data: data, done: sim.NewCond(s.Node.Engine)}
+	op := &sendOp{ch: ch, msgID: msgID, tag: so.Tag, addr: addr, data: data}
 	ep.sendOps[sendKey{ch, msgID}] = op
+
+	if total == 0 {
+		// Nothing to hand over: the announcement alone completes the
+		// transfer, so there is no CTS to park on.
+		rts := fragMsg{ch: ch, msgID: msgID, tag: so.Tag, laneSeq: laneSeq, total: 0, pushTotal: 0, preloaded: true}
+		t.Exec(s.nicKernelTrigger())
+		sess.send(laneEager, rts.wireBytes(), rts)
+		s.finishSend(ep, op)
+		t.Exec(cfg.SyscallExit)
+		return
+	}
+	op.done = sim.NewCond(s.Node.Engine)
 
 	// Classical protocol: find out physical addresses before transmitting
 	// anything. The translation sits on the critical path.
@@ -48,9 +60,9 @@ func (s *Stack) sendInterThreePhase(t *smp.Thread, ep *Endpoint, ch ChannelID, m
 	op.srcZB = translateOrDie(ep.Space, addr, total)
 
 	// Phase 1: request-to-send (a bare announcement, zero pushed bytes).
-	rts := fragMsg{ch: ch, msgID: msgID, total: total, pushTotal: 0, preloaded: true}
+	rts := fragMsg{ch: ch, msgID: msgID, tag: so.Tag, laneSeq: laneSeq, total: total, pushTotal: 0, preloaded: true}
 	t.Exec(s.nicKernelTrigger())
-	sess.send(rts.wireBytes(), rts)
+	sess.send(laneEager, rts.wireBytes(), rts)
 
 	// Phase 2: park until the receiver's clear-to-send arrives.
 	for op.grant == nil {
@@ -68,6 +80,7 @@ func (s *Stack) sendInterThreePhase(t *smp.Thread, ep *Endpoint, ch ChannelID, m
 		frag := fragMsg{
 			ch:        ch,
 			msgID:     msgID,
+			tag:       so.Tag,
 			offset:    off,
 			data:      data[off : off+n],
 			total:     total,
@@ -75,7 +88,7 @@ func (s *Stack) sendInterThreePhase(t *smp.Thread, ep *Endpoint, ch ChannelID, m
 			pull:      true,
 		}
 		t.Exec(s.nicKernelTrigger())
-		sess.send(frag.wireBytes(), frag)
+		sess.send(lanePull, frag.wireBytes(), frag)
 		off += n
 	}
 	s.finishSend(ep, op)

@@ -15,20 +15,43 @@ type ProcessID struct {
 	Proc int
 }
 
-func (p ProcessID) String() string { return fmt.Sprintf("n%d.p%d", p.Node, p.Proc) }
+func (p ProcessID) String() string {
+	if p == AnySource {
+		return "any"
+	}
+	return fmt.Sprintf("n%d.p%d", p.Node, p.Proc)
+}
 
-// ChannelID is one directed sender→receiver pair. Messages on a channel
-// are delivered in FIFO order.
+// AnySource is the receive-matching wildcard: a receive posted with it
+// binds the next eligible message from any sender.
+var AnySource = ProcessID{Node: -1, Proc: -1}
+
+// AnyTag is the tag-matching wildcard: a receive posted with it binds a
+// message of any tag.
+const AnyTag = -1
+
+// ChannelID is one directed sender→receiver pair. Messages of one tag on
+// a channel are delivered in FIFO order; each channel is backed by its
+// own go-back-N sessions, so loss or refusal on one channel never stalls
+// another channel's stream.
 type ChannelID struct {
 	From, To ProcessID
 }
 
 func (c ChannelID) String() string { return fmt.Sprintf("%v->%v", c.From, c.To) }
 
+// laneKey identifies one (channel, tag) matching lane. Receives bind a
+// lane's messages strictly in the order they were sent, even when rail
+// striping makes later messages' fragments arrive first.
+type laneKey struct {
+	ch  ChannelID
+	tag int
+}
+
 // Wire geometry of the messaging layer.
 const (
 	// ProtoHeaderBytes is the per-fragment protocol header (channel,
-	// message id, offset, lengths, go-back-N sequence).
+	// message id, tag, offset, lengths, go-back-N sequence).
 	ProtoHeaderBytes = 16
 	// MaxFragData is the most message data one Ethernet frame carries.
 	MaxFragData = ether.MTU - ProtoHeaderBytes
@@ -38,11 +61,40 @@ const (
 	PushedSlotBytes = 2048
 )
 
+// SendOptions tunes one send operation beyond the stack's Options.
+type SendOptions struct {
+	// Tag labels the message for tagged receive matching; receives with
+	// the same tag (or AnyTag) bind it.
+	Tag int
+	// BTP, when >= 0, overrides the internode PushPull Bytes-To-Push for
+	// this one message (clamped to [0, len(data)]). Ignored by the other
+	// modes, whose BTP is their defining constant.
+	BTP int
+}
+
+// DefaultSendOptions is a tag-0 send at the protocol's configured BTP.
+func DefaultSendOptions() SendOptions { return SendOptions{Tag: 0, BTP: -1} }
+
+// RecvOptions tunes one receive operation.
+type RecvOptions struct {
+	// Tag is the tag to match, or AnyTag for any.
+	Tag int
+}
+
+// Status reports what a completed receive actually bound: the source
+// process and tag of the delivered message (informative when the receive
+// was posted with AnySource or AnyTag).
+type Status struct {
+	Source ProcessID
+	Tag    int
+}
+
 // sendOp is a registered send operation, held in the endpoint's send
 // queue until the message is fully transmitted (pulled or pushed).
 type sendOp struct {
 	ch    ChannelID
 	msgID uint64
+	tag   int
 	addr  vm.VirtAddr
 	data  []byte
 	// pushed is how many leading bytes went in the push phase.
@@ -65,9 +117,11 @@ type sendOp struct {
 	grant *pullReqMsg
 }
 
-// recvOp is a registered receive operation.
+// recvOp is a registered receive operation. src and tag may be the
+// wildcards; the bound channel is known only once a message matches.
 type recvOp struct {
-	ch     ChannelID
+	src    ProcessID // AnySource matches any sender
+	tag    int       // AnyTag matches any tag
 	addr   vm.VirtAddr
 	bufLen int
 	// zbReadyAt is when destination translation completes; handler-side
@@ -80,10 +134,20 @@ type recvOp struct {
 	err       error
 }
 
+// matches reports whether op's source/tag pattern covers message m.
+func (op *recvOp) matches(m *inboundMsg) bool {
+	return (op.src == AnySource || op.src == m.ch.From) &&
+		(op.tag == AnyTag || op.tag == m.tag)
+}
+
 // inboundMsg tracks one message arriving at an endpoint.
 type inboundMsg struct {
-	ch        ChannelID
-	msgID     uint64
+	ch    ChannelID
+	msgID uint64
+	tag   int
+	// laneSeq is the message's sequence number within its (channel, tag)
+	// lane; receives bind lanes in laneSeq order.
+	laneSeq   uint64
 	total     int
 	pushTotal int // bytes the sender pushes eagerly
 	buf       []byte
@@ -102,6 +166,8 @@ type inboundMsg struct {
 	complete bool
 }
 
+func (m *inboundMsg) lane() laneKey { return laneKey{ch: m.ch, tag: m.tag} }
+
 // byteRange is a half-open [Off, Off+N) range of message bytes.
 type byteRange struct {
 	Off, N int
@@ -114,6 +180,8 @@ func (m *inboundMsg) pullRemainder() int { return m.total - m.pushTotal }
 type fragMsg struct {
 	ch        ChannelID
 	msgID     uint64
+	tag       int
+	laneSeq   uint64
 	offset    int
 	data      []byte
 	total     int
@@ -129,7 +197,8 @@ func (f fragMsg) wireBytes() int { return ProtoHeaderBytes + len(f.data) }
 
 // pullReqMsg is the receive side's acknowledgement-cum-pull-request. It
 // names the unsent tail plus any pushed ranges the receiver had to
-// discard for lack of pushed-buffer space.
+// discard for lack of pushed-buffer space. It rides the channel's own
+// control lane (receiver→sender), reliably.
 type pullReqMsg struct {
 	ch         ChannelID
 	msgID      uint64
@@ -146,9 +215,47 @@ type linkAckMsg struct {
 
 func (linkAckMsg) wireBytes() int { return ProtoHeaderBytes }
 
-// wireMsg is what rides in an ether.Frame payload: either a go-back-N
-// data packet or a raw link ack.
+// lane names one of a channel's three independent go-back-N streams.
+// Splitting them is what makes refusal harmless outside its own lane: a
+// refused eager fragment (which only happens when no receive is posted)
+// can never sit in front of pull-phase data the receiver explicitly
+// asked for, or in front of the control traffic that grants pulls.
+type lane uint8
+
+const (
+	// laneEager carries sender→receiver pushed fragments — the
+	// optimistic traffic a full pushed buffer may refuse.
+	laneEager lane = iota
+	// lanePull carries sender→receiver pull-phase fragments, which by
+	// definition have a posted receive and are never refused.
+	lanePull
+	// laneCtrl carries receiver→sender pull requests.
+	laneCtrl
+	numLanes
+)
+
+func (l lane) String() string {
+	switch l {
+	case laneEager:
+		return "eager"
+	case lanePull:
+		return "pull"
+	case laneCtrl:
+		return "ctrl"
+	default:
+		return fmt.Sprintf("lane(%d)", uint8(l))
+	}
+}
+
+// toSender reports whether the lane flows receiver→sender.
+func (l lane) toSender() bool { return l == laneCtrl }
+
+// wireMsg is what rides in an ether.Frame payload: a go-back-N packet or
+// a raw link ack, addressed to one channel's lane so the receiving stack
+// can route it to that channel's session.
 type wireMsg struct {
+	ch    ChannelID
+	lane  lane
 	pkt   any  // gbn.Packet for the data plane
 	isAck bool // linkAckMsg for the control plane
 	ack   linkAckMsg

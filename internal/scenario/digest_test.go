@@ -1,59 +1,96 @@
 package scenario
 
-import "testing"
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
-// The sim core's fast path (pooled events, in-place cancellation, the
-// same-time dispatch queue, the single-op process handoff) must preserve
-// the engine's total event order exactly — not approximately. These
-// digests were captured from every builtin scenario at full size BEFORE
-// the optimization (the internal/bench/equivalence_test.go methodology,
-// applied to the scenario layer): a diff here means an optimization
-// reordered, dropped or duplicated at least one event somewhere in the
-// stack.
+// The protocol stack and the sim core must produce every builtin
+// scenario's result byte for byte: a diff against the pinned capture
+// means something reordered, dropped or duplicated at least one event
+// somewhere in the stack. The digests live in testdata/digests.json so
+// the capture is data, not code.
 //
-// If a deliberate model change moves these values, recapture with:
+// Legitimate recaptures are *wire-behavior changes* — a protocol-level
+// redesign (e.g. the per-channel session split), a new cost model, a new
+// builtin scenario. Run:
 //
-//	go run ./cmd/pushpull-scen run <name> 2>&1 | grep digest
-var pinnedDigests = map[string]string{
-	"paper-intranode-pingpong": "5439bb88711ee766c4978699161c58aff9824b804771d259c412447eab4cb00f",
-	"paper-internode-pingpong": "626644b3d849f4aaeb6ff3b665dcf7a21f5e605f76e5a1d1ab4f332c8a357c03",
-	"paper-early-receiver":     "8320f5db40eb3c351f260d36f9f761c554005f5e3a8cf4923dcf3213fe19e919",
-	"paper-late-receiver":      "865005ba176db8cc8173257d67c80078b161a61b15530600ff563c02ee6b53b1",
-	"paper-bandwidth":          "f3e5d6e584ce8c9aeac9b189b2ea64dec40cd8eea796fd46071c870b9a21668c",
-	"hotspot":                  "c189231fd725a1ba9447f0a9960940aae83bbcfabfd8e9deba4770d0b6868583",
-	"permutation":              "86f016b22c5677aa80f8e92c90f4a4375518a5096bfbb04fe299aa26131bc076",
-	"bursty":                   "851b506877d8ccb35577159d5f8f0f848cd1ce0c2786ddb88b953a34446c6a62",
-	"pipeline":                 "6ab138f75483b5714f8a5d2e709942873bd897bf845694345e3b3e329c73657e",
-	"wavefront":                "99d405f5d3f3f6dc717eb0f717f66daea7fc76dbc0311fc3db07cee9f1c7e429",
-	"wavefront-adaptive":       "712fad4497df472ace2756f57f21bb42e984b402e6e9e24eb7c70a3c5fdac3b8",
-	"hub-hotspot":              "b1b1cc1cc473f086c3a8df9402303baa2679d91100f1a5b2b68dd468b988cfc2",
-	"lossy-permutation":        "66fb62b4ff28244f365d3421e73b9ea0afebb55695d8c085f3369a9ad02f72ee",
+//	make digests
+//
+// and review the diff: every changed digest must be explainable by the
+// change you made. A digest that moves under a pure optimization
+// (scheduling, pooling, caching) is a bug, not a recapture.
+var updateDigests = flag.Bool("update", false, "regenerate testdata/digests.json from the current builtin scenarios")
+
+const digestFile = "testdata/digests.json"
+
+func readPinnedDigests(t *testing.T) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(digestFile)
+	if err != nil {
+		t.Fatalf("reading pinned digests (run `make digests` to capture): %v", err)
+	}
+	pinned := make(map[string]string)
+	if err := json.Unmarshal(data, &pinned); err != nil {
+		t.Fatalf("parsing %s: %v", digestFile, err)
+	}
+	return pinned
 }
 
 // TestBuiltinDigestsPinned runs all builtin scenarios at full size and
-// compares against the pre-optimization capture byte for byte.
+// compares against the pinned capture byte for byte. With -update it
+// rewrites the capture instead.
 func TestBuiltinDigestsPinned(t *testing.T) {
-	if testing.Short() {
+	if testing.Short() && !*updateDigests {
 		t.Skip("full-size scenario runs are not short")
 	}
 	specs := Builtin()
-	if len(specs) != len(pinnedDigests) {
-		t.Errorf("have %d builtin scenarios but %d pinned digests — pin new scenarios here as they are added",
-			len(specs), len(pinnedDigests))
+
+	if *updateDigests {
+		pinned := make(map[string]string, len(specs))
+		for _, spec := range specs {
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatalf("capturing %s: %v", spec.Name, err)
+			}
+			pinned[spec.Name] = res.Digest
+			t.Logf("captured %-26s %s", spec.Name, res.Digest)
+		}
+		// json.MarshalIndent sorts map keys, so the capture is stable.
+		out, err := json.MarshalIndent(pinned, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(digestFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(digestFile, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+
+	pinned := readPinnedDigests(t)
+	if len(specs) != len(pinned) {
+		t.Errorf("have %d builtin scenarios but %d pinned digests — run `make digests` and review the diff",
+			len(specs), len(pinned))
 	}
 	for _, spec := range specs {
 		spec := spec
 		t.Run(spec.Name, func(t *testing.T) {
-			want, ok := pinnedDigests[spec.Name]
+			want, ok := pinned[spec.Name]
 			if !ok {
-				t.Fatalf("no pinned digest for %q", spec.Name)
+				t.Fatalf("no pinned digest for %q — run `make digests` and review the diff", spec.Name)
 			}
 			res, err := Run(spec)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if res.Digest != want {
-				t.Errorf("digest diverged from the pre-optimization capture:\n  got  %s\n  want %s",
+				t.Errorf("digest diverged from the pinned capture (wire-behavior change? run `make digests` and review):\n  got  %s\n  want %s",
 					res.Digest, want)
 			}
 		})

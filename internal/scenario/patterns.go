@@ -1,20 +1,22 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"pushpull/comm"
 	"pushpull/internal/cluster"
-	"pushpull/internal/pushpull"
 	"pushpull/internal/sim"
 	"pushpull/internal/smp"
-	"pushpull/internal/vm"
 )
 
 // patternFunc drives one traffic shape on a built cluster and returns
 // the per-message latency samples (µs) plus the payload bytes the
 // pattern delivered. Implementations spawn threads, call c.Run()
 // exactly once, and must be deterministic given the cluster's seed.
+// Patterns program against the public comm API — the same surface the
+// examples and collectives use.
 type patternFunc func(c *cluster.Cluster, s Spec) (samples []float64, bytes uint64, err error)
 
 // patternDoc describes one pattern for listings.
@@ -58,11 +60,21 @@ func must(err error) {
 // virtual minutes, far beyond any legitimate scenario on this testbed.
 const defaultVirtualBudget = 10 * 60 * 1000 // ms
 
+// ErrVirtualBudget marks a run that exhausted its virtual-time budget
+// with events still pending — the signature of a protocol deadlock or
+// retransmission livelock. It is cluster.ErrBudget (the same condition
+// reported by cluster.RunWithin). Check with errors.Is;
+// cmd/pushpull-scen turns it into a distinct exit code so CI detects
+// stalls mechanically.
+var ErrVirtualBudget = cluster.ErrBudget
+
+// IsBudgetError reports whether err is a virtual-time-budget exhaustion.
+func IsBudgetError(err error) bool { return errors.Is(err, ErrVirtualBudget) }
+
 // runSim drives the cluster within the spec's virtual-time budget. It
-// returns an error if the budget expired with events still pending —
-// the signature of a protocol deadlock or RTO livelock (see Spec
-// .MaxVirtualMS); the caller's own completion checks add pattern
-// context.
+// returns an ErrVirtualBudget-wrapping error if the budget expired with
+// events still pending (see Spec.MaxVirtualMS); the caller's own
+// completion checks add pattern context.
 func runSim(c *cluster.Cluster, s Spec) error {
 	budget := s.MaxVirtualMS
 	if budget <= 0 {
@@ -71,38 +83,42 @@ func runSim(c *cluster.Cluster, s Spec) error {
 	limit := sim.Time(0).Add(sim.Duration(budget * float64(sim.Millisecond)))
 	c.Engine.RunUntil(limit)
 	if c.Engine.Pending() > 0 {
-		return fmt.Errorf("scenario: virtual budget of %g ms exhausted with %d events still pending — protocol deadlock or retransmission livelock",
-			budget, c.Engine.Pending())
+		return fmt.Errorf("scenario: %w: %g ms elapsed with %d events still pending — protocol deadlock or retransmission livelock",
+			ErrVirtualBudget, budget, c.Engine.Pending())
 	}
 	return nil
 }
 
-// pair returns the two communicating endpoints of the two-endpoint
+// pair returns the two communicating processes of the two-endpoint
 // patterns: (0,0) and, on a single-node cluster, (0,1), otherwise (1,0)
 // — exactly the bench harness's Workload.build choice.
-func pair(c *cluster.Cluster) (a, b *pushpull.Endpoint) {
-	a = c.Endpoint(0, 0)
+func pair(c *cluster.Cluster) (a, b *comm.Comm) {
+	a = comm.At(c, 0, 0)
 	if len(c.Nodes) == 1 {
-		return a, c.Endpoint(0, 1)
+		return a, comm.At(c, 0, 1)
 	}
-	return a, c.Endpoint(1, 0)
+	return a, comm.At(c, 1, 0)
 }
 
 // barrier performs the paper's barrier: a simple 4-byte ping-pong.
-func barrier(t *smp.Thread, self, peer *pushpull.Endpoint,
-	src, dst vm.VirtAddr, initiator bool) error {
+func barrier(t *smp.Thread, self *comm.Comm, peer comm.ProcessID, initiator bool) error {
 	tiny := []byte{1, 2, 3, 4}
 	if initiator {
-		if err := self.Send(t, peer.ID, src, tiny); err != nil {
+		if err := self.Send(t, peer, tiny); err != nil {
 			return err
 		}
-		_, err := self.Recv(t, peer.ID, dst, 4)
+		_, err := self.Recv(t, peer, 4)
 		return err
 	}
-	if _, err := self.Recv(t, peer.ID, dst, 4); err != nil {
+	if _, err := self.Recv(t, peer, 4); err != nil {
 		return err
 	}
-	return self.Send(t, peer.ID, src, tiny)
+	return self.Send(t, peer, tiny)
+}
+
+// spawn starts a thread on the process's own node and CPU.
+func spawn(c *cluster.Cluster, cm *comm.Comm, name string, body func(t *smp.Thread)) {
+	c.Nodes[cm.ID().Node].Spawn(name, cm.Endpoint().CPU, body)
 }
 
 // runPingPong is the paper's latency test: Messages timed round trips
@@ -115,27 +131,25 @@ func runPingPong(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 	for i := range msg {
 		msg[i] = byte(i)
 	}
-	aSrc, aDst := a.Alloc(max(n, 4)), a.Alloc(max(n, 4))
-	bSrc, bDst := b.Alloc(max(n, 4)), b.Alloc(max(n, 4))
 	samples := make([]float64, 0, iters)
 
-	c.Nodes[a.ID.Node].Spawn("ping", a.CPU, func(t *smp.Thread) {
-		must(barrier(t, a, b, aSrc, aDst, true))
+	spawn(c, a, "ping", func(t *smp.Thread) {
+		must(barrier(t, a, b.ID(), true))
 		for i := 0; i < iters; i++ {
 			start := t.Now()
-			must(a.Send(t, b.ID, aSrc, msg))
-			_, err := a.Recv(t, b.ID, aDst, n)
+			must(a.Send(t, b.ID(), msg))
+			_, err := a.Recv(t, b.ID(), n)
 			must(err)
 			rt := t.Now().Sub(start)
 			samples = append(samples, rt.Microseconds()/2)
 		}
 	})
-	c.Nodes[b.ID.Node].Spawn("pong", b.CPU, func(t *smp.Thread) {
-		must(barrier(t, b, a, bSrc, bDst, false))
+	spawn(c, b, "pong", func(t *smp.Thread) {
+		must(barrier(t, b, a.ID(), false))
 		for i := 0; i < iters; i++ {
-			_, err := b.Recv(t, a.ID, bDst, n)
+			_, err := b.Recv(t, a.ID(), n)
 			must(err)
-			must(b.Send(t, a.ID, bSrc, msg))
+			must(b.Send(t, a.ID(), msg))
 		}
 	})
 	if err := runSim(c, s); err != nil {
@@ -158,26 +172,24 @@ func runBandwidthPattern(c *cluster.Cluster, s Spec) ([]float64, uint64, error) 
 	iters := s.Traffic.Messages
 	msg := make([]byte, n)
 	ackBuf := []byte{1, 2, 3, 4}
-	aSrc, aDst := a.Alloc(n), a.Alloc(4)
-	bSrc, bDst := b.Alloc(4), b.Alloc(n)
 	samples := make([]float64, 0, iters)
 
-	c.Nodes[a.ID.Node].Spawn("src", a.CPU, func(t *smp.Thread) {
-		must(barrier(t, a, b, aSrc, aDst, true))
+	spawn(c, a, "src", func(t *smp.Thread) {
+		must(barrier(t, a, b.ID(), true))
 		for i := 0; i < iters; i++ {
 			start := t.Now()
-			must(a.Send(t, b.ID, aSrc, msg))
-			_, err := a.Recv(t, b.ID, aDst, 4)
+			must(a.Send(t, b.ID(), msg))
+			_, err := a.Recv(t, b.ID(), 4)
 			must(err)
 			samples = append(samples, t.Now().Sub(start).Microseconds())
 		}
 	})
-	c.Nodes[b.ID.Node].Spawn("sink", b.CPU, func(t *smp.Thread) {
-		must(barrier(t, b, a, bSrc, bDst, false))
+	spawn(c, b, "sink", func(t *smp.Thread) {
+		must(barrier(t, b, a.ID(), false))
 		for i := 0; i < iters; i++ {
-			_, err := b.Recv(t, a.ID, bDst, n)
+			_, err := b.Recv(t, a.ID(), n)
 			must(err)
-			must(b.Send(t, a.ID, bSrc, ackBuf))
+			must(b.Send(t, a.ID(), ackBuf))
 		}
 	})
 	if err := runSim(c, s); err != nil {
@@ -198,30 +210,28 @@ func runEarlyLate(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 	iters := s.Traffic.Messages
 	x, y := s.Traffic.ComputeX, s.Traffic.ComputeY
 	msg := make([]byte, n)
-	aSrc, aDst := a.Alloc(max(n, 4)), a.Alloc(max(n, 4))
-	bSrc, bDst := b.Alloc(max(n, 4)), b.Alloc(max(n, 4))
 	samples := make([]float64, 0, iters)
 
-	c.Nodes[a.ID.Node].Spawn("ping", a.CPU, func(t *smp.Thread) {
+	spawn(c, a, "ping", func(t *smp.Thread) {
 		for i := 0; i < iters; i++ {
-			must(barrier(t, a, b, aSrc, aDst, true))
+			must(barrier(t, a, b.ID(), true))
 			start := t.Now()
 			t.Compute(x)
-			must(a.Send(t, b.ID, aSrc, msg))
+			must(a.Send(t, b.ID(), msg))
 			t.Compute(y)
-			_, err := a.Recv(t, b.ID, aDst, n)
+			_, err := a.Recv(t, b.ID(), n)
 			must(err)
 			samples = append(samples, t.Now().Sub(start).Microseconds()/2)
 		}
 	})
-	c.Nodes[b.ID.Node].Spawn("pong", b.CPU, func(t *smp.Thread) {
+	spawn(c, b, "pong", func(t *smp.Thread) {
 		for i := 0; i < iters; i++ {
-			must(barrier(t, b, a, bSrc, bDst, false))
+			must(barrier(t, b, a.ID(), false))
 			t.Compute(y)
-			_, err := b.Recv(t, a.ID, bDst, n)
+			_, err := b.Recv(t, a.ID(), n)
 			must(err)
 			t.Compute(x)
-			must(b.Send(t, a.ID, bSrc, msg))
+			must(b.Send(t, a.ID(), msg))
 		}
 	})
 	if err := runSim(c, s); err != nil {
@@ -241,15 +251,13 @@ func runOneShot(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 	a, b := pair(c)
 	n := s.Traffic.Size
 	msg := make([]byte, n)
-	src := a.Alloc(n)
-	dst := b.Alloc(n)
 	recvDelay := sim.Duration(s.Traffic.DelayUS * float64(sim.Microsecond))
 	var done sim.Time
-	c.Nodes[a.ID.Node].Spawn("src", a.CPU, func(t *smp.Thread) {
-		must(a.Send(t, b.ID, src, msg))
+	spawn(c, a, "src", func(t *smp.Thread) {
+		must(a.Send(t, b.ID(), msg))
 	})
-	c.Nodes[b.ID.Node].SpawnAt(recvDelay, "dst-recv", b.CPU, func(t *smp.Thread) {
-		_, err := b.Recv(t, a.ID, dst, n)
+	c.Nodes[b.ID().Node].SpawnAt(recvDelay, "dst-recv", b.Endpoint().CPU, func(t *smp.Thread) {
+		_, err := b.Recv(t, a.ID(), n)
 		must(err)
 		done = t.Now()
 	})
@@ -262,43 +270,42 @@ func runOneShot(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 	return []float64{sim.Duration(done).Microseconds()}, uint64(n), nil
 }
 
-// ranks flattens the cluster's endpoints in (node, proc) order.
-func ranks(c *cluster.Cluster) []*pushpull.Endpoint {
-	var eps []*pushpull.Endpoint
+// ranks flattens the cluster's processes in (node, proc) order.
+func ranks(c *cluster.Cluster) []*comm.Comm {
+	var cms []*comm.Comm
 	for node := range c.Nodes {
 		for proc := 0; ; proc++ {
-			ep := c.Stacks[node].Endpoint(proc)
-			if ep == nil {
+			if c.Stacks[node].Endpoint(proc) == nil {
 				break
 			}
-			eps = append(eps, ep)
+			cms = append(cms, comm.At(c, node, proc))
 		}
 	}
-	return eps
+	return cms
 }
 
 // runHotspot drives the all-to-one shape: every rank except Root sends
 // Messages messages of Size bytes to Root, which services its senders
 // round-robin. With enough senders the root's pushed buffer overflows,
-// exercising discard-and-repull (Push-Pull) or go-back-N recovery
-// (Push-All) under contention. Samples are send-start to
+// exercising discard-and-repull (Push-Pull) or per-channel go-back-N
+// recovery (fully eager) under contention. Samples are send-start to
 // receive-complete times.
 func runHotspot(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
-	eps := ranks(c)
+	cms := ranks(c)
 	root := s.Traffic.Root
-	if root < 0 || root >= len(eps) {
-		return nil, 0, fmt.Errorf("scenario: hotspot root %d out of range (%d ranks)", root, len(eps))
+	if root < 0 || root >= len(cms) {
+		return nil, 0, fmt.Errorf("scenario: hotspot root %d out of range (%d ranks)", root, len(cms))
 	}
-	if len(eps) < 2 {
-		return nil, 0, fmt.Errorf("scenario: hotspot needs at least 2 ranks, have %d", len(eps))
+	if len(cms) < 2 {
+		return nil, 0, fmt.Errorf("scenario: hotspot needs at least 2 ranks, have %d", len(cms))
 	}
 	n := s.Traffic.Size
 	msgs := s.Traffic.Messages
-	sink := eps[root]
-	var senders []*pushpull.Endpoint
-	for r, ep := range eps {
+	sink := cms[root]
+	var senders []*comm.Comm
+	for r, cm := range cms {
 		if r != root {
-			senders = append(senders, ep)
+			senders = append(senders, cm)
 		}
 	}
 
@@ -308,23 +315,21 @@ func runHotspot(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 	for i := range payload {
 		payload[i] = byte(i)
 	}
-	for si, ep := range senders {
-		si, ep := si, ep
+	for si, cm := range senders {
+		si, cm := si, cm
 		starts[si] = make([]sim.Time, msgs)
 		dones[si] = make([]sim.Time, msgs)
-		src := ep.Alloc(n)
-		c.Nodes[ep.ID.Node].Spawn(fmt.Sprintf("hot-src%d", si), ep.CPU, func(t *smp.Thread) {
+		spawn(c, cm, fmt.Sprintf("hot-src%d", si), func(t *smp.Thread) {
 			for i := 0; i < msgs; i++ {
 				starts[si][i] = t.Now()
-				must(ep.Send(t, sink.ID, src, payload))
+				must(cm.Send(t, sink.ID(), payload))
 			}
 		})
 	}
-	dst := sink.Alloc(n)
-	c.Nodes[sink.ID.Node].Spawn("hot-sink", sink.CPU, func(t *smp.Thread) {
+	spawn(c, sink, "hot-sink", func(t *smp.Thread) {
 		for i := 0; i < msgs; i++ {
-			for si, ep := range senders {
-				_, err := sink.Recv(t, ep.ID, dst, n)
+			for si, cm := range senders {
+				_, err := sink.Recv(t, cm.ID(), n)
 				must(err)
 				dones[si][i] = t.Now()
 			}
@@ -372,8 +377,8 @@ func permutationOf(p int, seed uint64) []int {
 // the classic random-permutation stress of an interconnect. Each rank
 // runs one sender and one receiver thread.
 func runPermutation(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
-	eps := ranks(c)
-	p := len(eps)
+	cms := ranks(c)
+	p := len(cms)
 	if p < 2 {
 		return nil, 0, fmt.Errorf("scenario: permutation needs at least 2 ranks, have %d", p)
 	}
@@ -388,23 +393,21 @@ func runPermutation(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 
 	starts := make([][]sim.Time, p)
 	dones := make([][]sim.Time, p)
-	for r, ep := range eps {
-		r, ep := r, ep
+	for r, cm := range cms {
+		r, cm := r, cm
 		starts[r] = make([]sim.Time, msgs)
 		dones[r] = make([]sim.Time, msgs)
-		to := eps[perm[r]]
-		from := eps[inv[r]]
-		src := ep.Alloc(n)
-		dst := ep.Alloc(n)
-		c.Nodes[ep.ID.Node].Spawn(fmt.Sprintf("perm-src%d", r), ep.CPU, func(t *smp.Thread) {
+		to := cms[perm[r]].ID()
+		from := cms[inv[r]].ID()
+		spawn(c, cm, fmt.Sprintf("perm-src%d", r), func(t *smp.Thread) {
 			for i := 0; i < msgs; i++ {
 				starts[r][i] = t.Now()
-				must(ep.Send(t, to.ID, src, payload))
+				must(cm.Send(t, to, payload))
 			}
 		})
-		c.Nodes[ep.ID.Node].Spawn(fmt.Sprintf("perm-dst%d", r), ep.CPU, func(t *smp.Thread) {
+		spawn(c, cm, fmt.Sprintf("perm-dst%d", r), func(t *smp.Thread) {
 			for i := 0; i < msgs; i++ {
-				_, err := ep.Recv(t, from.ID, dst, n)
+				_, err := cm.Recv(t, from, n)
 				must(err)
 				// Completion of sender inv[r]'s i-th message.
 				dones[inv[r]][i] = t.Now()
@@ -433,8 +436,8 @@ func runPermutation(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 // receivers drain, so latency is bimodal: head-of-burst messages see a
 // quiet network, tail-of-burst messages queue behind their own burst.
 func runBursty(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
-	eps := ranks(c)
-	p := len(eps)
+	cms := ranks(c)
+	p := len(cms)
 	if p < 2 || p%2 != 0 {
 		return nil, 0, fmt.Errorf("scenario: bursty needs an even rank count >= 2, have %d", p)
 	}
@@ -452,23 +455,21 @@ func runBursty(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 	dones := make([][]sim.Time, half)
 	for si := 0; si < half; si++ {
 		si := si
-		src, dst := eps[si], eps[half+si]
+		src, dst := cms[si], cms[half+si]
 		starts[si] = make([]sim.Time, msgs)
 		dones[si] = make([]sim.Time, msgs)
-		srcBuf := src.Alloc(n)
-		dstBuf := dst.Alloc(n)
-		c.Nodes[src.ID.Node].Spawn(fmt.Sprintf("burst-src%d", si), src.CPU, func(t *smp.Thread) {
+		spawn(c, src, fmt.Sprintf("burst-src%d", si), func(t *smp.Thread) {
 			for i := 0; i < msgs; i++ {
 				if i > 0 && i%burst == 0 && idle > 0 {
 					t.P.Sleep(idle)
 				}
 				starts[si][i] = t.Now()
-				must(src.Send(t, dst.ID, srcBuf, payload))
+				must(src.Send(t, dst.ID(), payload))
 			}
 		})
-		c.Nodes[dst.ID.Node].Spawn(fmt.Sprintf("burst-dst%d", si), dst.CPU, func(t *smp.Thread) {
+		spawn(c, dst, fmt.Sprintf("burst-dst%d", si), func(t *smp.Thread) {
 			for i := 0; i < msgs; i++ {
-				_, err := dst.Recv(t, src.ID, dstBuf, n)
+				_, err := dst.Recv(t, src.ID(), n)
 				must(err)
 				dones[si][i] = t.Now()
 			}
@@ -496,8 +497,8 @@ func runBursty(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 // end-to-end (injection to final delivery) times, so pipeline fill and
 // per-hop store-and-forward cost both show.
 func runPipeline(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
-	eps := ranks(c)
-	p := len(eps)
+	cms := ranks(c)
+	p := len(cms)
 	if p < 2 {
 		return nil, 0, fmt.Errorf("scenario: pipeline needs at least 2 ranks, have %d", p)
 	}
@@ -507,31 +508,28 @@ func runPipeline(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 	starts := make([]sim.Time, msgs)
 	dones := make([]sim.Time, msgs)
 
-	head := eps[0]
-	headBuf := head.Alloc(n)
-	c.Nodes[head.ID.Node].Spawn("pipe-head", head.CPU, func(t *smp.Thread) {
+	head := cms[0]
+	spawn(c, head, "pipe-head", func(t *smp.Thread) {
 		for i := 0; i < msgs; i++ {
 			starts[i] = t.Now()
-			must(head.Send(t, eps[1].ID, headBuf, payload))
+			must(head.Send(t, cms[1].ID(), payload))
 		}
 	})
 	for r := 1; r < p-1; r++ {
 		r := r
-		ep := eps[r]
-		in, out := ep.Alloc(n), ep.Alloc(n)
-		c.Nodes[ep.ID.Node].Spawn(fmt.Sprintf("pipe-stage%d", r), ep.CPU, func(t *smp.Thread) {
+		cm := cms[r]
+		spawn(c, cm, fmt.Sprintf("pipe-stage%d", r), func(t *smp.Thread) {
 			for i := 0; i < msgs; i++ {
-				_, err := ep.Recv(t, eps[r-1].ID, in, n)
+				_, err := cm.Recv(t, cms[r-1].ID(), n)
 				must(err)
-				must(ep.Send(t, eps[r+1].ID, out, payload))
+				must(cm.Send(t, cms[r+1].ID(), payload))
 			}
 		})
 	}
-	tail := eps[p-1]
-	tailBuf := tail.Alloc(n)
-	c.Nodes[tail.ID.Node].Spawn("pipe-tail", tail.CPU, func(t *smp.Thread) {
+	tail := cms[p-1]
+	spawn(c, tail, "pipe-tail", func(t *smp.Thread) {
 		for i := 0; i < msgs; i++ {
-			_, err := tail.Recv(t, eps[p-2].ID, tailBuf, n)
+			_, err := tail.Recv(t, cms[p-2].ID(), n)
 			must(err)
 			dones[i] = t.Now()
 		}

@@ -70,12 +70,27 @@ func Builtin() []Spec {
 	wave := base("wavefront",
 		"irregular data-dependent propagation: each delivery triggers sends of payload-derived sizes to payload-derived targets")
 	wave.Topology = Topology{Kind: "switch", Nodes: 6, ProcsPerNode: 1, Policy: "symmetric"}
-	// MinSize stays above the 760 B BTP so every message has a pull
-	// phase: fully eager sub-BTP messages refused under convergence can
-	// stall the shared go-back-N stream permanently (see Spec
-	// .MaxVirtualMS); discard-and-repull cannot.
 	wave.Traffic = Traffic{Pattern: "wavefront", Size: 1024, Messages: 4,
 		Fanout: 2, Depth: 5, MinSize: 800, MaxSize: 2400}
+
+	// eagerOverflow pins the protocol fix that retired the shared-stream
+	// RTO livelock: a convergent wavefront whose data-derived sizes dip
+	// below the 760 B BTP produces fully eager messages, and at seed 42
+	// one is refused for lack of pushed-buffer slots while the slots are
+	// held by messages parked behind it. On the old per-node-pair
+	// go-back-N stream that was a permanent livelock (the refused
+	// fragment sat in front of the pull data that would have freed the
+	// buffer); on per-channel lanes every stream recovers within one RTO.
+	// The tight budget is the regression tripwire: the run completes in
+	// ~152 virtual ms, and any reintroduced cross-message blocking blows
+	// the 3000 ms budget instead of hanging CI.
+	eagerOverflow := base("eager-overflow",
+		"seed-42 convergent fully-eager (size <= BTP) wavefront: livelocked the shared stream, completes on per-channel lanes")
+	eagerOverflow.Seed = 42
+	eagerOverflow.Topology = Topology{Kind: "switch", Nodes: 6, ProcsPerNode: 1, Policy: "symmetric"}
+	eagerOverflow.Traffic = Traffic{Pattern: "wavefront", Size: 1024, Messages: 4,
+		Fanout: 2, Depth: 4, MinSize: 64, MaxSize: 2048}
+	eagerOverflow.MaxVirtualMS = 3000
 
 	waveAdaptive := base("wavefront-adaptive",
 		"the wavefront under the AIMD BTP controller: adaptation chases the per-channel buffer headroom of an irregular load")
@@ -99,7 +114,7 @@ func Builtin() []Spec {
 	return []Spec{
 		intraPing, interPing, early, late, bw,
 		hotspot, perm, bursty, pipeline, wave,
-		waveAdaptive, hubHotspot, lossyPerm,
+		waveAdaptive, hubHotspot, lossyPerm, eagerOverflow,
 	}
 }
 

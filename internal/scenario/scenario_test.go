@@ -395,24 +395,42 @@ func TestTightBudgetAcceptsCompletedRun(t *testing.T) {
 	}
 }
 
-// TestVirtualBudgetCatchesLivelock pins a real protocol failure mode
-// the engine must report instead of hanging: a convergent wavefront
-// whose data-derived sizes fall below the 760 B BTP produces fully
-// eager messages; one refused for lack of pushed-buffer slots stalls
-// the shared in-order go-back-N stream, the slots it needs are held by
-// messages queued behind it, and the RTO retransmits forever — the
-// paper's Fig. 6 collapse made permanent. Seed 42 reaches it.
-func TestVirtualBudgetCatchesLivelock(t *testing.T) {
-	spec := DefaultSpec()
-	spec.Name = "livelock-probe"
-	spec.Seed = 42
-	spec.Topology = Topology{Kind: "switch", Nodes: 6, ProcsPerNode: 1, Policy: "symmetric"}
-	spec.Traffic = Traffic{Pattern: "wavefront", Size: 1024, Messages: 4,
-		Fanout: 2, Depth: 4, MinSize: 64, MaxSize: 2048}
-	spec.MaxVirtualMS = 3000
-	_, err := Run(spec)
-	if err == nil || !strings.Contains(err.Error(), "virtual budget") {
-		t.Fatalf("expected a virtual-budget livelock error, got %v", err)
+// TestEagerOverflowScenarioCompletes is the livelock regression pinned
+// by the per-channel session redesign. The builtin "eager-overflow"
+// scenario — a seed-42 convergent wavefront whose data-derived sizes
+// fall below the 760 B BTP, so refused fully-eager fragments meet a full
+// pushed buffer — permanently livelocked the old shared per-node-pair
+// go-back-N stream (the refused fragment blocked the pull data that
+// would have freed the buffer; the RTO retransmitted forever). With one
+// go-back-N lane set per channel, eager, pull and control traffic can
+// never block each other, and the run must complete well inside its
+// pinned 3000 ms budget. The digest is additionally pinned with every
+// other builtin in testdata/digests.json.
+func TestEagerOverflowScenarioCompletes(t *testing.T) {
+	spec, err := ByName("eager-overflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 42 || spec.MaxVirtualMS != 3000 {
+		t.Fatalf("regression spec drifted: seed=%d budget=%v", spec.Seed, spec.MaxVirtualMS)
+	}
+	res, err := Run(spec)
+	if IsBudgetError(err) {
+		t.Fatalf("eager-overflow exhausted its virtual-time budget again — per-channel lane isolation regressed: %v", err)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest == "" {
+		t.Fatal("result not sealed with a digest")
+	}
+	// The run needs exactly one RTO tail (~151.6 virtual ms); anything
+	// close to the budget means refusals are chaining again.
+	if res.VirtualUS > 1_000_000 {
+		t.Errorf("eager-overflow took %.0f virtual µs; refusal recovery is chaining (budget %g ms)", res.VirtualUS, spec.MaxVirtualMS)
+	}
+	if ev := res.Events["refuse"]; ev == 0 {
+		t.Error("scenario exercised no refusals — it no longer pins the eager-overflow path")
 	}
 }
 

@@ -170,7 +170,12 @@ type PointResult struct {
 	LossRate       float64 `json:"lossRate"`
 	Seed           uint64  `json:"seed"`
 	Error          string  `json:"error,omitempty"`
-	Result         *Result `json:"result,omitempty"`
+	// BudgetExhausted flags an Error that was a virtual-time-budget
+	// exhaustion (protocol deadlock or retransmission livelock), so
+	// sweeps over pathological cells are machine-checkable without
+	// string matching.
+	BudgetExhausted bool    `json:"budgetExhausted,omitempty"`
+	Result          *Result `json:"result,omitempty"`
 }
 
 // SweepResult is the machine-readable outcome of a whole sweep, in grid
@@ -295,6 +300,7 @@ func runPoint(pt Point, opts ...RunOption) (pr PointResult) {
 	res, err := Run(s, opts...)
 	if err != nil {
 		pr.Error = err.Error()
+		pr.BudgetExhausted = IsBudgetError(err)
 		return pr
 	}
 	pr.Result = res

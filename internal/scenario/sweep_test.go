@@ -153,8 +153,8 @@ func TestSweepReportsPointFailuresInPlace(t *testing.T) {
 		if pr.Index != i {
 			t.Errorf("result %d carries index %d", i, pr.Index)
 		}
-		if pr.Result != nil || !strings.Contains(pr.Error, "virtual budget") {
-			t.Errorf("point %d: Result=%v Error=%q, want a virtual-budget error and no result", i, pr.Result, pr.Error)
+		if pr.Result != nil || !strings.Contains(pr.Error, "budget") || !pr.BudgetExhausted {
+			t.Errorf("point %d: Result=%v Error=%q BudgetExhausted=%v, want a flagged virtual-budget error and no result", i, pr.Result, pr.Error, pr.BudgetExhausted)
 		}
 	}
 	// Determinism holds for failures too.

@@ -4,11 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"pushpull/comm"
 	"pushpull/internal/cluster"
-	"pushpull/internal/pushpull"
 	"pushpull/internal/sim"
 	"pushpull/internal/smp"
-	"pushpull/internal/vm"
 )
 
 // The wavefront pattern is the engine's irregular, data-dependent shape
@@ -168,8 +167,8 @@ func wfEncode(buf []byte, size int, key uint64, depth int, sentAt sim.Time) []by
 // per-message send-to-delivery latencies (the send timestamp rides in
 // the payload).
 func runWavefront(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
-	eps := ranks(c)
-	p, err := wavefrontParams(s, len(eps))
+	cms := ranks(c)
+	p, err := wavefrontParams(s, len(cms))
 	if err != nil {
 		return nil, 0, err
 	}
@@ -183,26 +182,23 @@ func runWavefront(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 		runErr   error
 	)
 
-	// Each active directed channel gets one pinned source address (the
+	// Each active directed channel reuses one source staging buffer (the
 	// translation cost is per-address, so reuse mirrors a real sender's
-	// registered buffer). The payload bytes themselves are allocated per
-	// message: the pull phase reads the source asynchronously, and the
-	// receivers re-derive the graph from the bytes they are handed.
-	type src struct {
-		ep   *pushpull.Endpoint
-		addr vm.VirtAddr
-	}
-	srcAddr := make(map[chanKey]src)
+	// registered buffer) — exactly what the comm.Channel manages; its
+	// growth follows the deterministic message order. The payload bytes
+	// themselves are allocated per message: the pull phase reads the
+	// source asynchronously, and the receivers re-derive the graph from
+	// the bytes they are handed.
+	srcChan := make(map[chanKey]*comm.Channel)
 	for ck := range counts {
-		ep := eps[ck[0]]
-		srcAddr[ck] = src{ep, ep.Alloc(p.maxSize)}
+		ch := cms[ck[0]].To(cms[ck[1]].ID())
+		srcChan[ck] = ch
 	}
 
 	// send transmits one wavefront message on the (from → to) channel.
 	send := func(t *smp.Thread, from int, key uint64, target, size, depth int) {
-		sa := srcAddr[chanKey{from, target}]
 		msg := wfEncode(make([]byte, size), size, key, depth, t.Now())
-		must(sa.ep.Send(t, eps[target].ID, sa.addr, msg))
+		must(srcChan[chanKey{from, target}].Send(t, msg))
 	}
 
 	// react processes one delivered payload: record the sample, then
@@ -227,11 +223,10 @@ func runWavefront(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 	// One reactor per active directed channel, on the receiver's CPU.
 	for ck, cnt := range counts {
 		ck, cnt := ck, cnt
-		from, to := eps[ck[0]], eps[ck[1]]
-		dst := to.Alloc(p.maxSize)
-		c.Nodes[to.ID.Node].Spawn(fmt.Sprintf("wf-r%d<-%d", ck[1], ck[0]), to.CPU, func(t *smp.Thread) {
+		from, to := cms[ck[0]], cms[ck[1]]
+		spawn(c, to, fmt.Sprintf("wf-r%d<-%d", ck[1], ck[0]), func(t *smp.Thread) {
 			for i := 0; i < cnt; i++ {
-				data, err := to.Recv(t, from.ID, dst, p.maxSize)
+				data, err := to.Recv(t, from.ID(), p.maxSize)
 				if err != nil {
 					runErr = err
 					return
@@ -242,8 +237,7 @@ func runWavefront(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 	}
 
 	// The injector seeds the front from the root.
-	rootEp := eps[p.root]
-	c.Nodes[rootEp.ID.Node].Spawn("wf-inject", rootEp.CPU, func(t *smp.Thread) {
+	spawn(c, cms[p.root], "wf-inject", func(t *smp.Thread) {
 		for i := 0; i < p.width; i++ {
 			key, target, size := p.wfChild(wfMix(s.Seed)+uint64(i), p.root, i)
 			send(t, p.root, key, target, size, 1)
