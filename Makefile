@@ -60,19 +60,23 @@ examples:
 	done; \
 	echo "examples OK"
 
-# sweep-check proves parallelism never changes results: the builtin
-# smoke grid must produce the same aggregate digest on 1 worker and on
-# a real worker pool. The parallel leg pins 8 workers, not GOMAXPROCS:
-# on a single-core CI box GOMAXPROCS resolves to 1 and would compare
-# two serial runs, never exercising the pool at all.
+# sweep-check proves parallelism never changes results: each builtin CI
+# grid must produce the same aggregate digest on 1 worker and on a real
+# worker pool. smoke-grid covers the point-to-point patterns; coll-smoke
+# covers the collective family's algorithm axis. The parallel leg pins 8
+# workers, not GOMAXPROCS: on a single-core CI box GOMAXPROCS resolves
+# to 1 and would compare two serial runs, never exercising the pool at
+# all.
 .PHONY: sweep-check
 sweep-check:
-	@d1=$$($(GO) run ./cmd/pushpull-scen sweep -workers 1 -digest smoke-grid) || exit 1; \
-	dn=$$($(GO) run ./cmd/pushpull-scen sweep -workers 8 -digest smoke-grid) || exit 1; \
-	if [ "$$d1" != "$$dn" ]; then \
-		echo "sweep-check FAILED: workers changed the aggregate digest"; \
-		echo "  1 worker:  $$d1"; \
-		echo "  N workers: $$dn"; \
-		exit 1; \
-	fi; \
-	echo "sweep-check OK: $$d1"
+	@for sw in smoke-grid coll-smoke; do \
+		d1=$$($(GO) run ./cmd/pushpull-scen sweep -workers 1 -digest $$sw) || exit 1; \
+		dn=$$($(GO) run ./cmd/pushpull-scen sweep -workers 8 -digest $$sw) || exit 1; \
+		if [ "$$d1" != "$$dn" ]; then \
+			echo "sweep-check FAILED: workers changed $$sw's aggregate digest"; \
+			echo "  1 worker:  $$d1"; \
+			echo "  N workers: $$dn"; \
+			exit 1; \
+		fi; \
+		echo "sweep-check OK ($$sw): $$d1"; \
+	done

@@ -7,10 +7,10 @@ package main
 import (
 	"testing"
 
+	"pushpull/coll"
 	"pushpull/internal/adapt"
 	"pushpull/internal/bench"
 	"pushpull/internal/cluster"
-	"pushpull/internal/collective"
 	"pushpull/internal/gbn"
 	"pushpull/internal/pushpull"
 	"pushpull/internal/sim"
@@ -124,16 +124,16 @@ func BenchmarkCollectiveAllReduce(b *testing.B) {
 		cfg := cluster.DefaultConfig()
 		cfg.Nodes = 4
 		cfg.Opts.PushedBufBytes = 64 << 10
-		w := collective.NewWorld(cluster.New(cfg))
+		w := coll.NewWorld(cluster.New(cfg))
 		var start, end sim.Time
-		w.Run(func(r *collective.Rank) {
+		w.Run(func(r *coll.Rank) {
 			data := make([]byte, 1024)
 			r.Barrier()
 			if r.ID() == 0 {
 				start = r.Thread().Now()
 			}
 			for j := 0; j < iters; j++ {
-				r.AllReduceRD(data, collective.XorBytes)
+				r.AllReduce(data, coll.XorBytes, coll.WithAlgorithm(coll.RecursiveDoubling))
 			}
 			r.Barrier()
 			if r.ID() == 0 {
@@ -155,9 +155,9 @@ func BenchmarkScaleAllGather(b *testing.B) {
 		cfg.Nodes = 6
 		cfg.UseSwitch = true
 		cfg.Opts.PushedBufBytes = 64 << 10
-		w := collective.NewWorld(cluster.New(cfg))
+		w := coll.NewWorld(cluster.New(cfg))
 		var start, end sim.Time
-		w.Run(func(r *collective.Rank) {
+		w.Run(func(r *coll.Rank) {
 			data := make([]byte, 8192)
 			r.Barrier()
 			if r.ID() == 0 {

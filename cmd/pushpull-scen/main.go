@@ -6,7 +6,7 @@
 //	pushpull-scen list
 //	pushpull-scen patterns
 //	pushpull-scen spec <scenario>
-//	pushpull-scen run [-seed N] [-messages N] [-size N] [-samples] [-out FILE] <scenario|spec.json> ...
+//	pushpull-scen run [-seed N] [-messages N] [-size N] [-algorithm A] [-samples] [-out FILE] <scenario|spec.json> ...
 //	pushpull-scen sweeps
 //	pushpull-scen sweep [-workers N] [-digest] [-print] [-out FILE] <sweep|sweep.json>
 //
@@ -84,6 +84,7 @@ func runCmd(args []string) {
 	seed := fs.Uint64("seed", 0, "override the scenario seed (0 keeps the spec's)")
 	messages := fs.Int("messages", 0, "override the per-sender message count (0 keeps the spec's)")
 	size := fs.Int("size", 0, "override the message size in bytes (0 keeps the spec's)")
+	algorithm := fs.String("algorithm", "", "override the collective algorithm (collective patterns only; empty keeps the spec's)")
 	samples := fs.Bool("samples", false, "include raw per-message latency samples in the output")
 	out := fs.String("out", "", "write results to this file instead of stdout")
 	fs.Parse(args)
@@ -106,6 +107,9 @@ func runCmd(args []string) {
 		}
 		if *size > 0 {
 			spec.Traffic.Size = *size
+		}
+		if *algorithm != "" {
+			spec.Traffic.Algorithm = *algorithm
 		}
 		var opts []scenario.RunOption
 		if *samples {
@@ -250,6 +254,7 @@ run flags:
   -seed N       override the seed (same seed => byte-identical result)
   -messages N   override per-sender message count
   -size N       override message size
+  -algorithm A  override the collective algorithm (collective patterns only)
   -samples      include raw latency samples in the JSON
   -out FILE     write the JSON array to FILE
 

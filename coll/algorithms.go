@@ -1,0 +1,275 @@
+package coll
+
+// The schedule constructors. Each returns a stepper — the rank-local
+// round sequence of one algorithm. Peers are rank numbers; the Request
+// engine translates them to processes and posts the comm operations.
+
+// barrierDissemination: ⌈log2 n⌉ rounds; in round k every rank sends a
+// token to (id+2^k) and receives one from (id-2^k).
+func (r *Rank) barrierDissemination() stepper {
+	size, id := r.Size(), r.id
+	token := []byte{1}
+	s := &sched{}
+	var stage func(k int)
+	stage = func(k int) {
+		if k >= size {
+			return
+		}
+		s.push(round{
+			sends: []msg{{to: (id + k) % size, data: token}},
+			recvs: []rcv{{from: (id - k + size) % size, n: 1}},
+		}, func([][]byte) { stage(k << 1) })
+	}
+	stage(1)
+	return s.stepper()
+}
+
+// barrierTree: a 1-byte token reduced to rank 0 over the binomial tree,
+// then broadcast back down it.
+func (r *Rank) barrierTree() stepper {
+	first := func(a, b []byte) []byte { return a }
+	return then(r.reduceBinomial(0, []byte{1}, first), func(res []byte) stepper {
+		return r.bcastBinomial(0, res, 1)
+	})
+}
+
+// bcastBinomial: the rank receives from its tree parent (unless root),
+// then fans out to the subtree below its receive level.
+func (r *Rank) bcastBinomial(root int, data []byte, n int) stepper {
+	size := r.Size()
+	rel := (r.id - root + size) % size
+	abs := func(rr int) int { return (rr + root) % size }
+	// Climb the mask to this rank's receive level (past size for root).
+	mask := 1
+	for mask < size && rel&mask == 0 {
+		mask <<= 1
+	}
+	s := &sched{}
+	fanout := func() {
+		s.res = data
+		var sends []msg
+		for m := mask >> 1; m > 0; m >>= 1 {
+			if rel+m < size {
+				sends = append(sends, msg{to: abs(rel + m), data: data})
+			}
+		}
+		if len(sends) > 0 {
+			s.push(round{sends: sends}, nil)
+		}
+	}
+	if rel == 0 {
+		fanout()
+	} else {
+		s.push(round{recvs: []rcv{{from: abs(rel - mask), n: n}}}, func(got [][]byte) {
+			data = got[0]
+			fanout()
+		})
+	}
+	return s.stepper()
+}
+
+// bcastRing: the data travels root → root+1 → … around the ring, n-1
+// hops.
+func (r *Rank) bcastRing(root int, data []byte, n int) stepper {
+	size := r.Size()
+	rel := (r.id - root + size) % size
+	abs := func(rr int) int { return (rr + root) % size }
+	s := &sched{}
+	forward := func() {
+		s.res = data
+		if size > 1 && rel < size-1 {
+			s.push(round{sends: []msg{{to: abs(rel + 1), data: data}}}, nil)
+		}
+	}
+	if rel == 0 {
+		forward()
+	} else {
+		s.push(round{recvs: []rcv{{from: abs(rel - 1), n: n}}}, func(got [][]byte) {
+			data = got[0]
+			forward()
+		})
+	}
+	return s.stepper()
+}
+
+// reduceBinomial: each mask level either sends the accumulator to the
+// tree parent (and finishes) or receives a child's contribution and
+// folds it in. Combination order follows the tree, so the op must be
+// associative and commutative.
+func (r *Rank) reduceBinomial(root int, data []byte, op Op) stepper {
+	size := r.Size()
+	n := len(data)
+	rel := (r.id - root + size) % size
+	abs := func(rr int) int { return (rr + root) % size }
+	acc := append([]byte(nil), data...)
+	s := &sched{}
+	var level func(mask int)
+	level = func(mask int) {
+		for ; mask < size; mask <<= 1 {
+			if rel&mask != 0 {
+				s.push(round{sends: []msg{{to: abs(rel - mask), data: acc}}}, nil)
+				return // non-root ranks end with a nil result
+			}
+			if rel+mask < size {
+				m := mask
+				s.push(round{recvs: []rcv{{from: abs(rel + m), n: n}}}, func(got [][]byte) {
+					acc = op(acc, got[0])
+					level(m << 1)
+				})
+				return
+			}
+		}
+		s.res = acc // rel == 0: the root holds the reduction
+	}
+	level(1)
+	return s.stepper()
+}
+
+// reduceRing is the ordered variant: the accumulator is folded along
+// absolute rank order 0 → 1 → … → n-1 — always the left fold
+// op(…op(op(d0, d1), d2)…, dn-1), whatever the root — and the final
+// rank hands the result to the root.
+func (r *Rank) reduceRing(root int, data []byte, op Op) stepper {
+	size, id, n := r.Size(), r.id, len(data)
+	acc := append([]byte(nil), data...)
+	s := &sched{}
+	recvResult := func() {
+		if id == root && root != size-1 {
+			s.push(round{recvs: []rcv{{from: size - 1, n: n}}}, func(got [][]byte) { s.res = got[0] })
+		}
+	}
+	switch {
+	case size == 1:
+		s.res = acc
+	case id == 0:
+		s.push(round{sends: []msg{{to: 1, data: acc}}}, func([][]byte) { recvResult() })
+	default:
+		s.push(round{recvs: []rcv{{from: id - 1, n: n}}}, func(got [][]byte) {
+			acc = op(got[0], acc)
+			switch {
+			case id < size-1:
+				s.push(round{sends: []msg{{to: id + 1, data: acc}}}, func([][]byte) { recvResult() })
+			case id == root:
+				s.res = acc
+			default:
+				s.push(round{sends: []msg{{to: root, data: acc}}}, nil)
+			}
+		})
+	}
+	return s.stepper()
+}
+
+// allReduceRD: ⌈log2 n⌉ bidirectional exchange rounds, with the
+// standard fold-in/fold-out fixup for non-power-of-two world sizes.
+// Latency-optimal for short vectors, and the classic victim of
+// ack-latency — which is why it makes a good showcase for
+// Push-and-Acknowledge Overlapping.
+func (r *Rank) allReduceRD(data []byte, op Op) stepper {
+	size, id, n := r.Size(), r.id, len(data)
+	acc := append([]byte(nil), data...)
+	s := &sched{}
+	pof2 := 1
+	for pof2*2 <= size {
+		pof2 *= 2
+	}
+	rem := size - pof2
+
+	var stage func(newID, mask int)
+	stage = func(newID, mask int) {
+		if mask >= pof2 {
+			// Unfold: partners return the result to the folded-out ranks.
+			if id < 2*rem && id%2 != 0 {
+				s.push(round{sends: []msg{{to: id - 1, data: acc}}}, nil)
+			}
+			s.res = acc
+			return
+		}
+		peerNew := newID ^ mask
+		peer := peerNew + rem
+		if peerNew < rem {
+			peer = peerNew*2 + 1
+		}
+		s.push(round{sends: []msg{{to: peer, data: acc}}, recvs: []rcv{{from: peer, n: n}}},
+			func(got [][]byte) {
+				acc = op(acc, got[0])
+				stage(newID, mask<<1)
+			})
+	}
+
+	switch {
+	case id < 2*rem && id%2 == 0:
+		// Fold the surplus rank into its odd partner, sit out the
+		// doubling, and get the result afterward.
+		s.push(round{sends: []msg{{to: id + 1, data: acc}}}, func([][]byte) {
+			s.push(round{recvs: []rcv{{from: id + 1, n: n}}}, func(got [][]byte) { s.res = got[0] })
+		})
+	case id < 2*rem:
+		s.push(round{recvs: []rcv{{from: id - 1, n: n}}}, func(got [][]byte) {
+			acc = op(acc, got[0])
+			stage(id/2, 1)
+		})
+	default:
+		stage(id-rem, 1)
+	}
+	return s.stepper()
+}
+
+// allGatherRing: size-1 neighbour exchanges, bandwidth-optimal; the
+// result is the rank-major concatenation.
+func (r *Rank) allGatherRing(data []byte, n int) stepper {
+	size, id := r.Size(), r.id
+	out := make([]byte, size*n)
+	copy(out[id*n:], data)
+	right := (id + 1) % size
+	left := (id - 1 + size) % size
+	s := &sched{}
+	s.res = out
+	blk := id // whose block travels out of this rank this step
+	var step func(k int)
+	step = func(k int) {
+		if k >= size {
+			return
+		}
+		s.push(round{
+			sends: []msg{{to: right, data: out[blk*n : (blk+1)*n]}},
+			recvs: []rcv{{from: left, n: n}},
+		}, func(got [][]byte) {
+			blk = (blk - 1 + size) % size // the block that just arrived
+			copy(out[blk*n:], got[0])
+			step(k + 1)
+		})
+	}
+	step(1)
+	return s.stepper()
+}
+
+// allGatherTree: every contribution is gathered on rank 0 (one linear
+// round: n-1 concurrent receives at the root), then the concatenation
+// is broadcast over the binomial tree — latency ⌈log2 n⌉+1 rounds, but
+// the root moves size·n bytes per tree level.
+func (r *Rank) allGatherTree(data []byte, n int) stepper {
+	size, id := r.Size(), r.id
+	gather := &sched{}
+	switch {
+	case size == 1:
+		gather.res = append([]byte(nil), data...)
+	case id != 0:
+		gather.push(round{sends: []msg{{to: 0, data: data}}}, nil)
+	default:
+		out := make([]byte, size*n)
+		copy(out, data)
+		recvs := make([]rcv, 0, size-1)
+		for from := 1; from < size; from++ {
+			recvs = append(recvs, rcv{from: from, n: n})
+		}
+		gather.push(round{recvs: recvs}, func(got [][]byte) {
+			for i, b := range got {
+				copy(out[(i+1)*n:], b)
+			}
+			gather.res = out
+		})
+	}
+	return then(gather.stepper(), func(res []byte) stepper {
+		return r.bcastBinomial(0, res, size*n)
+	})
+}

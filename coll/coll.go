@@ -1,0 +1,180 @@
+package coll
+
+import (
+	"fmt"
+
+	"pushpull/comm"
+	"pushpull/internal/cluster"
+	"pushpull/internal/sim"
+	"pushpull/internal/smp"
+)
+
+// World maps collective ranks onto the processes of a cluster,
+// node-major: rank r is process r%procs on node r/procs.
+type World struct {
+	c     *cluster.Cluster
+	cfg   Config
+	ranks []*comm.Comm
+}
+
+// WorldOption configures a World at construction.
+type WorldOption func(*World)
+
+// WithConfig installs the world's per-operation algorithm selection. It
+// panics on an invalid pairing — worlds are built from code, not user
+// input (screen spec-driven input with Config.Validate first).
+func WithConfig(cfg Config) WorldOption {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return func(w *World) { w.cfg = cfg }
+}
+
+// NewWorld builds the rank space over every process of the cluster.
+func NewWorld(c *cluster.Cluster, opts ...WorldOption) *World {
+	w := &World{c: c}
+	for n := range c.Stacks {
+		for p := 0; p < c.ProcsPerNode(); p++ {
+			w.ranks = append(w.ranks, comm.At(c, n, p))
+		}
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	return w
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Cluster returns the underlying cluster.
+func (w *World) Cluster() *cluster.Cluster { return w.c }
+
+// Config returns the world's algorithm selection.
+func (w *World) Config() Config { return w.cfg }
+
+// Launch starts one thread per rank executing body, without driving the
+// simulation — for callers that own the run loop (the scenario engine
+// drives the cluster under a virtual-time budget). Most programs want
+// Run.
+func (w *World) Launch(body func(r *Rank)) {
+	for i, cm := range w.ranks {
+		r := &Rank{w: w, id: i, cm: cm}
+		id := cm.ID()
+		node := w.c.Nodes[id.Node]
+		node.Spawn(fmt.Sprintf("rank%d", i), cm.Endpoint().CPU, func(t *smp.Thread) {
+			r.t = t
+			body(r)
+		})
+	}
+}
+
+// Run starts one thread per rank executing body and drives the
+// simulation until every rank returns, returning the final virtual time.
+// It panics if any rank's collective fails: collectives are programming
+// errors when they fail, not runtime conditions.
+func (w *World) Run(body func(r *Rank)) sim.Time {
+	w.Launch(body)
+	return w.c.Run()
+}
+
+// Rank is one process's handle inside a running World. All methods must
+// be called from the rank's own thread (inside the Run body).
+type Rank struct {
+	w  *World
+	id int
+	cm *comm.Comm
+	t  *smp.Thread
+	// seq counts the collectives this rank has started. Every rank
+	// starts collectives in the same order (the SPMD requirement), so
+	// the rank-local counters agree globally and ReservedTag+seq is the
+	// same lane on every participant.
+	seq int
+}
+
+// nextCollTag allocates the next collective's tag lane.
+func (r *Rank) nextCollTag() int {
+	tag := ReservedTag + r.seq
+	r.seq++
+	return tag
+}
+
+// ID reports this rank's number; Size the world size.
+func (r *Rank) ID() int   { return r.id }
+func (r *Rank) Size() int { return r.w.Size() }
+
+// Thread exposes the rank's thread for application compute phases.
+func (r *Rank) Thread() *smp.Thread { return r.t }
+
+// Comm exposes the rank's messaging handle for point-to-point calls
+// beyond the collective vocabulary.
+func (r *Rank) Comm() *comm.Comm { return r.cm }
+
+// Compute burns application cycles (the paper's NOP loops).
+func (r *Rank) Compute(cycles int64) { r.t.Compute(cycles) }
+
+// peer returns rank to's process identity.
+func (r *Rank) peer(to int) comm.ProcessID { return r.w.ranks[to].ID() }
+
+// algorithm resolves the schedule for op: per-call option, then the
+// world's Config, then the op's default. Invalid pairings panic.
+func (r *Rank) algorithm(op OpKind, opts []Opt) Algorithm {
+	var c callCfg
+	for _, o := range opts {
+		o(&c)
+	}
+	a := c.alg
+	if a == "" {
+		a = r.w.cfg.algorithm(op)
+	}
+	if a == "" {
+		a = DefaultAlgorithm(op)
+	}
+	if err := ValidateAlgorithm(op, a); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Send transmits data to rank to (blocking, like comm.Send: returns
+// when the local send completes). Extra comm options (tags, BTP
+// overrides) pass through.
+func (r *Rank) Send(to int, data []byte, opts ...comm.Option) {
+	if err := r.cm.Send(r.t, r.peer(to), data, opts...); err != nil {
+		panic(fmt.Sprintf("coll: rank %d send to %d: %v", r.id, to, err))
+	}
+}
+
+// Isend starts a nonblocking send to rank to.
+func (r *Rank) Isend(to int, data []byte, opts ...comm.Option) *comm.Op {
+	return r.cm.Isend(r.t, r.peer(to), data, opts...)
+}
+
+// Recv blocks until the next message from rank from arrives and returns
+// its bytes. n bounds the expected size.
+func (r *Rank) Recv(from, n int, opts ...comm.Option) []byte {
+	b, err := r.cm.Recv(r.t, r.peer(from), n, opts...)
+	if err != nil {
+		panic(fmt.Sprintf("coll: rank %d recv from %d: %v", r.id, from, err))
+	}
+	return b
+}
+
+// Irecv starts a nonblocking receive of up to n bytes from rank from.
+func (r *Rank) Irecv(from, n int, opts ...comm.Option) *comm.Op {
+	return r.cm.Irecv(r.t, r.peer(from), n, opts...)
+}
+
+// SendRecv exchanges messages with two peers concurrently (send to one,
+// receive from the other) — the ring-step primitive for application
+// code. Using a nonblocking send is what makes rings deadlock-free
+// under synchronous modes. Extra comm options (e.g. a tag) apply to
+// both the send and the receive.
+func (r *Rank) SendRecv(to int, data []byte, from, n int, opts ...comm.Option) []byte {
+	sreq := r.Isend(to, data, opts...)
+	got := r.Recv(from, n, opts...)
+	if _, err := sreq.Wait(r.t); err != nil {
+		panic(fmt.Sprintf("coll: rank %d sendrecv to %d: %v", r.id, to, err))
+	}
+	return got
+}

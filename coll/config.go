@@ -1,0 +1,134 @@
+package coll
+
+import "fmt"
+
+// Algorithm names one collective communication schedule. Not every
+// algorithm applies to every operation — see Algorithms.
+type Algorithm string
+
+const (
+	// Binomial is the binomial-tree schedule (Bcast, Reduce).
+	Binomial Algorithm = "binomial"
+	// Ring is the neighbour-chain schedule. For Reduce/AllReduce it is
+	// the ordered variant: contributions are combined as a left fold in
+	// rank order, so non-commutative ops get a well-defined result.
+	Ring Algorithm = "ring"
+	// RecursiveDoubling is the ⌈log2 n⌉-round pairwise-exchange
+	// AllReduce, with the standard fold-in/fold-out fixup for
+	// non-power-of-two world sizes.
+	RecursiveDoubling Algorithm = "recursive-doubling"
+	// Dissemination is the ⌈log2 n⌉-round token-exchange Barrier.
+	Dissemination Algorithm = "dissemination"
+	// Tree composes rooted phases: reduce-then-broadcast for AllReduce
+	// and Barrier, gather-then-broadcast for AllGather.
+	Tree Algorithm = "tree"
+)
+
+// OpKind names one algorithm-selectable collective operation.
+type OpKind string
+
+const (
+	OpBarrier   OpKind = "barrier"
+	OpBcast     OpKind = "bcast"
+	OpReduce    OpKind = "reduce"
+	OpAllReduce OpKind = "allreduce"
+	OpAllGather OpKind = "allgather"
+)
+
+// algTable lists the valid algorithms per operation; the first entry is
+// the default.
+var algTable = map[OpKind][]Algorithm{
+	OpBarrier:   {Dissemination, Tree},
+	OpBcast:     {Binomial, Ring},
+	OpReduce:    {Binomial, Ring},
+	OpAllReduce: {Tree, RecursiveDoubling, Ring},
+	OpAllGather: {Ring, Tree},
+}
+
+// Algorithms lists the valid algorithms for op, default first.
+func Algorithms(op OpKind) []Algorithm {
+	return append([]Algorithm(nil), algTable[op]...)
+}
+
+// DefaultAlgorithm reports op's default algorithm.
+func DefaultAlgorithm(op OpKind) Algorithm { return algTable[op][0] }
+
+// ValidateAlgorithm reports whether a names a valid algorithm for op;
+// the empty string means the default and is always valid. Exported so
+// spec-driven callers (the scenario engine) can reject bad input without
+// tripping the package's programming-error panics.
+func ValidateAlgorithm(op OpKind, a Algorithm) error {
+	if a == "" {
+		return nil
+	}
+	algs, ok := algTable[op]
+	if !ok {
+		return fmt.Errorf("coll: unknown operation %q", op)
+	}
+	for _, valid := range algs {
+		if a == valid {
+			return nil
+		}
+	}
+	return fmt.Errorf("coll: operation %s has no algorithm %q (have %v)", op, a, algs)
+}
+
+// Config selects one algorithm per operation for a whole World. The
+// zero value means every operation uses its default; WithAlgorithm
+// overrides per call.
+type Config struct {
+	Barrier   Algorithm `json:"barrier,omitempty"`
+	Bcast     Algorithm `json:"bcast,omitempty"`
+	Reduce    Algorithm `json:"reduce,omitempty"`
+	AllReduce Algorithm `json:"allreduce,omitempty"`
+	AllGather Algorithm `json:"allgather,omitempty"`
+}
+
+// Validate reports the first invalid op/algorithm pairing.
+func (c Config) Validate() error {
+	for _, f := range []struct {
+		op OpKind
+		a  Algorithm
+	}{
+		{OpBarrier, c.Barrier},
+		{OpBcast, c.Bcast},
+		{OpReduce, c.Reduce},
+		{OpAllReduce, c.AllReduce},
+		{OpAllGather, c.AllGather},
+	} {
+		if err := ValidateAlgorithm(f.op, f.a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// algorithm resolves the configured algorithm for op ("" if unset).
+func (c Config) algorithm(op OpKind) Algorithm {
+	switch op {
+	case OpBarrier:
+		return c.Barrier
+	case OpBcast:
+		return c.Bcast
+	case OpReduce:
+		return c.Reduce
+	case OpAllReduce:
+		return c.AllReduce
+	case OpAllGather:
+		return c.AllGather
+	}
+	return ""
+}
+
+// Opt tunes one collective call.
+type Opt func(*callCfg)
+
+type callCfg struct {
+	alg Algorithm
+}
+
+// WithAlgorithm selects the schedule for this one call, overriding the
+// world's Config. Invalid op/algorithm pairings panic: algorithm choice
+// is a programming (or pre-validated spec) decision, not a runtime
+// condition.
+func WithAlgorithm(a Algorithm) Opt { return func(c *callCfg) { c.alg = a } }

@@ -1,0 +1,60 @@
+// Package coll implements MPI-style collective operations — barrier,
+// broadcast, reduce, allreduce, scatter, gather, allgather, all-to-all —
+// on top of the public comm API.
+//
+// The paper positions Push-Pull as the messaging layer for parallel
+// programs on COMPs ("a typical compute-then-communicate parallel
+// program", §5.3); this package is that program layer: the collectives a
+// real application would call, built purely from the point-to-point
+// public API (comm.Send/Recv/Isend/Irecv). Collectives inherit whatever
+// messaging mode the cluster is configured with, which is what makes
+// mode × algorithm ablations at the application level possible.
+//
+// # Algorithms
+//
+// Each operation ships with the classic algorithms of the era, selected
+// per world (Config via WithConfig) or per call (WithAlgorithm):
+//
+//	op         algorithms (first = default)      rounds        volume/rank
+//	Barrier    dissemination, tree               ⌈log2 n⌉      1 B tokens
+//	Bcast      binomial, ring                    ≤⌈log2 n⌉ / n-1   ≤ m·⌈log2 n⌉ / m
+//	Reduce     binomial, ring (ordered)          ≤⌈log2 n⌉ / n     m per hop
+//	AllReduce  tree, recursive-doubling, ring    2⌈log2 n⌉ / ⌈log2 n⌉ / 2(n-1)
+//	AllGather  ring, tree                        n-1 / n-1+⌈log2 n⌉
+//
+// Gather, Scatter and AllToAll have one schedule each (rooted linear
+// exchange, and the rotation schedule that pairs distinct partners every
+// step).
+//
+// # Reduction ordering
+//
+// The tree and recursive-doubling algorithms reorder combinations
+// freely, so Reduce/AllReduce require an associative AND commutative Op
+// for algorithm-independent results. The ring algorithm is the ordered
+// variant: it always combines contributions as the left fold
+// op(...op(op(d0, d1), d2)..., dn-1) in rank order, so order-sensitive
+// reductions get one well-defined answer — at the price of O(n) rounds.
+// See TestReduceNonCommutativeOpDiverges for the divergence the tree
+// algorithms exhibit.
+//
+// # Non-blocking collectives
+//
+// IBarrier/IBcast/IReduce/IAllReduce/IAllGather start the collective and
+// return a Request — the comm.Op-style handle — so a rank can overlap
+// compute with collective progress:
+//
+//	req := r.IAllReduce(vec, coll.SumInt64)
+//	r.Compute(500_000) // the first round's messages progress meanwhile
+//	res, err := req.Wait()
+//
+// Progression is software-driven, as in real MPI implementations: the
+// round in flight progresses in the background (the stack and NIC do the
+// work), but later rounds are only posted when the rank calls Test or
+// Wait. All Request methods must be called from the rank's own thread.
+//
+// Each collective travels on its own tag lane (ReservedTag plus a
+// per-rank start sequence), so neither point-to-point messages nor
+// other in-flight collectives on the same channels can cross-match —
+// provided every rank starts its collectives in the same order (the
+// usual SPMD requirement) and application tags stay below ReservedTag.
+package coll

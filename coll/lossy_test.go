@@ -1,0 +1,127 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pushpull/internal/cluster"
+	"pushpull/internal/gbn"
+	"pushpull/internal/sim"
+)
+
+// lossyWorld builds a switched world over a damaged cable: every frame
+// has a 1% chance of vanishing, and a short RTO keeps go-back-N
+// recoveries cheap enough for test-sized runs.
+func lossyWorld(nodes, procs int, seed uint64) *World {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.ProcsPerNode = procs
+	cfg.UseSwitch = true
+	cfg.Net.LossRate = 0.01
+	cfg.Opts.GBN = gbn.Config{Window: 8, RTO: 2 * sim.Millisecond}
+	cfg.Opts.PushedBufBytes = 64 << 10
+	cfg.Seed = seed
+	return NewWorld(cluster.New(cfg))
+}
+
+// Correctness must survive retransmission: every collective op, every
+// algorithm, byte-exact results at lossRate > 0. A dropped frame costs
+// virtual time (an RTO), never data.
+func TestCollectivesByteExactUnderLoss(t *testing.T) {
+	const n = 1500 // ≥ one full Ethernet frame, so losses hit mid-message
+	for _, seed := range []uint64{1, 7} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Run("bcast", func(t *testing.T) {
+				for _, alg := range Algorithms(OpBcast) {
+					w := lossyWorld(4, 1, seed)
+					payload := fill(3, n)
+					got := make([][]byte, w.Size())
+					w.Run(func(r *Rank) {
+						var data []byte
+						if r.ID() == 1 {
+							data = payload
+						}
+						got[r.ID()] = r.Bcast(1, data, n, WithAlgorithm(alg))
+					})
+					for rank := range got {
+						if !bytes.Equal(got[rank], payload) {
+							t.Errorf("%s: rank %d corrupted under loss", alg, rank)
+						}
+					}
+				}
+			})
+			t.Run("allreduce", func(t *testing.T) {
+				for _, alg := range Algorithms(OpAllReduce) {
+					w := lossyWorld(3, 1, seed)
+					size := w.Size()
+					want := make([]byte, n)
+					inputs := make([][]byte, size)
+					for rank := 0; rank < size; rank++ {
+						inputs[rank] = fill(rank, n)
+						want = XorBytes(want, inputs[rank])
+					}
+					got := make([][]byte, size)
+					w.Run(func(r *Rank) {
+						got[r.ID()] = r.AllReduce(inputs[r.ID()], XorBytes, WithAlgorithm(alg))
+					})
+					for rank := 0; rank < size; rank++ {
+						if !bytes.Equal(got[rank], want) {
+							t.Errorf("%s: rank %d wrong allreduce under loss", alg, rank)
+						}
+					}
+				}
+			})
+			t.Run("barrier-allgather-alltoall", func(t *testing.T) {
+				w := lossyWorld(4, 1, seed)
+				size := w.Size()
+				ag := make([][][]byte, size)
+				a2a := make([][][]byte, size)
+				w.Run(func(r *Rank) {
+					r.Barrier(WithAlgorithm(Tree))
+					ag[r.ID()] = r.AllGather(fill(r.ID(), n), n)
+					blocks := make([][]byte, size)
+					for to := 0; to < size; to++ {
+						blocks[to] = fill(r.ID()*size+to, 256)
+					}
+					a2a[r.ID()] = r.AllToAll(blocks, 256)
+					r.Barrier()
+				})
+				for rank := 0; rank < size; rank++ {
+					for i := 0; i < size; i++ {
+						if !bytes.Equal(ag[rank][i], fill(i, n)) {
+							t.Errorf("allgather: rank %d block %d corrupted under loss", rank, i)
+						}
+						if !bytes.Equal(a2a[rank][i], fill(i*size+rank, 256)) {
+							t.Errorf("alltoall: rank %d block from %d corrupted under loss", rank, i)
+						}
+					}
+				}
+			})
+			t.Run("gather-scatter-reduce", func(t *testing.T) {
+				w := lossyWorld(3, 1, seed)
+				size := w.Size()
+				var reduced []byte
+				scattered := make([][]byte, size)
+				w.Run(func(r *Rank) {
+					g := r.Gather(0, fill(r.ID(), n), n)
+					scattered[r.ID()] = r.Scatter(0, g, n)
+					if out := r.Reduce(2, fill(r.ID(), n), XorBytes, WithAlgorithm(Ring)); r.ID() == 2 {
+						reduced = out
+					}
+				})
+				want := make([]byte, n)
+				for rank := 0; rank < size; rank++ {
+					if !bytes.Equal(scattered[rank], fill(rank, n)) {
+						t.Errorf("gather/scatter: rank %d corrupted under loss", rank)
+					}
+					want = XorBytes(want, fill(rank, n))
+				}
+				if !bytes.Equal(reduced, want) {
+					t.Errorf("ring reduce corrupted under loss")
+				}
+			})
+		})
+	}
+}

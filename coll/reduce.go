@@ -1,4 +1,4 @@
-package collective
+package coll
 
 import "encoding/binary"
 
@@ -9,7 +9,7 @@ import "encoding/binary"
 // Int64s decodes a reduction buffer into its elements.
 func Int64s(b []byte) []int64 {
 	if len(b)%8 != 0 {
-		panic("collective: reduction buffer not a multiple of 8 bytes")
+		panic("coll: reduction buffer not a multiple of 8 bytes")
 	}
 	out := make([]int64, len(b)/8)
 	for i := range out {
@@ -29,7 +29,7 @@ func FromInt64s(vals []int64) []byte {
 
 func zipInt64(a, b []byte, f func(x, y int64) int64) []byte {
 	if len(a) != len(b) {
-		panic("collective: reduction operands differ in length")
+		panic("coll: reduction operands differ in length")
 	}
 	av, bv := Int64s(a), Int64s(b)
 	out := make([]int64, len(av))
@@ -68,7 +68,7 @@ func MinInt64(a, b []byte) []byte {
 // which makes it the property-test workhorse.
 func XorBytes(a, b []byte) []byte {
 	if len(a) != len(b) {
-		panic("collective: reduction operands differ in length")
+		panic("coll: reduction operands differ in length")
 	}
 	out := make([]byte, len(a))
 	for i := range out {

@@ -5,13 +5,14 @@
 // receiver are never perfectly synchronized.
 //
 // Four quad-CPU nodes hang off a Fast Ethernet switch. Each iteration
-// every node computes on its slab, then exchanges halo rows with both
-// neighbours through the comm API, tagging the two directions so the
-// receives can never cross-match. The program reports the total virtual
-// runtime under the three messaging mechanisms: Push-Pull's steadiness
-// under timing skew is exactly the paper's closing claim ("Push-Pull
-// Messaging could flexibly adapt to the cluster environment with
-// different computation load").
+// every rank computes on its slab, then exchanges halo rows with both
+// neighbours through the coll rank API (point-to-point calls with the
+// two directions tagged so the receives can never cross-match), and
+// every tenth iteration the residual check runs as an allreduce. The
+// program reports the total virtual runtime under the three messaging
+// mechanisms: Push-Pull's steadiness under timing skew is exactly the
+// paper's closing claim ("Push-Pull Messaging could flexibly adapt to
+// the cluster environment with different computation load").
 //
 // Run with: go run ./examples/stencil
 package main
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"log"
 
+	"pushpull/coll"
 	"pushpull/comm"
 	"pushpull/internal/cluster"
 	"pushpull/internal/pushpull"
@@ -50,41 +52,36 @@ func run(mode pushpull.Mode, iterations int) sim.Time {
 	cfg.Opts = opts
 	cfg.UseSwitch = true
 	c := cluster.New(cfg)
+	w := coll.NewWorld(c)
 
 	halo := make([]byte, haloBytes)
-	for rank := 0; rank < numNodes; rank++ {
-		rank := rank
-		self := comm.At(c, rank, 0)
+	residual := coll.FromInt64s([]int64{1})
+	w.Launch(func(r *coll.Rank) {
+		rank := r.ID()
 		left, right := rank-1, rank+1
-		c.Spawn(rank, 0, fmt.Sprintf("rank%d", rank), func(t *comm.Thread) {
-			for it := 0; it < iterations; it++ {
-				// Compute phase: rank-dependent load imbalance.
-				t.Compute(int64(baseCompute + rank*skewCompute))
-				// Halo exchange: eager sends, then receives, directions
-				// kept apart by tag.
-				if left >= 0 {
-					if err := self.Send(t, comm.ProcessID{Node: left}, halo, comm.WithTag(tagDown)); err != nil {
-						log.Fatal(err)
-					}
-				}
-				if right < numNodes {
-					if err := self.Send(t, comm.ProcessID{Node: right}, halo, comm.WithTag(tagUp)); err != nil {
-						log.Fatal(err)
-					}
-				}
-				if left >= 0 {
-					if _, err := self.Recv(t, comm.ProcessID{Node: left}, haloBytes, comm.WithTag(tagUp)); err != nil {
-						log.Fatal(err)
-					}
-				}
-				if right < numNodes {
-					if _, err := self.Recv(t, comm.ProcessID{Node: right}, haloBytes, comm.WithTag(tagDown)); err != nil {
-						log.Fatal(err)
-					}
-				}
+		for it := 0; it < iterations; it++ {
+			// Compute phase: rank-dependent load imbalance.
+			r.Compute(int64(baseCompute + rank*skewCompute))
+			// Halo exchange: eager sends, then receives, directions
+			// kept apart by tag.
+			if left >= 0 {
+				r.Send(left, halo, comm.WithTag(tagDown))
 			}
-		})
-	}
+			if right < numNodes {
+				r.Send(right, halo, comm.WithTag(tagUp))
+			}
+			if left >= 0 {
+				r.Recv(left, haloBytes, comm.WithTag(tagUp))
+			}
+			if right < numNodes {
+				r.Recv(right, haloBytes, comm.WithTag(tagDown))
+			}
+			// Convergence check: a tiny max-allreduce every 10 sweeps.
+			if it%10 == 9 {
+				r.AllReduce(residual, coll.MaxInt64)
+			}
+		}
+	})
 	end, err := c.RunWithin(sim.Duration(120 * sim.Second))
 	if err != nil {
 		log.Fatal(err)

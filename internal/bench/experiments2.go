@@ -8,9 +8,9 @@ package bench
 import (
 	"fmt"
 
+	"pushpull/coll"
 	"pushpull/internal/adapt"
 	"pushpull/internal/cluster"
-	"pushpull/internal/collective"
 	"pushpull/internal/gbn"
 	"pushpull/internal/pushpull"
 	"pushpull/internal/sim"
@@ -266,10 +266,10 @@ func runCollective(p Params) []*stats.Table {
 			cfg.Nodes = 4
 			cfg.Opts.Mode = mode
 			cfg.Opts.PushedBufBytes = 64 << 10
-			w := collective.NewWorld(cluster.New(cfg))
+			w := coll.NewWorld(cluster.New(cfg))
 			var start, end sim.Time
 			vecBytes := vec
-			w.Run(func(r *collective.Rank) {
+			w.Run(func(r *coll.Rank) {
 				data := make([]byte, vecBytes)
 				for i := range data {
 					data[i] = byte(r.ID() + i)
@@ -279,7 +279,7 @@ func runCollective(p Params) []*stats.Table {
 					start = r.Thread().Now()
 				}
 				for i := 0; i < iters; i++ {
-					r.AllReduceRD(data, collective.XorBytes)
+					r.AllReduce(data, coll.XorBytes, coll.WithAlgorithm(coll.RecursiveDoubling))
 				}
 				r.Barrier()
 				if r.ID() == 0 {
@@ -311,9 +311,9 @@ func runScale(p Params) []*stats.Table {
 			cfg.UseSwitch = true
 			cfg.Opts.Mode = mode
 			cfg.Opts.PushedBufBytes = 64 << 10
-			w := collective.NewWorld(cluster.New(cfg))
+			w := coll.NewWorld(cluster.New(cfg))
 			var start, end sim.Time
-			w.Run(func(r *collective.Rank) {
+			w.Run(func(r *coll.Rank) {
 				data := make([]byte, 8192)
 				r.Barrier()
 				if r.ID() == 0 {

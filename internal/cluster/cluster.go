@@ -182,6 +182,15 @@ func New(cfg Config) *Cluster {
 	return c
 }
 
+// ProcsPerNode reports the number of processes on each node. Clusters
+// are built uniformly (every node gets cfg.ProcsPerNode endpoints), so
+// the first stack answers for all of them.
+func (c *Cluster) ProcsPerNode() int { return c.Stacks[0].Procs() }
+
+// Procs reports the total number of processes in the cluster — the
+// bound for rank enumeration, replacing the old probe-until-nil loops.
+func (c *Cluster) Procs() int { return len(c.Stacks) * c.ProcsPerNode() }
+
 // Endpoint returns process proc on node node.
 func (c *Cluster) Endpoint(node, proc int) *pushpull.Endpoint {
 	ep := c.Stacks[node].Endpoint(proc)

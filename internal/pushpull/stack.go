@@ -150,6 +150,11 @@ func (s *Stack) NewEndpoint(proc, cpu int) *Endpoint {
 // Endpoint returns the endpoint of process proc, or nil.
 func (s *Stack) Endpoint(proc int) *Endpoint { return s.eps[proc] }
 
+// Procs reports the number of registered endpoints. Endpoints are
+// numbered 0..Procs()-1 by every builder in the repo, so this is the
+// bound for rank enumeration — no probing loop needed.
+func (s *Stack) Procs() int { return len(s.eps) }
+
 // AttachNIC adds a network interface (rail) and installs the reception
 // handler. Call once per rail, before AddPeer.
 func (s *Stack) AttachNIC(nc *nic.NIC) {

@@ -88,11 +88,8 @@ func RunConfig(cfg cluster.Config, spec Spec, opts ...RunOption) (*Result, error
 	var receives uint64
 	for node, st := range c.Stacks {
 		res.DiscardedBytes += st.DiscardedBytes()
-		for proc := 0; ; proc++ {
+		for proc := 0; proc < st.Procs(); proc++ {
 			ep := st.Endpoint(proc)
-			if ep == nil {
-				break
-			}
 			res.Endpoints = append(res.Endpoints, EndpointResult{
 				Node: node, Proc: proc, Sent: ep.Sent(), Received: ep.Received(),
 			})

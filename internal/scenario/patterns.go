@@ -35,6 +35,9 @@ var patterns = map[string]patternDoc{
 	"bursty":      {runBursty, "sender ranks emit BurstLen-message bursts separated by BurstIdleUS of silence"},
 	"pipeline":    {runPipeline, "rank 0 feeds a store-and-forward chain through every rank; samples are end-to-end"},
 	"wavefront":   {runWavefront, "irregular: each received message triggers Fanout sends of data-derived sizes to data-derived targets"},
+	"allreduce":   {runAllReduce, "collective: world-wide Size-byte allreduce, Messages ops; Algorithm picks tree | recursive-doubling | ring"},
+	"alltoall":    {runAllToAll, "collective: Messages rounds of the full block shuffle, one Size-byte block per directed rank pair"},
+	"halo":        {runHalo, "collective: 1-D halo exchange with rank-skewed compute (ComputeX + rank*ComputeY cycles), Size-byte halos"},
 }
 
 // PatternNames lists the traffic patterns, sorted.
@@ -272,12 +275,9 @@ func runOneShot(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 
 // ranks flattens the cluster's processes in (node, proc) order.
 func ranks(c *cluster.Cluster) []*comm.Comm {
-	var cms []*comm.Comm
+	cms := make([]*comm.Comm, 0, c.Procs())
 	for node := range c.Nodes {
-		for proc := 0; ; proc++ {
-			if c.Stacks[node].Endpoint(proc) == nil {
-				break
-			}
+		for proc := 0; proc < c.ProcsPerNode(); proc++ {
 			cms = append(cms, comm.At(c, node, proc))
 		}
 	}

@@ -111,10 +111,38 @@ func Builtin() []Spec {
 	lossyPerm.Protocol.RTOMs = 2
 	lossyPerm.Traffic = Traffic{Pattern: "permutation", Size: 1400, Messages: 40}
 
+	// The collective family runs the public coll package — whole-world
+	// schedules instead of per-channel streams — with Traffic.Algorithm
+	// as the sweepable axis.
+	collAllreduce := base("coll-allreduce",
+		"collective family: 6-node recursive-doubling allreduce of 4 KB vectors, log-round pairwise exchanges under switch contention")
+	collAllreduce.Topology = Topology{Kind: "switch", Nodes: 6, ProcsPerNode: 1, Policy: "symmetric"}
+	collAllreduce.Traffic = Traffic{Pattern: "allreduce", Size: 4096, Messages: 20,
+		Algorithm: "recursive-doubling"}
+
+	collAllreduceRing := base("coll-allreduce-ring",
+		"the same allreduce on the ordered ring: 2(n-1) rounds in rank order — the algorithm-ablation partner of coll-allreduce")
+	collAllreduceRing.Topology = Topology{Kind: "switch", Nodes: 6, ProcsPerNode: 1, Policy: "symmetric"}
+	collAllreduceRing.Traffic = Traffic{Pattern: "allreduce", Size: 4096, Messages: 20,
+		Algorithm: "ring"}
+
+	collAlltoall := base("coll-alltoall",
+		"collective family: full block shuffle on 8 ranks (4 nodes x 2 procs) — the transpose/FFT exchange, intra- and internode at once")
+	collAlltoall.Topology = Topology{Kind: "switch", Nodes: 4, ProcsPerNode: 2, Policy: "symmetric"}
+	collAlltoall.Traffic = Traffic{Pattern: "alltoall", Size: 1024, Messages: 10}
+
+	collHalo := base("coll-halo",
+		"collective family: 1-D halo exchange, 8 KB halos through 4 KB pushed buffers with rank-skewed compute — §5.3 early/late races at scale")
+	collHalo.Topology = Topology{Kind: "switch", Nodes: 6, ProcsPerNode: 1, Policy: "symmetric"}
+	collHalo.Protocol.PushedBufBytes = 4096
+	collHalo.Traffic = Traffic{Pattern: "halo", Size: 8192, Messages: 20,
+		ComputeX: 300_000, ComputeY: 60_000}
+
 	return []Spec{
 		intraPing, interPing, early, late, bw,
 		hotspot, perm, bursty, pipeline, wave,
 		waveAdaptive, hubHotspot, lossyPerm, eagerOverflow,
+		collAllreduce, collAllreduceRing, collAlltoall, collHalo,
 	}
 }
 

@@ -181,6 +181,11 @@ func TestSpecValidation(t *testing.T) {
 		{"hub rails", func(s *Spec) { s.Topology.Kind = "hub"; s.Topology.Rails = 2 }, "multi-rail"},
 		{"one process", func(s *Spec) { s.Topology.Nodes = 1; s.Topology.ProcsPerNode = 1 }, "at least 2"},
 		{"back-to-back too big", func(s *Spec) { s.Topology.Nodes = 8 }, "at most 2 nodes"},
+		{"algorithm on plain pattern", func(s *Spec) { s.Traffic.Algorithm = "ring" }, "does not take an algorithm"},
+		{"bad collective algorithm", func(s *Spec) {
+			s.Topology = Topology{Kind: "switch", Nodes: 4, ProcsPerNode: 1}
+			s.Traffic = Traffic{Pattern: "allreduce", Size: 1024, Messages: 5, Algorithm: "quantum"}
+		}, "no algorithm \"quantum\""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

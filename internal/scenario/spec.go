@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"pushpull/coll"
 	"pushpull/internal/adapt"
 	"pushpull/internal/cluster"
 	"pushpull/internal/gbn"
@@ -126,6 +127,9 @@ type Traffic struct {
 	// MinSize and MaxSize bound the wavefront's data-derived sizes.
 	MinSize int `json:"minSize,omitempty"`
 	MaxSize int `json:"maxSize,omitempty"`
+	// Algorithm selects the collective algorithm for the patterns that
+	// take one (see coll.Algorithms); empty means the op's default.
+	Algorithm string `json:"algorithm,omitempty"`
 }
 
 // DefaultSpec is the paper's fully optimized two-node testbed running a
@@ -198,6 +202,15 @@ func (s Spec) Validate() error {
 	}
 	if s.Traffic.Messages <= 0 {
 		return fmt.Errorf("scenario: traffic messages must be positive, got %d", s.Traffic.Messages)
+	}
+	if alg := s.Traffic.Algorithm; alg != "" {
+		op, ok := collAlgOp[s.Traffic.Pattern]
+		if !ok {
+			return fmt.Errorf("scenario: pattern %q does not take an algorithm (patterns with one: %v)", s.Traffic.Pattern, algPatternNames())
+		}
+		if err := coll.ValidateAlgorithm(op, coll.Algorithm(alg)); err != nil {
+			return err
+		}
 	}
 	cfg, err := s.clusterConfig()
 	if err != nil {

@@ -26,8 +26,8 @@ type Sweep struct {
 
 // Grid names the swept axes. An empty axis keeps the base value; the
 // expansion is the cartesian product of the non-empty axes, ordered
-// nodes (outermost) > pushedBufBytes > sizes > lossRates > seeds
-// (innermost).
+// nodes (outermost) > pushedBufBytes > sizes > lossRates > algorithms >
+// seeds (innermost).
 type Grid struct {
 	// Nodes varies Topology.Nodes.
 	Nodes []int `json:"nodes,omitempty"`
@@ -37,6 +37,9 @@ type Grid struct {
 	Sizes []int `json:"sizes,omitempty"`
 	// LossRates varies Topology.LossRate.
 	LossRates []float64 `json:"lossRates,omitempty"`
+	// Algorithms varies Traffic.Algorithm (collective patterns only —
+	// expansion fails on a pattern with no algorithm axis).
+	Algorithms []string `json:"algorithms,omitempty"`
 	// Seeds varies Seed.
 	Seeds []uint64 `json:"seeds,omitempty"`
 }
@@ -52,7 +55,7 @@ type Point struct {
 func (g Grid) Points() int {
 	n := 1
 	for _, axis := range []int{
-		len(g.Nodes), len(g.PushedBufBytes), len(g.Sizes), len(g.LossRates), len(g.Seeds),
+		len(g.Nodes), len(g.PushedBufBytes), len(g.Sizes), len(g.LossRates), len(g.Algorithms), len(g.Seeds),
 	} {
 		if axis > 0 {
 			n *= axis
@@ -85,6 +88,13 @@ func (sw Sweep) Expand() ([]Point, error) {
 			return nil, fmt.Errorf("scenario: sweep grid loss rate %g outside [0, 1]", l)
 		}
 	}
+	for _, a := range sw.Grid.Algorithms {
+		// An empty value would silently mean "the default" while the
+		// point's name claims an explicit algorithm — reject it.
+		if a == "" {
+			return nil, fmt.Errorf("scenario: sweep grid algorithms value is empty (name an algorithm explicitly)")
+		}
+	}
 	axes := []struct {
 		key    string
 		n      int
@@ -103,6 +113,9 @@ func (sw Sweep) Expand() ([]Point, error) {
 		{"loss", len(sw.Grid.LossRates),
 			func(i int) string { return fmt.Sprintf("%g", sw.Grid.LossRates[i]) },
 			func(s *Spec, i int) { s.Topology.LossRate = sw.Grid.LossRates[i] }},
+		{"alg", len(sw.Grid.Algorithms),
+			func(i int) string { return sw.Grid.Algorithms[i] },
+			func(s *Spec, i int) { s.Traffic.Algorithm = sw.Grid.Algorithms[i] }},
 		{"seed", len(sw.Grid.Seeds),
 			func(i int) string { return fmt.Sprintf("%d", sw.Grid.Seeds[i]) },
 			func(s *Spec, i int) { s.Seed = sw.Grid.Seeds[i] }},
@@ -168,6 +181,7 @@ type PointResult struct {
 	PushedBufBytes int     `json:"pushedBufBytes"`
 	Size           int     `json:"size"`
 	LossRate       float64 `json:"lossRate"`
+	Algorithm      string  `json:"algorithm,omitempty"`
 	Seed           uint64  `json:"seed"`
 	Error          string  `json:"error,omitempty"`
 	// BudgetExhausted flags an Error that was a virtual-time-budget
@@ -289,6 +303,7 @@ func runPoint(pt Point, opts ...RunOption) (pr PointResult) {
 		PushedBufBytes: s.Protocol.PushedBufBytes,
 		Size:           s.Traffic.Size,
 		LossRate:       s.Topology.LossRate,
+		Algorithm:      s.Traffic.Algorithm,
 		Seed:           s.Seed,
 	}
 	defer func() {
@@ -363,7 +378,20 @@ func BuiltinSweeps() []Sweep {
 		Seeds:          []uint64{1, 2, 3},
 	}
 
-	return []Sweep{smoke, study}
+	collSmoke := Sweep{
+		Name:        "coll-smoke",
+		Description: "CI grid for the collective family: allreduce over nodes x algorithm x seed (12 points, seconds)",
+		Base:        DefaultSpec(),
+	}
+	collSmoke.Base.Topology = Topology{Kind: "switch", Nodes: 4, ProcsPerNode: 1, Policy: "symmetric"}
+	collSmoke.Base.Traffic = Traffic{Pattern: "allreduce", Size: 1024, Messages: 5}
+	collSmoke.Grid = Grid{
+		Nodes:      []int{2, 4},
+		Algorithms: []string{"tree", "recursive-doubling", "ring"},
+		Seeds:      []uint64{1, 2},
+	}
+
+	return []Sweep{smoke, study, collSmoke}
 }
 
 // SweepNames lists the builtin sweep names, sorted.

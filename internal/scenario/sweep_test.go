@@ -89,6 +89,7 @@ func TestSweepExpansionRejectsInertAxisValues(t *testing.T) {
 		{"zero buffer", Grid{PushedBufBytes: []int{0}}, "pushedBufBytes value 0"},
 		{"negative loss", Grid{LossRates: []float64{-0.1}}, "loss rate -0.1"},
 		{"loss above one", Grid{LossRates: []float64{1.5}}, "loss rate 1.5"},
+		{"empty algorithm", Grid{Algorithms: []string{""}}, "algorithms value is empty"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -97,6 +98,36 @@ func TestSweepExpansionRejectsInertAxisValues(t *testing.T) {
 				t.Errorf("Expand() = %v, want error containing %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// The algorithm axis expands onto Traffic.Algorithm with labelled point
+// names, and a base pattern without an algorithm axis fails expansion.
+func TestSweepAlgorithmAxis(t *testing.T) {
+	sw := Sweep{Name: "alg", Base: DefaultSpec()}
+	sw.Base.Topology = Topology{Kind: "switch", Nodes: 2, ProcsPerNode: 1, Policy: "symmetric"}
+	sw.Base.Traffic = Traffic{Pattern: "allreduce", Size: 256, Messages: 2}
+	sw.Grid = Grid{Algorithms: []string{"tree", "ring"}}
+	points, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("expanded %d points, want 2", len(points))
+	}
+	for i, wantAlg := range []string{"tree", "ring"} {
+		if got := points[i].Spec.Traffic.Algorithm; got != wantAlg {
+			t.Errorf("point %d algorithm = %q, want %q", i, got, wantAlg)
+		}
+		wantName := "alg/alg=" + wantAlg
+		if points[i].Spec.Name != wantName {
+			t.Errorf("point %d name = %q, want %q", i, points[i].Spec.Name, wantName)
+		}
+	}
+
+	sw.Base.Traffic = Traffic{Pattern: "pingpong", Size: 256, Messages: 2}
+	if _, err := sw.Expand(); err == nil || !strings.Contains(err.Error(), "does not take an algorithm") {
+		t.Errorf("Expand() on a pattern without an algorithm axis = %v, want rejection", err)
 	}
 }
 
