@@ -145,6 +145,104 @@ func BenchmarkCollectiveAllReduce(b *testing.B) {
 	b.ReportMetric(perOp, "µs/allreduce-1KB-4nodes")
 }
 
+// longVectorOp runs iters of body on the 8-rank switched COMP the
+// long-vector rows use, via the harness the longvector bench experiment
+// shares.
+func longVectorOp(iters int, body func(r *coll.Rank)) (perOp, maxTxPerOp float64) {
+	return bench.LongVectorCollective(8, iters, body)
+}
+
+const longVecBytes = 64 << 10
+
+// BenchmarkLongVectorBcast: 64 KiB broadcast through 8 switched ranks —
+// the segmented (pipelined) ring against the store-and-forward chain.
+func BenchmarkLongVectorBcast(b *testing.B) {
+	var ring, seg float64
+	for i := 0; i < b.N; i++ {
+		data := make([]byte, longVecBytes)
+		run := func(opts ...coll.Opt) float64 {
+			perOp, _ := longVectorOp(5, func(r *coll.Rank) {
+				var src []byte
+				if r.ID() == 0 {
+					src = data
+				}
+				r.Bcast(0, src, longVecBytes, opts...)
+			})
+			return perOp
+		}
+		ring = run(coll.WithAlgorithm(coll.Ring))
+		seg = run(coll.WithAlgorithm(coll.RingSegmented), coll.WithSegment(8192))
+	}
+	b.ReportMetric(ring, "µs/ring")
+	b.ReportMetric(seg, "µs/ring-seg")
+	b.ReportMetric(ring/seg, "ring/ring-seg-speedup")
+}
+
+// BenchmarkLongVectorAllReduce: 64 KiB allreduce on 8 switched ranks —
+// reduce-scatter + allgather against the rooted tree, in time and in
+// hottest-NIC volume.
+func BenchmarkLongVectorAllReduce(b *testing.B) {
+	var treeUS, rsagUS, treeVol, rsagVol float64
+	for i := 0; i < b.N; i++ {
+		run := func(alg coll.Algorithm) (float64, float64) {
+			return longVectorOp(5, func(r *coll.Rank) {
+				data := make([]byte, longVecBytes)
+				for j := range data {
+					data[j] = byte(r.ID() + j)
+				}
+				r.AllReduce(data, coll.XorBytes, coll.WithAlgorithm(alg))
+			})
+		}
+		treeUS, treeVol = run(coll.Tree)
+		rsagUS, rsagVol = run(coll.RSAG)
+	}
+	b.ReportMetric(treeUS, "µs/tree")
+	b.ReportMetric(rsagUS, "µs/rs-ag")
+	b.ReportMetric(treeVol/1024, "KiB/op-hot-node-tree")
+	b.ReportMetric(rsagVol/1024, "KiB/op-hot-node-rs-ag")
+}
+
+// The long-vector acceptance bar, pinned deterministically: at 64 KiB
+// on 8 ranks the segmented ring Bcast completes in less virtual time
+// than the plain ring, and rs-ag's busiest node moves fewer wire bytes
+// (and finishes sooner) than the tree's root.
+func TestLongVectorAlgorithmsWin(t *testing.T) {
+	data := make([]byte, longVecBytes)
+	bcast := func(opts ...coll.Opt) float64 {
+		perOp, _ := longVectorOp(3, func(r *coll.Rank) {
+			var src []byte
+			if r.ID() == 0 {
+				src = data
+			}
+			r.Bcast(0, src, longVecBytes, opts...)
+		})
+		return perOp
+	}
+	ring := bcast(coll.WithAlgorithm(coll.Ring))
+	seg := bcast(coll.WithAlgorithm(coll.RingSegmented), coll.WithSegment(8192))
+	if seg >= ring {
+		t.Errorf("segmented ring bcast %.1f µs, plain ring %.1f µs — pipelining lost", seg, ring)
+	}
+
+	allreduce := func(alg coll.Algorithm) (float64, float64) {
+		return longVectorOp(3, func(r *coll.Rank) {
+			vec := make([]byte, longVecBytes)
+			for j := range vec {
+				vec[j] = byte(r.ID() + j)
+			}
+			r.AllReduce(vec, coll.XorBytes, coll.WithAlgorithm(alg))
+		})
+	}
+	treeUS, treeVol := allreduce(coll.Tree)
+	rsagUS, rsagVol := allreduce(coll.RSAG)
+	if rsagVol >= treeVol {
+		t.Errorf("rs-ag hottest node moved %.0f B/op, tree %.0f B/op — volume balance lost", rsagVol, treeVol)
+	}
+	if rsagUS >= treeUS {
+		t.Errorf("rs-ag %.1f µs/op, tree %.1f µs/op — bandwidth optimality lost", rsagUS, treeUS)
+	}
+}
+
 // BenchmarkScaleAllGather: 8 KB ring allgather on a six-node switched
 // COMP — the multi-node scaling the paper's conclusion reaches toward.
 func BenchmarkScaleAllGather(b *testing.B) {

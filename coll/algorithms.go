@@ -92,6 +92,88 @@ func (r *Rank) bcastRing(root int, data []byte, n int) stepper {
 	return s.stepper()
 }
 
+// bcastRingSeg: the pipelined ring broadcast for long vectors. The
+// vector is cut into ⌈n/seg⌉ segments; the root streams them all to its
+// successor back to back, and every interior rank forwards segment k-1
+// while segment k is still arriving, so once the pipe fills all n-1
+// links carry data simultaneously. Completion is ~T(n) + (hops-1)·T(seg)
+// instead of the plain ring's hops·T(n) store-and-forward chain.
+// Segments ride the collective's one tag lane, so FIFO lane order keeps
+// them in sequence however the wire interleaves their fragments.
+func (r *Rank) bcastRingSeg(root int, data []byte, n, seg int) stepper {
+	size := r.Size()
+	rel := (r.id - root + size) % size
+	abs := func(rr int) int { return (rr + root) % size }
+	nseg := (n + seg - 1) / seg
+	if nseg == 0 {
+		nseg = 1 // zero-length broadcast: one empty segment carries the envelope
+	}
+	bounds := func(k int) (lo, hi int) {
+		lo = k * seg
+		hi = lo + seg
+		if hi > n {
+			hi = n
+		}
+		return lo, hi
+	}
+	s := &sched{}
+	switch {
+	case size == 1:
+		s.res = data
+	case rel == 0:
+		// Root: all segments outstanding in one round; the channel's
+		// FIFO lane keeps them ordered and the transport pipelines them.
+		s.res = data
+		sends := make([]msg, nseg)
+		for k := range sends {
+			lo, hi := bounds(k)
+			sends[k] = msg{to: abs(1), data: data[lo:hi]}
+		}
+		s.push(round{sends: sends}, nil)
+	case rel == size-1:
+		// Tail: sink every segment; posting all receives up front lets
+		// each pull phase start the moment its segment is announced.
+		out := make([]byte, n)
+		recvs := make([]rcv, nseg)
+		for k := range recvs {
+			lo, hi := bounds(k)
+			recvs[k] = rcv{from: abs(rel - 1), n: hi - lo}
+		}
+		s.push(round{recvs: recvs}, func(got [][]byte) {
+			off := 0
+			for _, b := range got {
+				off += copy(out[off:], b)
+			}
+			s.res = out
+		})
+	default:
+		// Interior: round k receives segment k and forwards segment k-1
+		// in the same round — the overlap that keeps the pipe moving —
+		// then a drain round pushes the final segment onward.
+		out := make([]byte, n)
+		var stage func(k int)
+		stage = func(k int) {
+			lo, hi := bounds(k)
+			rd := round{recvs: []rcv{{from: abs(rel - 1), n: hi - lo}}}
+			if k > 0 {
+				plo, phi := bounds(k - 1)
+				rd.sends = []msg{{to: abs(rel + 1), data: out[plo:phi]}}
+			}
+			s.push(rd, func(got [][]byte) {
+				copy(out[lo:hi], got[0])
+				if k+1 < nseg {
+					stage(k + 1)
+					return
+				}
+				s.push(round{sends: []msg{{to: abs(rel + 1), data: out[lo:hi]}}}, nil)
+				s.res = out
+			})
+		}
+		stage(0)
+	}
+	return s.stepper()
+}
+
 // reduceBinomial: each mask level either sends the accumulator to the
 // tree parent (and finishes) or receives a child's contribution and
 // folds it in. Combination order follows the tree, so the op must be
@@ -211,6 +293,76 @@ func (r *Rank) allReduceRD(data []byte, op Op) stepper {
 	default:
 		stage(id-rem, 1)
 	}
+	return s.stepper()
+}
+
+// allReduceRSAG: reduce-scatter + allgather over the ring — the
+// bandwidth-optimal long-vector AllReduce. The vector is split into
+// size blocks (block b spans [b·n/size, (b+1)·n/size)). Phase 1
+// (reduce-scatter, size-1 steps): at step s every rank sends block
+// id-s to its right neighbour and folds the arriving block id-s-1
+// into its accumulator, so after the phase rank r holds the fully
+// reduced block r+1. Phase 2 (allgather, size-1 steps): the reduced
+// blocks circulate until every rank has them all. Each rank moves
+// 2·(size-1)·(n/size) bytes in total, and no rank is a bottleneck —
+// unlike the tree, whose root moves ⌈log2 n⌉ full vectors each way.
+//
+// Block b's contributions fold in rank order *starting at rank b* (the
+// cyclic left fold op(…op(op(d_b, d_b+1), d_b+2)…, d_b-1)), so
+// different blocks combine in different rotations: like the tree
+// algorithms, RSAG needs a commutative op for a well-defined result.
+func (r *Rank) allReduceRSAG(data []byte, op Op) stepper {
+	size, id, n := r.Size(), r.id, len(data)
+	acc := append([]byte(nil), data...)
+	s := &sched{}
+	if size == 1 {
+		s.res = acc
+		return s.stepper()
+	}
+	right, left := (id+1)%size, (id-1+size)%size
+	mod := func(x int) int { return ((x % size) + size) % size }
+	// Block boundaries fall on gcd(n, 8)-byte marks, so the element-wise
+	// int64 reduction helpers (8-byte elements) never see a split
+	// element when the vector is a whole number of elements.
+	grain := 8
+	for n%grain != 0 {
+		grain >>= 1
+	}
+	units := n / grain
+	lo := func(b int) int { return b * units / size * grain }
+	hi := func(b int) int { return (b + 1) * units / size * grain }
+	blk := func(b int) []byte { return acc[lo(b):hi(b)] }
+
+	var rs, ag func(step int)
+	rs = func(step int) {
+		if step >= size-1 {
+			ag(0)
+			return
+		}
+		sb, rb := mod(id-step), mod(id-step-1)
+		s.push(round{
+			sends: []msg{{to: right, data: blk(sb)}},
+			recvs: []rcv{{from: left, n: hi(rb) - lo(rb)}},
+		}, func(got [][]byte) {
+			copy(blk(rb), op(got[0], blk(rb)))
+			rs(step + 1)
+		})
+	}
+	ag = func(step int) {
+		if step >= size-1 {
+			s.res = acc
+			return
+		}
+		sb, rb := mod(id+1-step), mod(id-step)
+		s.push(round{
+			sends: []msg{{to: right, data: blk(sb)}},
+			recvs: []rcv{{from: left, n: hi(rb) - lo(rb)}},
+		}, func(got [][]byte) {
+			copy(blk(rb), got[0])
+			ag(step + 1)
+		})
+	}
+	rs(0)
 	return s.stepper()
 }
 

@@ -1,0 +1,29 @@
+package coll
+
+import (
+	"testing"
+
+	"pushpull/internal/pushpull"
+)
+
+// BenchmarkRequestTestWhilePending measures the overlap polling path:
+// Test on a request whose round is still in flight runs inside
+// application compute loops, so it must stay allocation-free (the
+// received payloads are only collected once every op reports done).
+func BenchmarkRequestTestWhilePending(b *testing.B) {
+	b.ReportAllocs()
+	w := newWorld(2, 1, pushpull.PushPull)
+	w.Run(func(r *Rank) {
+		req := r.IAllReduce(FromInt64s(make([]int64, 512)), SumInt64)
+		if r.ID() == 0 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req.Test()
+			}
+			b.StopTimer()
+		}
+		if _, err := req.Wait(); err != nil {
+			b.Error(err)
+		}
+	})
+}

@@ -136,6 +136,23 @@ func (r *Rank) algorithm(op OpKind, opts []Opt) Algorithm {
 	return a
 }
 
+// segment resolves the segmented algorithms' segment size: the per-call
+// WithSegment, then the world's Config.SegmentBytes, then
+// DefaultSegmentBytes.
+func (r *Rank) segment(opts []Opt) int {
+	var c callCfg
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.seg > 0 {
+		return c.seg
+	}
+	if r.w.cfg.SegmentBytes > 0 {
+		return r.w.cfg.SegmentBytes
+	}
+	return DefaultSegmentBytes
+}
+
 // Send transmits data to rank to (blocking, like comm.Send: returns
 // when the local send completes). Extra comm options (tags, BTP
 // overrides) pass through.

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"pushpull/comm"
 	"pushpull/internal/cluster"
 	"pushpull/internal/pushpull"
 	"pushpull/internal/sim"
@@ -615,5 +616,220 @@ func TestNonBlockingBcastReduce(t *testing.T) {
 	}
 	if got := Int64s(reduced)[0]; got != 10+11+12 {
 		t.Errorf("reduce = %d, want 33", got)
+	}
+}
+
+// The AnyTag cross-match fix, pinned end to end: a wildcard receive
+// posted while a non-blocking collective is in flight must wait for the
+// application message — on the old matcher it swallowed the
+// collective's next round instead, deadlocking the reduction (which is
+// why this runs under a virtual-time budget: the old behavior fails the
+// budget, not the whole test binary).
+func TestAnyTagDoesNotSwallowCollectiveRounds(t *testing.T) {
+	const n = 900
+	const appTag = 3
+	w := newWorld(2, 1, pushpull.PushPull)
+	size := w.Size()
+	appGot := make([][]byte, size)
+	sts := make([]comm.Status, size)
+	sums := make([][]byte, size)
+	w.Launch(func(r *Rank) {
+		peer := (r.ID() + 1) % size
+		req := r.IAllReduce(FromInt64s([]int64{int64(r.ID() + 1)}), SumInt64)
+		// Wildcard posted mid-collective: rounds of req are still being
+		// posted and arriving while this receive is pending.
+		wild := r.Irecv(peer, n, comm.WithTag(comm.AnyTag))
+		res, err := req.Wait()
+		if err != nil {
+			t.Errorf("rank %d allreduce: %v", r.ID(), err)
+		}
+		sums[r.ID()] = res
+		r.Send(peer, fill(40+r.ID(), n), comm.WithTag(appTag))
+		data, err := wild.Wait(r.Thread())
+		if err != nil {
+			t.Errorf("rank %d wildcard: %v", r.ID(), err)
+			return
+		}
+		appGot[r.ID()] = data
+		sts[r.ID()] = wild.Status()
+	})
+	if _, err := w.Cluster().RunWithin(200 * sim.Millisecond); err != nil {
+		t.Fatalf("run stalled — AnyTag receive swallowed a collective round: %v", err)
+	}
+	for rank := 0; rank < size; rank++ {
+		if got := Int64s(sums[rank])[0]; got != 3 {
+			t.Errorf("rank %d: allreduce = %d, want 3", rank, got)
+		}
+		if !bytes.Equal(appGot[rank], fill(40+(rank+1)%size, n)) {
+			t.Errorf("rank %d: wildcard bound the wrong message", rank)
+		}
+		if st := sts[rank]; !st.Valid || st.Tag != appTag {
+			t.Errorf("rank %d: wildcard status = %+v, want valid tag %d", rank, st, appTag)
+		}
+	}
+}
+
+// rs-ag correctness across shapes, including sizes where blocks are
+// uneven and (with procs > 1) ranks sharing nodes.
+func TestAllReduceRSAGShapes(t *testing.T) {
+	for _, shape := range [][2]int{{2, 1}, {3, 1}, {5, 1}, {3, 2}, {4, 2}} {
+		for _, elems := range []int{1, 5, 64, 1000} {
+			w := newWorld(shape[0], shape[1], pushpull.PushPull)
+			size := w.Size()
+			out := make([][]byte, size)
+			w.Run(func(r *Rank) {
+				vals := make([]int64, elems)
+				for i := range vals {
+					vals[i] = int64((r.ID() + 2) * (i + 1))
+				}
+				out[r.ID()] = r.AllReduce(FromInt64s(vals), SumInt64, WithAlgorithm(RSAG))
+			})
+			for rank := 0; rank < size; rank++ {
+				got := Int64s(out[rank])
+				for i := 0; i < elems; i++ {
+					var want int64
+					for rr := 0; rr < size; rr++ {
+						want += int64((rr + 2) * (i + 1))
+					}
+					if got[i] != want {
+						t.Fatalf("%dx%d elems %d: rank %d elem %d = %d, want %d",
+							shape[0], shape[1], elems, rank, i, got[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// rs-ag's block-reduction order, pinned: block b folds contributions in
+// rank order starting at rank b (the cyclic left fold), so only block 0
+// matches the ordered ring's global left fold and the other blocks are
+// rotations of it.
+func TestAllReduceRSAGBlockOrderPinned(t *testing.T) {
+	const size = 4
+	w := newWorld(size, 1, pushpull.PushPull)
+	out := make([][]byte, size)
+	w.Run(func(r *Rank) {
+		// One int64 element per block; every element of rank r's vector
+		// is r+1, so element b records exactly block b's fold order.
+		vals := make([]int64, size)
+		for i := range vals {
+			vals[i] = int64(r.ID() + 1)
+		}
+		out[r.ID()] = r.AllReduce(FromInt64s(vals), mulAdd31, WithAlgorithm(RSAG))
+	})
+	fold := func(start int) int64 {
+		acc := int64(start + 1)
+		for s := 1; s < size; s++ {
+			acc = acc*31 + int64((start+s)%size+1)
+		}
+		return acc
+	}
+	for rank := 0; rank < size; rank++ {
+		got := Int64s(out[rank])
+		for b := 0; b < size; b++ {
+			if got[b] != fold(b) {
+				t.Errorf("rank %d block %d = %d, want the cyclic fold from rank %d = %d",
+					rank, b, got[b], b, fold(b))
+			}
+		}
+		if got[1] == fold(0) {
+			t.Errorf("block 1 matches block 0's order — rotation lost, the pin is meaningless")
+		}
+	}
+}
+
+// The segmented ring must produce byte-identical results for any
+// segment size — segments that do not divide the vector, a segment
+// larger than the whole vector — from any root.
+func TestBcastRingSegmentedSegmentSizes(t *testing.T) {
+	const n = 10_000
+	for _, seg := range []int{512, 1000, 4096, 16384} {
+		for _, root := range []int{0, 2, 5} {
+			w := newWorld(3, 2, pushpull.PushPull)
+			payload := fill(root, n)
+			got := make([][]byte, w.Size())
+			w.Run(func(r *Rank) {
+				var data []byte
+				if r.ID() == root {
+					data = payload
+				}
+				got[r.ID()] = r.Bcast(root, data, n,
+					WithAlgorithm(RingSegmented), WithSegment(seg))
+			})
+			for rank := range got {
+				if !bytes.Equal(got[rank], payload) {
+					t.Errorf("seg %d root %d: rank %d received wrong bytes", seg, root, rank)
+				}
+			}
+		}
+	}
+	// The world-level Config supplies the segment when the call does not.
+	w := newWorld(3, 1, pushpull.PushPull, WithConfig(Config{Bcast: RingSegmented, SegmentBytes: 700}))
+	payload := fill(1, n)
+	got := make([][]byte, w.Size())
+	w.Run(func(r *Rank) {
+		var data []byte
+		if r.ID() == 1 {
+			data = payload
+		}
+		got[r.ID()] = r.Bcast(1, data, n)
+	})
+	for rank := range got {
+		if !bytes.Equal(got[rank], payload) {
+			t.Errorf("config segment: rank %d received wrong bytes", rank)
+		}
+	}
+}
+
+// The point of segmentation: on a long vector through a multi-hop
+// chain, the pipelined ring completes in less virtual time than the
+// store-and-forward ring, because interior links carry segment k-1
+// while segment k is still arriving.
+func TestBcastSegmentedPipelinesFasterThanRing(t *testing.T) {
+	const n = 64 << 10
+	run := func(opts ...Opt) sim.Time {
+		w := newWorld(8, 1, pushpull.PushPull)
+		var bad bool
+		end := w.Run(func(r *Rank) {
+			var data []byte
+			if r.ID() == 0 {
+				data = fill(1, n)
+			}
+			if !bytes.Equal(r.Bcast(0, data, n, opts...), fill(1, n)) {
+				bad = true
+			}
+		})
+		if bad {
+			t.Fatal("broadcast corrupted")
+		}
+		return end
+	}
+	ring := run(WithAlgorithm(Ring))
+	seg := run(WithAlgorithm(RingSegmented), WithSegment(8192))
+	if seg >= ring {
+		t.Errorf("segmented ring took %v, store-and-forward ring %v — no pipelining win", seg, ring)
+	}
+}
+
+// Test must not allocate while the round in flight is incomplete: it is
+// the polling point inside application compute loops.
+func TestRequestTestDoesNotAllocateWhilePending(t *testing.T) {
+	w := newWorld(2, 1, pushpull.PushPull)
+	allocs := -1.0
+	w.Run(func(r *Rank) {
+		req := r.IAllReduce(FromInt64s(make([]int64, 256)), SumInt64)
+		if r.ID() == 0 {
+			if done, _, _ := req.Test(); done {
+				t.Error("IAllReduce completed with no virtual time elapsed")
+			}
+			allocs = testing.AllocsPerRun(100, func() { req.Test() })
+		}
+		if _, err := req.Wait(); err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Test allocated %.1f objects per pending poll, want 0", allocs)
 	}
 }

@@ -22,6 +22,20 @@ const (
 	// Tree composes rooted phases: reduce-then-broadcast for AllReduce
 	// and Barrier, gather-then-broadcast for AllGather.
 	Tree Algorithm = "tree"
+	// RingSegmented is the pipelined ring Bcast for long vectors: the
+	// vector is cut into SegmentBytes segments and streamed through the
+	// chain, so all n-1 links carry data simultaneously once the pipe
+	// fills — where the plain ring forwards the whole vector
+	// store-and-forward, one busy link at a time.
+	RingSegmented Algorithm = "ring-seg"
+	// RSAG is the reduce-scatter + allgather (Rabenseifner-style ring)
+	// AllReduce: each rank reduces a 1/n block of the vector, then the
+	// reduced blocks circulate in a ring allgather. Every rank moves
+	// 2·(n-1)/n·m bytes — bandwidth-optimal for long vectors — instead
+	// of a full vector per tree edge or chain hop. Like the tree
+	// algorithms it reorders combinations (each block folds in rank
+	// order starting from its own index), so ops must be commutative.
+	RSAG Algorithm = "rs-ag"
 )
 
 // OpKind names one algorithm-selectable collective operation.
@@ -39,9 +53,9 @@ const (
 // the default.
 var algTable = map[OpKind][]Algorithm{
 	OpBarrier:   {Dissemination, Tree},
-	OpBcast:     {Binomial, Ring},
+	OpBcast:     {Binomial, Ring, RingSegmented},
 	OpReduce:    {Binomial, Ring},
-	OpAllReduce: {Tree, RecursiveDoubling, Ring},
+	OpAllReduce: {Tree, RecursiveDoubling, Ring, RSAG},
 	OpAllGather: {Ring, Tree},
 }
 
@@ -82,10 +96,18 @@ type Config struct {
 	Reduce    Algorithm `json:"reduce,omitempty"`
 	AllReduce Algorithm `json:"allreduce,omitempty"`
 	AllGather Algorithm `json:"allgather,omitempty"`
+	// SegmentBytes is the segment size the segmented algorithms
+	// (ring-seg Bcast) cut long vectors into; 0 means
+	// DefaultSegmentBytes. WithSegment overrides per call.
+	SegmentBytes int `json:"segmentBytes,omitempty"`
 }
 
-// Validate reports the first invalid op/algorithm pairing.
+// Validate reports the first invalid op/algorithm pairing or a negative
+// segment size.
 func (c Config) Validate() error {
+	if c.SegmentBytes < 0 {
+		return fmt.Errorf("coll: SegmentBytes %d is negative", c.SegmentBytes)
+	}
 	for _, f := range []struct {
 		op OpKind
 		a  Algorithm
@@ -120,11 +142,19 @@ func (c Config) algorithm(op OpKind) Algorithm {
 	return ""
 }
 
+// DefaultSegmentBytes is the segment size the segmented algorithms use
+// when neither Config.SegmentBytes nor WithSegment sets one. 4 KiB is
+// several Ethernet frames per segment — large enough to amortize the
+// per-message protocol cost, small enough that an 8-rank pipe fills
+// within the first few percent of a long vector.
+const DefaultSegmentBytes = 4096
+
 // Opt tunes one collective call.
 type Opt func(*callCfg)
 
 type callCfg struct {
 	alg Algorithm
+	seg int
 }
 
 // WithAlgorithm selects the schedule for this one call, overriding the
@@ -132,3 +162,14 @@ type callCfg struct {
 // is a programming (or pre-validated spec) decision, not a runtime
 // condition.
 func WithAlgorithm(a Algorithm) Opt { return func(c *callCfg) { c.alg = a } }
+
+// WithSegment sets the segment size in bytes the segmented algorithms
+// (ring-seg Bcast) use for this one call, overriding the world's
+// Config.SegmentBytes. It panics on a non-positive size: segmenting is
+// a programming decision, not a runtime condition.
+func WithSegment(n int) Opt {
+	if n <= 0 {
+		panic(fmt.Sprintf("coll: segment size %d is not positive", n))
+	}
+	return func(c *callCfg) { c.seg = n }
+}

@@ -17,10 +17,21 @@
 //
 //	op         algorithms (first = default)      rounds        volume/rank
 //	Barrier    dissemination, tree               ⌈log2 n⌉      1 B tokens
-//	Bcast      binomial, ring                    ≤⌈log2 n⌉ / n-1   ≤ m·⌈log2 n⌉ / m
+//	Bcast      binomial, ring, ring-seg          ≤⌈log2 n⌉ / n-1 / n-1 hops pipelined in ⌈m/S⌉ segments
+//	                                             (volume ≤ m·⌈log2 n⌉ / m / m per hop)
 //	Reduce     binomial, ring (ordered)          ≤⌈log2 n⌉ / n     m per hop
-//	AllReduce  tree, recursive-doubling, ring    2⌈log2 n⌉ / ⌈log2 n⌉ / 2(n-1)
+//	AllReduce  tree, recursive-doubling, ring,   2⌈log2 n⌉ / ⌈log2 n⌉ / 2(n-1) /
+//	           rs-ag                             2(n-1) blocks of m/n
 //	AllGather  ring, tree                        n-1 / n-1+⌈log2 n⌉
+//
+// The segmented/long-vector algorithms: ring-seg pipelines the Bcast by
+// streaming the vector through the chain in SegmentBytes segments
+// (Config.SegmentBytes or WithSegment; DefaultSegmentBytes otherwise),
+// keeping every link busy at once; rs-ag reduces 1/n blocks in a ring
+// reduce-scatter and then allgathers them, moving 2·(n-1)/n·m bytes per
+// rank with no bottleneck rank. Pick them for vectors much larger than
+// a segment; the log-round trees stay ahead on short vectors, where
+// per-hop latency dominates.
 //
 // Gather, Scatter and AllToAll have one schedule each (rooted linear
 // exchange, and the rotation schedule that pairs distinct partners every
@@ -28,14 +39,15 @@
 //
 // # Reduction ordering
 //
-// The tree and recursive-doubling algorithms reorder combinations
-// freely, so Reduce/AllReduce require an associative AND commutative Op
-// for algorithm-independent results. The ring algorithm is the ordered
-// variant: it always combines contributions as the left fold
-// op(...op(op(d0, d1), d2)..., dn-1) in rank order, so order-sensitive
-// reductions get one well-defined answer — at the price of O(n) rounds.
-// See TestReduceNonCommutativeOpDiverges for the divergence the tree
-// algorithms exhibit.
+// The tree, recursive-doubling and rs-ag algorithms reorder
+// combinations (rs-ag folds each block in rank order starting at the
+// block's own index), so Reduce/AllReduce require an associative AND
+// commutative Op for algorithm-independent results. The ring algorithm
+// is the ordered variant: it always combines contributions as the left
+// fold op(...op(op(d0, d1), d2)..., dn-1) in rank order, so
+// order-sensitive reductions get one well-defined answer — at the price
+// of O(n) rounds. See TestReduceNonCommutativeOpDiverges for the
+// divergence the reordering algorithms exhibit.
 //
 // # Non-blocking collectives
 //
@@ -57,4 +69,7 @@
 // other in-flight collectives on the same channels can cross-match —
 // provided every rank starts its collectives in the same order (the
 // usual SPMD requirement) and application tags stay below ReservedTag.
+// The matcher enforces the split: comm.AnyTag wildcards only see
+// application tags, so even wildcard receives posted while a collective
+// is in flight cannot swallow its rounds.
 package coll

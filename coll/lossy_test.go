@@ -99,6 +99,42 @@ func TestCollectivesByteExactUnderLoss(t *testing.T) {
 					}
 				}
 			})
+			// The long-vector algorithms with many segments/blocks in
+			// flight: a lost frame inside any segment must cost an RTO,
+			// never a byte. (The algorithm loops above already run
+			// ring-seg and rs-ag, but at n=1500 the default segment
+			// holds the whole vector — here every message is a fraction
+			// of the vector.)
+			t.Run("long-vector", func(t *testing.T) {
+				const long = 12_000
+				w := lossyWorld(4, 1, seed)
+				size := w.Size()
+				payload := fill(5, long)
+				want := make([]byte, long)
+				for rank := 0; rank < size; rank++ {
+					want = XorBytes(want, fill(rank, long))
+				}
+				bc := make([][]byte, size)
+				ar := make([][]byte, size)
+				w.Run(func(r *Rank) {
+					var data []byte
+					if r.ID() == 2 {
+						data = payload
+					}
+					bc[r.ID()] = r.Bcast(2, data, long,
+						WithAlgorithm(RingSegmented), WithSegment(1024))
+					ar[r.ID()] = r.AllReduce(fill(r.ID(), long), XorBytes,
+						WithAlgorithm(RSAG))
+				})
+				for rank := 0; rank < size; rank++ {
+					if !bytes.Equal(bc[rank], payload) {
+						t.Errorf("ring-seg: rank %d corrupted under loss", rank)
+					}
+					if !bytes.Equal(ar[rank], want) {
+						t.Errorf("rs-ag: rank %d corrupted under loss", rank)
+					}
+				}
+			})
 			t.Run("gather-scatter-reduce", func(t *testing.T) {
 				w := lossyWorld(3, 1, seed)
 				size := w.Size()

@@ -69,10 +69,14 @@ func (r *Rank) IBcast(root int, data []byte, n int, opts ...Opt) *Request {
 	if r.id == root && len(data) != n {
 		panic(fmt.Sprintf("coll: bcast root has %d bytes, promised %d", len(data), n))
 	}
-	if r.algorithm(OpBcast, opts) == Ring {
+	switch r.algorithm(OpBcast, opts) {
+	case Ring:
 		return r.start(r.bcastRing(root, data, n))
+	case RingSegmented:
+		return r.start(r.bcastRingSeg(root, data, n, r.segment(opts)))
+	default:
+		return r.start(r.bcastBinomial(root, data, n))
 	}
-	return r.start(r.bcastBinomial(root, data, n))
 }
 
 // Bcast distributes root's data to every rank and returns the received
@@ -104,6 +108,8 @@ func (r *Rank) IAllReduce(data []byte, op Op, opts ...Opt) *Request {
 	switch r.algorithm(OpAllReduce, opts) {
 	case RecursiveDoubling:
 		return r.start(r.allReduceRD(data, op))
+	case RSAG:
+		return r.start(r.allReduceRSAG(data, op))
 	case Ring:
 		last := r.Size() - 1
 		return r.start(then(r.reduceRing(last, data, op), func(res []byte) stepper {

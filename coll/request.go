@@ -10,10 +10,10 @@ import "pushpull/comm"
 // per-collective sequence keeps even several outstanding non-blocking
 // collectives apart — provided every rank starts its collectives in
 // the same order (the usual SPMD requirement). Application tags must
-// stay below ReservedTag, and wildcard AnyTag receives posted while a
-// collective is in flight can still swallow collective rounds — match
-// specific tags instead.
-const ReservedTag = 1 << 30
+// stay below ReservedTag; the matcher enforces the split, so even
+// wildcard AnyTag receives posted while a collective is in flight only
+// see application traffic, never collective rounds.
+const ReservedTag = comm.ReservedTag
 
 // A collective is expressed as a sequence of rounds. Each round posts
 // all its sends (nonblocking) and then all its receives; the round
@@ -196,9 +196,11 @@ func (rq *Request) Test() (bool, []byte, error) {
 				return false, nil, nil
 			}
 		}
-		got := make([][]byte, len(rq.recvs))
-		for i, op := range rq.recvs {
-			done, data, err := op.Test()
+		// Confirm every receive completed before collecting payloads, so
+		// a poll that finds the round still in flight costs no allocation
+		// — Test is called from inside compute loops.
+		for _, op := range rq.recvs {
+			done, _, err := op.Test()
 			if err != nil {
 				rq.fail(err)
 				return true, nil, rq.err
@@ -206,6 +208,10 @@ func (rq *Request) Test() (bool, []byte, error) {
 			if !done {
 				return false, nil, nil
 			}
+		}
+		got := make([][]byte, len(rq.recvs))
+		for i, op := range rq.recvs {
+			_, data, _ := op.Test()
 			got[i] = data
 		}
 		rq.advance(got)

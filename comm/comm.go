@@ -16,7 +16,9 @@ type (
 	ProcessID = pushpull.ProcessID
 	// ChannelID is one directed sender→receiver pair.
 	ChannelID = pushpull.ChannelID
-	// Status reports what a completed receive matched (source, tag).
+	// Status reports what a completed receive matched (source, tag);
+	// Status.Valid separates a real envelope from the zero value of a
+	// failed or uncompleted operation, whose error lands in Status.Err.
 	Status = pushpull.Status
 	// Thread is the calling SMP thread every operation charges.
 	Thread = smp.Thread
@@ -24,8 +26,16 @@ type (
 	VirtAddr = vm.VirtAddr
 )
 
-// AnyTag makes a receive match messages of every tag.
+// AnyTag makes a receive match messages of every *application* tag —
+// tags below ReservedTag. Reserved-tag traffic (collective rounds in
+// package coll) never matches a wildcard, so an AnyTag receive posted
+// while a collective is in flight cannot swallow its rounds.
 const AnyTag = pushpull.AnyTag
+
+// ReservedTag is the base of the reserved tag space used by
+// infrastructure layered on comm (package coll runs each collective on
+// its own reserved lane). Application tags must stay below it.
+const ReservedTag = pushpull.ReservedTag
 
 // AnySource makes a receive match messages from every sender.
 var AnySource = pushpull.AnySource

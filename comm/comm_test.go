@@ -408,3 +408,84 @@ func TestPerChannelIsolationUnderEagerOverflow(t *testing.T) {
 		t.Fatalf("only %d of 3 cross-channel receives completed (livelock?)", len(order))
 	}
 }
+
+// Status must be self-describing: a completed receive's Status carries
+// Valid=true with the matched envelope, while a pre-failed op (a send
+// posted on an incoming channel) reports its error in Status.Err
+// instead of a zero envelope indistinguishable from a real rank-0/tag-0
+// match. An op that has not completed yet is also not Valid.
+func TestStatusValidAndErrStates(t *testing.T) {
+	c := twoNode()
+	a, b := comm.At(c, 0, 0), comm.At(c, 1, 0)
+	var recvSt, pendSt, failSt comm.Status
+	c.Spawn(0, 0, "s", func(th *smp.Thread) {
+		// Pre-failed op: misdirected send.
+		failSt = a.From(b.ID()).Isend(th, []byte{1}).Status()
+		if err := a.Send(th, b.ID(), pattern(300, 9), comm.WithTag(4)); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Spawn(1, 0, "r", func(th *smp.Thread) {
+		op := b.Irecv(th, a.ID(), 1000, comm.WithTag(comm.AnyTag))
+		pendSt = op.Status() // no virtual time has passed: not completed
+		got, err := op.Wait(th)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(got) != 300 {
+			t.Errorf("receive returned %d bytes, want 300", len(got))
+		}
+		recvSt = op.Status()
+	})
+	c.Run()
+	if !recvSt.Valid || recvSt.Err != nil || recvSt.Tag != 4 || recvSt.Source != a.ID() {
+		t.Errorf("completed receive status = %+v, want valid tag-4 envelope from %v", recvSt, a.ID())
+	}
+	if pendSt.Valid {
+		t.Errorf("uncompleted op's status claims Valid: %+v", pendSt)
+	}
+	if failSt.Valid || failSt.Err == nil {
+		t.Errorf("pre-failed op's status = %+v, want Err set and Valid false", failSt)
+	}
+}
+
+// An AnyTag wildcard never matches reserved-tag traffic: the
+// application-range restriction that keeps wildcards from swallowing
+// collective rounds (the end-to-end pin lives in package coll).
+func TestAnyTagIgnoresReservedTagTraffic(t *testing.T) {
+	c := twoNode()
+	a, b := comm.At(c, 0, 0), comm.At(c, 1, 0)
+	resv := pattern(200, 3)
+	app := pattern(400, 5)
+	var wildGot, resvGot []byte
+	var wildSt comm.Status
+	c.Spawn(0, 0, "s", func(th *smp.Thread) {
+		// Reserved-tag message first: it must NOT satisfy the wildcard.
+		if err := a.Send(th, b.ID(), resv, comm.WithTag(comm.ReservedTag+2)); err != nil {
+			t.Error(err)
+		}
+		if err := a.Send(th, b.ID(), app, comm.WithTag(6)); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Spawn(1, 0, "r", func(th *smp.Thread) {
+		got, st, err := b.From(a.ID()).RecvMsg(th, 1000, comm.WithTag(comm.AnyTag))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		wildGot, wildSt = got, st
+		// The reserved-tag message is still there for its exact tag.
+		if resvGot, err = b.Recv(th, a.ID(), 1000, comm.WithTag(comm.ReservedTag+2)); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Run()
+	if !bytes.Equal(wildGot, app) || wildSt.Tag != 6 {
+		t.Errorf("wildcard bound tag %d (%d bytes), want the tag-6 application message", wildSt.Tag, len(wildGot))
+	}
+	if !bytes.Equal(resvGot, resv) {
+		t.Error("reserved-tag message was not delivered to its exact-tag receive")
+	}
+}

@@ -36,11 +36,13 @@ func (op *Op) Test() (done bool, data []byte, err error) {
 }
 
 // Status reports the completed operation's matched envelope (source and
-// tag) — informative after an AnySource or AnyTag receive. Valid only
-// once the Op has completed.
+// tag) — informative after an AnySource or AnyTag receive. Status.Valid
+// is false until the Op completes; a failed Op (including one that
+// failed before it started, e.g. a send posted on an incoming channel)
+// reports its error in Status.Err instead of a zero envelope.
 func (op *Op) Status() Status {
 	if op.err != nil {
-		return Status{}
+		return Status{Err: op.err}
 	}
 	return op.req.Status()
 }

@@ -120,6 +120,9 @@ func main() {
 	row("allreduce ring (ordered)", func(r *coll.Rank) {
 		r.AllReduce(vec(r), coll.SumInt64, coll.WithAlgorithm(coll.Ring))
 	})
+	row("allreduce rs-ag", func(r *coll.Rank) {
+		r.AllReduce(vec(r), coll.SumInt64, coll.WithAlgorithm(coll.RSAG))
+	})
 	row("allgather 4KB ring", func(r *coll.Rank) { r.AllGather(vec(r), vectorElems*8) })
 	row("allgather 4KB tree", func(r *coll.Rank) {
 		r.AllGather(vec(r), vectorElems*8, coll.WithAlgorithm(coll.Tree))
@@ -131,6 +134,37 @@ func main() {
 		}
 		r.AllToAll(blocks, 512)
 	})
+
+	// Long vectors are where the segmented and bandwidth-optimal
+	// algorithms earn their keep: the pipelined ring keeps every link
+	// busy at once, and rs-ag reduces 1/P blocks instead of moving full
+	// vectors through a root.
+	const longN = 64 << 10
+	longVec := func(r *coll.Rank) []byte {
+		b := make([]byte, longN)
+		for i := range b {
+			b[i] = byte(r.ID() + i)
+		}
+		return b
+	}
+	longBcast := func(opts ...coll.Opt) float64 {
+		return timeCollective(pushpull.PushPull, func(r *coll.Rank) {
+			var data []byte
+			if r.ID() == 0 {
+				data = longVec(r)
+			}
+			r.Bcast(0, data, longN, opts...)
+		}).Microseconds()
+	}
+	longAllreduce := func(alg coll.Algorithm) float64 {
+		return timeCollective(pushpull.PushPull, func(r *coll.Rank) {
+			r.AllReduce(longVec(r), coll.XorBytes, coll.WithAlgorithm(alg))
+		}).Microseconds()
+	}
+	fmt.Printf("\nlong vectors (64 KiB, push-pull): bcast ring %.0f µs vs ring-seg %.0f µs; allreduce tree %.0f µs vs rs-ag %.0f µs\n",
+		longBcast(coll.WithAlgorithm(coll.Ring)),
+		longBcast(coll.WithAlgorithm(coll.RingSegmented), coll.WithSegment(8192)),
+		longAllreduce(coll.Tree), longAllreduce(coll.RSAG))
 
 	// Overlap: the same compute+allreduce loop, blocking vs nonblocking.
 	const computeCycles = 2_000_000

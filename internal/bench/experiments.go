@@ -148,6 +148,12 @@ func All() []Experiment {
 			Paper: "beyond the paper's two-node testbed; its conclusion asks for multi-interface, multi-node scaling",
 			Run:   runScale,
 		},
+		{
+			ID:    "longvector",
+			Title: "Long vectors: segmented ring Bcast and reduce-scatter+allgather AllReduce (8 ranks)",
+			Paper: "beyond the paper: bandwidth-optimal schedules keep every link busy once transfers dwarf per-hop latency",
+			Run:   runLongVector,
+		},
 	}
 }
 

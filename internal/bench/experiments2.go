@@ -293,6 +293,111 @@ func runCollective(p Params) []*stats.Table {
 	return []*stats.Table{tab}
 }
 
+// LongVectorCollective runs iters of body on a fresh ranks-node
+// switched COMP and reports the mean per-op virtual time plus the
+// busiest node's transmitted wire bytes per op — the volume metric the
+// bandwidth-optimal schedules are judged by (a balanced schedule has no
+// hot node; a rooted tree concentrates full vectors on the root). The
+// root bench2 rows and the longvector experiment share it.
+func LongVectorCollective(ranks, iters int, body func(r *coll.Rank)) (perOp, maxTxPerOp float64) {
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = ranks
+	cfg.UseSwitch = true
+	cfg.Opts.PushedBufBytes = 64 << 10
+	c := cluster.New(cfg)
+	w := coll.NewWorld(c)
+	var start, end sim.Time
+	w.Run(func(r *coll.Rank) {
+		r.Barrier()
+		if r.ID() == 0 {
+			start = r.Thread().Now()
+		}
+		for i := 0; i < iters; i++ {
+			body(r)
+		}
+		r.Barrier()
+		if r.ID() == 0 {
+			end = r.Thread().Now()
+		}
+	})
+	var maxTx uint64
+	for _, st := range c.Stacks {
+		if tx := st.NIC().TxBytes(); tx > maxTx {
+			maxTx = tx
+		}
+	}
+	return end.Sub(start).Microseconds() / float64(iters), float64(maxTx) / float64(iters)
+}
+
+// runLongVector characterizes the long-vector algorithms: the segmented
+// ring Bcast (pipelined chain) against the plain store-and-forward
+// ring, and the reduce-scatter + allgather AllReduce against the
+// rooted tree, on an eight-node switched COMP.
+func runLongVector(p Params) []*stats.Table {
+	iters := p.Iters
+	if iters > 10 {
+		iters = 10 // every iteration moves hundreds of KB through the switch
+	}
+	const ranks = 8
+	sizes := []int{16 << 10, 64 << 10, 256 << 10}
+
+	bc := stats.NewTable(
+		"Long-vector Bcast on 8 switched ranks: store-and-forward ring vs segmented (pipelined) ring",
+		"vector(B)", "µs per bcast, mean over iterations")
+	for _, v := range []struct {
+		label string
+		opts  []coll.Opt
+	}{
+		{"ring (store-and-forward)", []coll.Opt{coll.WithAlgorithm(coll.Ring)}},
+		{"ring-seg (8 KiB segments)", []coll.Opt{coll.WithAlgorithm(coll.RingSegmented), coll.WithSegment(8192)}},
+	} {
+		s := bc.AddSeries(v.label)
+		for _, n := range sizes {
+			data := make([]byte, n)
+			perOp, _ := LongVectorCollective(ranks, iters, func(r *coll.Rank) {
+				var src []byte
+				if r.ID() == 0 {
+					src = data
+				}
+				r.Bcast(0, src, n, v.opts...)
+			})
+			s.Add(float64(n), perOp)
+		}
+	}
+	bc.Comment = "segmentation keeps all 7 links busy at once: completion ~T(n) + 6·T(seg) instead of 7·T(n)"
+
+	art := stats.NewTable(
+		"Long-vector AllReduce on 8 switched ranks: rooted tree vs reduce-scatter + allgather",
+		"vector(B)", "µs per allreduce, mean over iterations")
+	arv := stats.NewTable(
+		"Long-vector AllReduce volume: busiest node's transmitted wire bytes per operation",
+		"vector(B)", "B per op at the hottest NIC")
+	for _, v := range []struct {
+		label string
+		alg   coll.Algorithm
+	}{
+		{"tree (reduce+bcast)", coll.Tree},
+		{"rs-ag (reduce-scatter+allgather)", coll.RSAG},
+	} {
+		st := art.AddSeries(v.label)
+		sv := arv.AddSeries(v.label)
+		for _, n := range sizes {
+			alg := v.alg
+			perOp, maxTx := LongVectorCollective(ranks, iters, func(r *coll.Rank) {
+				data := make([]byte, n)
+				for i := range data {
+					data[i] = byte(r.ID() + i)
+				}
+				r.AllReduce(data, coll.XorBytes, coll.WithAlgorithm(alg))
+			})
+			st.Add(float64(n), perOp)
+			sv.Add(float64(n), maxTx)
+		}
+	}
+	arv.Comment = "the tree's root moves ⌈log2 n⌉ full vectors each way; rs-ag moves 2·(n-1)/n of one vector per rank, evenly"
+	return []*stats.Table{bc, art, arv}
+}
+
 // runScale measures an 8 KB ring allgather while the COMP grows — the
 // multi-node scalability the paper's conclusion reaches toward.
 func runScale(p Params) []*stats.Table {

@@ -84,6 +84,7 @@ type NIC struct {
 
 	rxInFlight int
 	txFrames   uint64
+	txBytes    uint64
 	rxFrames   uint64
 	rxDropped  uint64
 }
@@ -117,6 +118,11 @@ func (nc *NIC) NodeID() int { return nc.node.ID }
 
 // TxFrames reports frames handed to the wire.
 func (nc *NIC) TxFrames() uint64 { return nc.txFrames }
+
+// TxBytes reports payload bytes handed to the wire — the per-node
+// volume counter the bandwidth-optimal collective algorithms are
+// judged by.
+func (nc *NIC) TxBytes() uint64 { return nc.txBytes }
 
 // RxFrames reports frames delivered to the protocol handler.
 func (nc *NIC) RxFrames() uint64 { return nc.rxFrames }
@@ -159,6 +165,7 @@ func (nc *NIC) txLoop(p *sim.Process) {
 		nc.node.Engine.Go(fmt.Sprintf("nic-wire/n%d", nc.node.ID), func(tx *sim.Process) {
 			nc.link.Transmit(tx, nc, frame)
 			nc.txFrames++
+			nc.txBytes += uint64(frame.PayloadBytes)
 			nc.Rec.Recordf(tx.Now(), nc.node.ID, trace.KindNICTx, "frame %d->%d %dB on wire", frame.Src, frame.Dst, frame.PayloadBytes)
 		})
 	}

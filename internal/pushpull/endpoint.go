@@ -193,7 +193,7 @@ func (ep *Endpoint) RecvOpt(t *smp.Thread, from ProcessID, addr vm.VirtAddr, buf
 	msg := op.msg
 	t.Exec(cfg.SyscallExit)
 	ep.received++
-	return msg.buf, Status{Source: msg.ch.From, Tag: msg.tag}, nil
+	return msg.buf, Status{Source: msg.ch.From, Tag: msg.tag, Valid: true}, nil
 }
 
 // register makes a receive operation visible to senders and handlers.

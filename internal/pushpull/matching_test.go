@@ -113,3 +113,39 @@ func TestPendingReceivesResolveInPostingOrder(t *testing.T) {
 		t.Fatalf("posting order broken: op1=%v op2=%v", op1.msg, op2.msg)
 	}
 }
+
+// TestAnyTagSkipsReservedTags: the AnyTag wildcard is an application-
+// range wildcard — a reserved-tag message (a collective round) parks
+// past a pending wildcard receive, and only a receive naming the exact
+// reserved tag binds it. Application-tag messages still match the
+// wildcard as before.
+func TestAnyTagSkipsReservedTags(t *testing.T) {
+	e, ep := matchEndpoint()
+
+	wild := newOp(e, 5000)
+	wild.tag = AnyTag
+	ep.register(nil, wild)
+
+	resv := newMsg(ep, 0, 100)
+	resv.tag = ReservedTag + 3
+	ep.addInbound(resv)
+	if wild.msg != nil {
+		t.Fatal("AnyTag receive swallowed a reserved-tag message")
+	}
+
+	// The exact reserved tag binds it; the wildcard stays pending.
+	exact := newOp(e, 5000)
+	exact.tag = ReservedTag + 3
+	ep.register(nil, exact)
+	if exact.msg != resv {
+		t.Fatal("exact reserved-tag receive did not bind the parked message")
+	}
+
+	// An application-tag arrival matches the waiting wildcard.
+	app := newMsg(ep, 0, 100)
+	app.tag = 7
+	ep.addInbound(app)
+	if wild.msg != app {
+		t.Fatal("AnyTag receive did not bind the application-tag message")
+	}
+}

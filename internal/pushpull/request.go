@@ -38,7 +38,7 @@ func (ep *Endpoint) IsendOpt(t *smp.Thread, to ProcessID, addr vm.VirtAddr, data
 	t.Exec(ep.stack.Node.Cfg.CallOverhead) // posting cost on the caller
 	ep.stack.Node.Spawn(fmt.Sprintf("isend/%v", ep.ID), ep.CPU, func(ht *smp.Thread) {
 		err := ep.SendOpt(ht, to, addr, data, o)
-		req.finish(nil, Status{Source: ep.ID, Tag: o.Tag}, err)
+		req.finish(nil, Status{Source: ep.ID, Tag: o.Tag, Valid: true}, err)
 	})
 	return req
 }
@@ -66,8 +66,13 @@ func (ep *Endpoint) IrecvOpt(t *smp.Thread, from ProcessID, addr vm.VirtAddr, bu
 	return req
 }
 
-// finish records the outcome and wakes every waiter.
+// finish records the outcome and wakes every waiter. A failed
+// operation's Status is normalized to the error form (Valid false, Err
+// set) whatever the caller passed.
 func (req *Request) finish(data []byte, st Status, err error) {
+	if err != nil {
+		st = Status{Err: err}
+	}
 	req.data = data
 	req.status = st
 	req.err = err
@@ -96,7 +101,8 @@ func (req *Request) Test() (bool, []byte, error) {
 
 // Status reports the completed operation's envelope: for a receive, the
 // source and tag that matched (informative after AnySource / AnyTag).
-// Valid only once the request has completed.
+// Status.Valid is false until the request completes, and a failed
+// request's Status carries the error in Err instead of an envelope.
 func (req *Request) Status() Status { return req.status }
 
 // WaitAll completes every request in order and returns the first error.

@@ -27,8 +27,19 @@ func (p ProcessID) String() string {
 var AnySource = ProcessID{Node: -1, Proc: -1}
 
 // AnyTag is the tag-matching wildcard: a receive posted with it binds a
-// message of any tag.
+// message of any *application* tag — tags below ReservedTag. Reserved
+// tags never match a wildcard, so infrastructure traffic (collective
+// rounds in package coll) cannot be swallowed by an AnyTag receive
+// posted while a collective is in flight. A receive naming a reserved
+// tag explicitly still matches it.
 const AnyTag = -1
+
+// ReservedTag is the base of the reserved tag space. Tags at or above it
+// belong to infrastructure protocols layered on the stack (package coll
+// runs each collective on its own reserved lane); application tags must
+// stay below it, and AnyTag wildcards only consider the application
+// range.
+const ReservedTag = 1 << 30
 
 // ChannelID is one directed sender→receiver pair. Messages of one tag on
 // a channel are delivered in FIFO order; each channel is backed by its
@@ -83,10 +94,16 @@ type RecvOptions struct {
 
 // Status reports what a completed receive actually bound: the source
 // process and tag of the delivered message (informative when the receive
-// was posted with AnySource or AnyTag).
+// was posted with AnySource or AnyTag). Valid distinguishes a real
+// matched envelope from the zero Status of a failed or not-yet-completed
+// operation — without it, a failure would be indistinguishable from a
+// genuine rank-0/tag-0 match. A failed operation's Status carries its
+// error in Err and leaves Valid false.
 type Status struct {
 	Source ProcessID
 	Tag    int
+	Valid  bool
+	Err    error
 }
 
 // sendOp is a registered send operation, held in the endpoint's send
@@ -134,10 +151,18 @@ type recvOp struct {
 	err       error
 }
 
-// matches reports whether op's source/tag pattern covers message m.
+// matches reports whether op's source/tag pattern covers message m. The
+// AnyTag wildcard is restricted to application tags: reserved-tag
+// traffic (collective rounds) only binds receives that name its exact
+// tag, so a wildcard posted mid-collective can never swallow a round.
 func (op *recvOp) matches(m *inboundMsg) bool {
-	return (op.src == AnySource || op.src == m.ch.From) &&
-		(op.tag == AnyTag || op.tag == m.tag)
+	if op.src != AnySource && op.src != m.ch.From {
+		return false
+	}
+	if op.tag == AnyTag {
+		return m.tag < ReservedTag
+	}
+	return op.tag == m.tag
 }
 
 // inboundMsg tracks one message arriving at an endpoint.

@@ -23,6 +23,7 @@ import (
 // operation whose algorithm table validates it.
 var collAlgOp = map[string]coll.OpKind{
 	"allreduce": coll.OpAllReduce,
+	"bcast":     coll.OpBcast,
 }
 
 // algPatternNames lists the patterns with an algorithm axis, sorted.
@@ -86,6 +87,69 @@ func runAllReduce(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 		return nil, 0, fmt.Errorf("scenario: allreduce finished %d of %d operations (deadlock?)", len(samples), iters)
 	}
 	return samples, uint64(iters) * uint64(n) * uint64(size), nil
+}
+
+// collOpts lowers the spec's algorithm/segment knobs onto coll options.
+func collOpts(s Spec) []coll.Opt {
+	var opts []coll.Opt
+	if alg := s.Traffic.Algorithm; alg != "" {
+		opts = append(opts, coll.WithAlgorithm(coll.Algorithm(alg)))
+	}
+	if seg := s.Traffic.SegmentBytes; seg > 0 {
+		opts = append(opts, coll.WithSegment(seg))
+	}
+	return opts
+}
+
+// runBcast: rank Root broadcasts a Size-byte vector Messages times
+// under the selected algorithm; every rank verifies the received bytes
+// against the root's deterministic fill. Samples are per-operation
+// times on the terminal ring rank (root-1, the last hop of the chain
+// algorithms and a leaf of the binomial tree), where completion of the
+// whole operation is visible — the root itself finishes as soon as its
+// sends retire locally.
+func runBcast(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
+	w := coll.NewWorld(c)
+	size := w.Size()
+	n := s.Traffic.Size
+	iters := s.Traffic.Messages
+	root := s.Traffic.Root
+	if root < 0 || root >= size {
+		return nil, 0, fmt.Errorf("scenario: bcast root %d out of range for %d ranks", root, size)
+	}
+	opts := collOpts(s)
+	last := (root - 1 + size) % size
+
+	payload := collFill(root, n)
+	samples := make([]float64, 0, iters)
+	var runErr error
+	w.Launch(func(r *coll.Rank) {
+		r.Barrier()
+		for i := 0; i < iters; i++ {
+			start := r.Thread().Now()
+			var data []byte
+			if r.ID() == root {
+				data = payload
+			}
+			got := r.Bcast(root, data, n, opts...)
+			if !bytes.Equal(got, payload) && runErr == nil {
+				runErr = fmt.Errorf("scenario: bcast rank %d iteration %d received wrong bytes", r.ID(), i)
+			}
+			if r.ID() == last {
+				samples = append(samples, r.Thread().Now().Sub(start).Microseconds())
+			}
+		}
+	})
+	if err := runSim(c, s); err != nil {
+		return nil, 0, err
+	}
+	if runErr != nil {
+		return nil, 0, runErr
+	}
+	if len(samples) != iters {
+		return nil, 0, fmt.Errorf("scenario: bcast finished %d of %d operations (deadlock?)", len(samples), iters)
+	}
+	return samples, uint64(iters) * uint64(n) * uint64(size-1), nil
 }
 
 // runAllToAll: Messages rounds of a full block shuffle — every rank

@@ -35,7 +35,8 @@ var patterns = map[string]patternDoc{
 	"bursty":      {runBursty, "sender ranks emit BurstLen-message bursts separated by BurstIdleUS of silence"},
 	"pipeline":    {runPipeline, "rank 0 feeds a store-and-forward chain through every rank; samples are end-to-end"},
 	"wavefront":   {runWavefront, "irregular: each received message triggers Fanout sends of data-derived sizes to data-derived targets"},
-	"allreduce":   {runAllReduce, "collective: world-wide Size-byte allreduce, Messages ops; Algorithm picks tree | recursive-doubling | ring"},
+	"allreduce":   {runAllReduce, "collective: world-wide Size-byte allreduce, Messages ops; Algorithm picks tree | recursive-doubling | ring | rs-ag"},
+	"bcast":       {runBcast, "collective: rank Root broadcasts Size bytes, Messages ops; Algorithm picks binomial | ring | ring-seg (SegmentBytes sets the pipeline segment)"},
 	"alltoall":    {runAllToAll, "collective: Messages rounds of the full block shuffle, one Size-byte block per directed rank pair"},
 	"halo":        {runHalo, "collective: 1-D halo exchange with rank-skewed compute (ComputeX + rank*ComputeY cycles), Size-byte halos"},
 }

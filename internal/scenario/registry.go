@@ -131,6 +131,23 @@ func Builtin() []Spec {
 	collAlltoall.Topology = Topology{Kind: "switch", Nodes: 4, ProcsPerNode: 2, Policy: "symmetric"}
 	collAlltoall.Traffic = Traffic{Pattern: "alltoall", Size: 1024, Messages: 10}
 
+	// The long-vector pair: the segmented/pipelined algorithms this
+	// family exists to characterize, at sizes where the plain schedules
+	// leave most links idle.
+	collBcastSeg := base("coll-bcast-seg",
+		"collective family: 64 KiB segmented ring broadcast through 6 switched nodes (8 KiB segments) — the pipelined chain, every link busy at once")
+	collBcastSeg.Topology = Topology{Kind: "switch", Nodes: 6, ProcsPerNode: 1, Policy: "symmetric"}
+	collBcastSeg.Protocol.PushedBufBytes = 64 << 10
+	collBcastSeg.Traffic = Traffic{Pattern: "bcast", Size: 64 << 10, Messages: 8,
+		Algorithm: "ring-seg", SegmentBytes: 8192}
+
+	collAllreduceRsag := base("coll-allreduce-rsag",
+		"collective family: 32 KiB reduce-scatter + allgather allreduce on 8 switched ranks — 1/P blocks instead of full-vector rounds, no bottleneck rank")
+	collAllreduceRsag.Topology = Topology{Kind: "switch", Nodes: 8, ProcsPerNode: 1, Policy: "symmetric"}
+	collAllreduceRsag.Protocol.PushedBufBytes = 64 << 10
+	collAllreduceRsag.Traffic = Traffic{Pattern: "allreduce", Size: 32 << 10, Messages: 8,
+		Algorithm: "rs-ag"}
+
 	collHalo := base("coll-halo",
 		"collective family: 1-D halo exchange, 8 KB halos through 4 KB pushed buffers with rank-skewed compute — §5.3 early/late races at scale")
 	collHalo.Topology = Topology{Kind: "switch", Nodes: 6, ProcsPerNode: 1, Policy: "symmetric"}
@@ -143,6 +160,7 @@ func Builtin() []Spec {
 		hotspot, perm, bursty, pipeline, wave,
 		waveAdaptive, hubHotspot, lossyPerm, eagerOverflow,
 		collAllreduce, collAllreduceRing, collAlltoall, collHalo,
+		collBcastSeg, collAllreduceRsag,
 	}
 }
 

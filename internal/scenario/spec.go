@@ -130,6 +130,10 @@ type Traffic struct {
 	// Algorithm selects the collective algorithm for the patterns that
 	// take one (see coll.Algorithms); empty means the op's default.
 	Algorithm string `json:"algorithm,omitempty"`
+	// SegmentBytes sets the segment size of the segmented collective
+	// algorithms (bcast pattern with "ring-seg"); 0 means
+	// coll.DefaultSegmentBytes.
+	SegmentBytes int `json:"segmentBytes,omitempty"`
 }
 
 // DefaultSpec is the paper's fully optimized two-node testbed running a
@@ -211,6 +215,9 @@ func (s Spec) Validate() error {
 		if err := coll.ValidateAlgorithm(op, coll.Algorithm(alg)); err != nil {
 			return err
 		}
+	}
+	if s.Traffic.SegmentBytes < 0 {
+		return fmt.Errorf("scenario: traffic segmentBytes %d is negative", s.Traffic.SegmentBytes)
 	}
 	cfg, err := s.clusterConfig()
 	if err != nil {

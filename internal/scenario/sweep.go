@@ -380,14 +380,14 @@ func BuiltinSweeps() []Sweep {
 
 	collSmoke := Sweep{
 		Name:        "coll-smoke",
-		Description: "CI grid for the collective family: allreduce over nodes x algorithm x seed (12 points, seconds)",
+		Description: "CI grid for the collective family: allreduce over nodes x algorithm x seed (16 points, seconds)",
 		Base:        DefaultSpec(),
 	}
 	collSmoke.Base.Topology = Topology{Kind: "switch", Nodes: 4, ProcsPerNode: 1, Policy: "symmetric"}
 	collSmoke.Base.Traffic = Traffic{Pattern: "allreduce", Size: 1024, Messages: 5}
 	collSmoke.Grid = Grid{
 		Nodes:      []int{2, 4},
-		Algorithms: []string{"tree", "recursive-doubling", "ring"},
+		Algorithms: []string{"tree", "recursive-doubling", "ring", "rs-ag"},
 		Seeds:      []uint64{1, 2},
 	}
 
