@@ -3,9 +3,10 @@ GO ?= go
 # ci is the documented tier-1 gate: vet, build, the full test suite
 # under the race detector, one iteration of every benchmark (so the
 # benchmark-only files at the repo root are compiled AND executed), the
-# sweep determinism check, and a smoke run of every example binary.
+# goroutine-leak check, the sweep determinism check, and a smoke run of
+# every example binary.
 .PHONY: ci
-ci: vet build race bench sweep-check examples
+ci: vet build race bench leak-check sweep-check examples
 
 .PHONY: vet
 vet:
@@ -25,9 +26,20 @@ race:
 
 # bench runs every benchmark exactly once: a smoke pass, not a
 # measurement (use `go test -bench . -benchtime 10x .` for numbers).
+# The sweep includes BenchmarkTaskletSwitch and BenchmarkProcessSwitch,
+# the pair BENCH_sim.json tracks for the two execution tiers.
 .PHONY: bench
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# leak-check pins the engine-teardown contract: a sweep whose points
+# exhaust their virtual-time budget (rank threads and protocol actors
+# still parked) must return runtime.NumGoroutine to baseline — the
+# regression test for the parked-goroutine leak Engine.Shutdown fixes.
+.PHONY: leak-check
+leak-check:
+	$(GO) test ./internal/scenario -run 'TestSweepGoroutineLeak|TestRunShutdownAfterSuccess' -count=1
+	$(GO) test ./internal/sim -run TestShutdown -count=1
 
 # fuzz gives the go-back-N delivery property a short fuzzing budget.
 .PHONY: fuzz

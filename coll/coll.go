@@ -15,6 +15,12 @@ type World struct {
 	c     *cluster.Cluster
 	cfg   Config
 	ranks []*comm.Comm
+	// prog is the world's progression tasklet (created on the first
+	// nonblocking collective): it advances every outstanding Request's
+	// rounds as their operations complete, so collectives make progress
+	// while rank threads compute, without Test polling.
+	prog        *sim.Tasklet
+	outstanding []*Request
 }
 
 // WorldOption configures a World at construction.
@@ -42,6 +48,38 @@ func NewWorld(c *cluster.Cluster, opts ...WorldOption) *World {
 		o(w)
 	}
 	return w
+}
+
+// enqueueProgress hands a freshly started progressed Request to the
+// progression tasklet and subscribes the tasklet to the round already in
+// flight. The unconditional Wake covers operations that completed before
+// the subscription (the round was posted on the rank's thread, whose
+// posting costs let helper threads run ahead): Subscribe registers
+// nothing for those, so the first pump must not depend on a wake from
+// them.
+func (w *World) enqueueProgress(rq *Request) {
+	if w.prog == nil {
+		w.prog = w.c.Engine.NewTasklet("coll-progress", w.progressStep)
+	}
+	w.outstanding = append(w.outstanding, rq)
+	rq.subscribe(w.prog)
+	w.prog.Wake()
+}
+
+// progressStep is the progression tasklet's body: pump every outstanding
+// Request, dropping the ones that completed. Spurious wakes (several
+// operations broadcasting before the tasklet runs) cost one scan.
+func (w *World) progressStep(tk *sim.Tasklet) {
+	live := w.outstanding[:0]
+	for _, rq := range w.outstanding {
+		if !rq.pump(tk) {
+			live = append(live, rq)
+		}
+	}
+	for i := len(live); i < len(w.outstanding); i++ {
+		w.outstanding[i] = nil
+	}
+	w.outstanding = live
 }
 
 // Size reports the number of ranks.

@@ -833,3 +833,85 @@ func TestRequestTestDoesNotAllocateWhilePending(t *testing.T) {
 		t.Errorf("Test allocated %.1f objects per pending poll, want 0", allocs)
 	}
 }
+
+// TestProgressionAdvancesWithoutPolling is the sharp assertion behind
+// retiring the software-progression caveat: a MULTI-round nonblocking
+// collective must fully complete under a long pure-compute phase the
+// rank never interrupts with Test. Only the world's progression tasklet
+// can have posted rounds 2..n, because nobody else ran collective code.
+func TestProgressionAdvancesWithoutPolling(t *testing.T) {
+	w := newWorld(4, 1, pushpull.PushPull)
+	size := w.Size()
+	out := make([][]byte, size)
+	w.Run(func(r *Rank) {
+		contrib := fill(r.ID(), 256)
+		// Ring allgather: size-1 sequenced rounds, each depending on the
+		// previous round's received block.
+		req := r.IAllGather(contrib, 256, WithAlgorithm(Ring))
+		if done, _, _ := req.Test(); done {
+			t.Errorf("rank %d: allgather done with no virtual time elapsed", r.ID())
+		}
+		// ~50 ms of virtual compute — orders of magnitude longer than the
+		// collective — with no Test calls at all.
+		r.Compute(10_000_000)
+		done, res, err := req.Test()
+		if err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+			return
+		}
+		if !done {
+			t.Errorf("rank %d: collective still in flight after 50 ms of compute — progression is not advancing rounds", r.ID())
+			res, err = req.Wait() // complete anyway to check data
+			if err != nil {
+				t.Errorf("rank %d: %v", r.ID(), err)
+				return
+			}
+		}
+		out[r.ID()] = res
+	})
+	for rank := 0; rank < size; rank++ {
+		for from := 0; from < size; from++ {
+			want := fill(from, 256)
+			if !bytes.Equal(out[rank][from*256:(from+1)*256], want) {
+				t.Fatalf("rank %d: block %d corrupted", rank, from)
+			}
+		}
+	}
+}
+
+// TestProgressionSeveralOutstanding: two nonblocking collectives in
+// flight at once, both driven by the one progression tasklet, complete
+// independently and correctly.
+func TestProgressionSeveralOutstanding(t *testing.T) {
+	w := newWorld(4, 1, pushpull.PushPull)
+	size := w.Size()
+	sums := make([]int64, size)
+	gathers := make([][]byte, size)
+	w.Run(func(r *Rank) {
+		a := r.IAllReduce(FromInt64s([]int64{int64(r.ID() + 1)}), SumInt64)
+		b := r.IAllGather(fill(r.ID(), 64), 64, WithAlgorithm(Ring))
+		r.Compute(10_000_000)
+		res, err := a.Wait()
+		if err != nil {
+			t.Errorf("rank %d allreduce: %v", r.ID(), err)
+			return
+		}
+		sums[r.ID()] = Int64s(res)[0]
+		cat, err := b.Wait()
+		if err != nil {
+			t.Errorf("rank %d allgather: %v", r.ID(), err)
+			return
+		}
+		gathers[r.ID()] = cat
+	})
+	for rank := 0; rank < size; rank++ {
+		if sums[rank] != 10 {
+			t.Errorf("rank %d: sum %d, want 10", rank, sums[rank])
+		}
+		for from := 0; from < size; from++ {
+			if !bytes.Equal(gathers[rank][from*64:(from+1)*64], fill(from, 64)) {
+				t.Errorf("rank %d: gather block %d corrupted", rank, from)
+			}
+		}
+	}
+}

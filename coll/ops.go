@@ -46,9 +46,22 @@ func (r *Rank) collSendRecv(tag, to int, data []byte, from, n int) []byte {
 	return r.SendRecv(to, data, from, n, comm.WithTag(tag))
 }
 
+// The i* variants start a collective and return its plain Request: the
+// caller drives it (Wait advances rounds in-line). The public I*
+// wrappers hand the Request to the World's progression tasklet instead,
+// so it advances without the application's involvement. The blocking
+// collectives use the plain variants — their immediate Wait IS the
+// driver, and keeping them off the progression path keeps their event
+// schedule (and so scenario digests) identical to a world that never
+// runs a nonblocking collective.
+
 // IBarrier starts a nonblocking barrier: its Request completes once
 // every rank has entered the barrier.
 func (r *Rank) IBarrier(opts ...Opt) *Request {
+	return r.progressed(r.iBarrier(opts...))
+}
+
+func (r *Rank) iBarrier(opts ...Opt) *Request {
 	if r.algorithm(OpBarrier, opts) == Tree {
 		return r.start(r.barrierTree())
 	}
@@ -57,7 +70,7 @@ func (r *Rank) IBarrier(opts ...Opt) *Request {
 
 // Barrier blocks until every rank has entered it.
 func (r *Rank) Barrier(opts ...Opt) {
-	r.wait("barrier", r.IBarrier(opts...))
+	r.wait("barrier", r.iBarrier(opts...))
 }
 
 // IBcast starts a nonblocking broadcast of root's data; the Request's
@@ -65,6 +78,10 @@ func (r *Rank) Barrier(opts ...Opt) {
 // rank must pass the same n, the message length; non-root ranks may
 // pass nil data.
 func (r *Rank) IBcast(root int, data []byte, n int, opts ...Opt) *Request {
+	return r.progressed(r.iBcast(root, data, n, opts...))
+}
+
+func (r *Rank) iBcast(root int, data []byte, n int, opts ...Opt) *Request {
 	r.checkRoot("bcast", root)
 	if r.id == root && len(data) != n {
 		panic(fmt.Sprintf("coll: bcast root has %d bytes, promised %d", len(data), n))
@@ -82,13 +99,17 @@ func (r *Rank) IBcast(root int, data []byte, n int, opts ...Opt) *Request {
 // Bcast distributes root's data to every rank and returns the received
 // copy (root returns data itself).
 func (r *Rank) Bcast(root int, data []byte, n int, opts ...Opt) []byte {
-	return r.wait("bcast", r.IBcast(root, data, n, opts...))
+	return r.wait("bcast", r.iBcast(root, data, n, opts...))
 }
 
 // IReduce starts a nonblocking reduction of every rank's data with op;
 // the Request's result lands on root (other ranks complete with nil).
 // All contributions must have the same length.
 func (r *Rank) IReduce(root int, data []byte, op Op, opts ...Opt) *Request {
+	return r.progressed(r.iReduce(root, data, op, opts...))
+}
+
+func (r *Rank) iReduce(root int, data []byte, op Op, opts ...Opt) *Request {
 	r.checkRoot("reduce", root)
 	if r.algorithm(OpReduce, opts) == Ring {
 		return r.start(r.reduceRing(root, data, op))
@@ -99,12 +120,16 @@ func (r *Rank) IReduce(root int, data []byte, op Op, opts ...Opt) *Request {
 // Reduce combines every rank's data with op; the result lands on root
 // (other ranks return nil).
 func (r *Rank) Reduce(root int, data []byte, op Op, opts ...Opt) []byte {
-	return r.wait("reduce", r.IReduce(root, data, op, opts...))
+	return r.wait("reduce", r.iReduce(root, data, op, opts...))
 }
 
 // IAllReduce starts a nonblocking allreduce; every rank's Request
 // completes with the combined result.
 func (r *Rank) IAllReduce(data []byte, op Op, opts ...Opt) *Request {
+	return r.progressed(r.iAllReduce(data, op, opts...))
+}
+
+func (r *Rank) iAllReduce(data []byte, op Op, opts ...Opt) *Request {
 	switch r.algorithm(OpAllReduce, opts) {
 	case RecursiveDoubling:
 		return r.start(r.allReduceRD(data, op))
@@ -125,13 +150,17 @@ func (r *Rank) IAllReduce(data []byte, op Op, opts ...Opt) *Request {
 // AllReduce combines every rank's data with op and returns the result
 // on every rank.
 func (r *Rank) AllReduce(data []byte, op Op, opts ...Opt) []byte {
-	return r.wait("allreduce", r.IAllReduce(data, op, opts...))
+	return r.wait("allreduce", r.iAllReduce(data, op, opts...))
 }
 
 // IAllGather starts a nonblocking allgather of every rank's n-byte
 // contribution; the Request's result is the rank-major concatenation
 // (rank i's block at [i*n : (i+1)*n]). AllGather splits it.
 func (r *Rank) IAllGather(data []byte, n int, opts ...Opt) *Request {
+	return r.progressed(r.iAllGather(data, n, opts...))
+}
+
+func (r *Rank) iAllGather(data []byte, n int, opts ...Opt) *Request {
 	if len(data) != n {
 		panic(fmt.Sprintf("coll: allgather contribution has %d bytes, promised %d", len(data), n))
 	}
@@ -144,7 +173,7 @@ func (r *Rank) IAllGather(data []byte, n int, opts ...Opt) *Request {
 // AllGather collects every rank's n-byte contribution on every rank,
 // indexed by rank.
 func (r *Rank) AllGather(data []byte, n int, opts ...Opt) [][]byte {
-	concat := r.wait("allgather", r.IAllGather(data, n, opts...))
+	concat := r.wait("allgather", r.iAllGather(data, n, opts...))
 	size := r.Size()
 	out := make([][]byte, size)
 	for i := 0; i < size; i++ {

@@ -1,6 +1,11 @@
 package coll
 
-import "pushpull/comm"
+import (
+	"fmt"
+
+	"pushpull/comm"
+	"pushpull/internal/sim"
+)
 
 // ReservedTag is the base of the tag space collective rounds travel
 // under: the k-th collective a rank starts uses tag ReservedTag+k.
@@ -102,6 +107,11 @@ func then(a stepper, makeB func(res []byte) stepper) stepper {
 // by the nonblocking collectives. Complete it with Wait (blocking) or
 // poll it with Test; completing more than once returns the same
 // outcome. All methods must be called from the owning rank's thread.
+//
+// Requests returned by the public I* calls are driven by their World's
+// progression tasklet: as each round's operations complete, the tasklet
+// posts the next round, so multi-round collectives keep moving while the
+// application computes — no Test polling required.
 type Request struct {
 	r      *Rank
 	step   stepper
@@ -111,6 +121,24 @@ type Request struct {
 	result []byte
 	err    error
 	done   bool
+	// progressed marks a Request owned by the World's progression
+	// tasklet; doneC is its completion broadcast, which Wait parks on.
+	progressed bool
+	doneC      *sim.Cond
+}
+
+// progressed hands a freshly started Request to the World's progression
+// tasklet, which advances its rounds as their operations complete. The
+// first round was already posted (and charged) on the rank's thread;
+// subsequent rounds post asynchronously from the tasklet.
+func (r *Rank) progressed(rq *Request) *Request {
+	if rq.done {
+		return rq // completed at start (e.g. single-rank world): nothing to drive
+	}
+	rq.progressed = true
+	rq.doneC = sim.NewNamedCond(r.w.c.Engine, fmt.Sprintf("coll-done/r%d.t%d", r.id, rq.tag))
+	r.w.enqueueProgress(rq)
+	return rq
 }
 
 // start builds a Request on its own collective tag and posts the first
@@ -123,7 +151,10 @@ func (r *Rank) start(st stepper) *Request {
 
 // advance feeds the previous round's receives to the stepper and posts
 // the next non-empty round (empty rounds — ranks idle in a phase — are
-// skipped immediately).
+// skipped immediately). A progressed Request posts through the async
+// variants — advance then runs on the progression tasklet, where there
+// is no rank thread to charge, so the posting cost lands on the helper
+// threads instead.
 func (rq *Request) advance(got [][]byte) {
 	for {
 		rd, res, done := rq.step(got)
@@ -139,13 +170,83 @@ func (rq *Request) advance(got [][]byte) {
 		rq.sends = rq.sends[:0]
 		rq.recvs = rq.recvs[:0]
 		for _, m := range rd.sends {
-			rq.sends = append(rq.sends, rq.r.cm.Isend(rq.r.t, rq.r.peer(m.to), m.data, comm.WithTag(rq.tag)))
+			var op *comm.Op
+			if rq.progressed {
+				op = rq.r.cm.IsendAsync(rq.r.peer(m.to), m.data, comm.WithTag(rq.tag))
+			} else {
+				op = rq.r.cm.Isend(rq.r.t, rq.r.peer(m.to), m.data, comm.WithTag(rq.tag))
+			}
+			rq.sends = append(rq.sends, op)
 		}
 		for _, v := range rd.recvs {
-			rq.recvs = append(rq.recvs, rq.r.cm.Irecv(rq.r.t, rq.r.peer(v.from), v.n, comm.WithTag(rq.tag)))
+			var op *comm.Op
+			if rq.progressed {
+				op = rq.r.cm.IrecvAsync(rq.r.peer(v.from), v.n, comm.WithTag(rq.tag))
+			} else {
+				op = rq.r.cm.Irecv(rq.r.t, rq.r.peer(v.from), v.n, comm.WithTag(rq.tag))
+			}
+			rq.recvs = append(rq.recvs, op)
 		}
 		return
 	}
+}
+
+// subscribe registers w for a wake when any still-pending operation of
+// the round in flight completes. Operation conds are broadcast-only, so
+// the registrations coexist with each other and with parked waiters.
+func (rq *Request) subscribe(w sim.Waiter) {
+	for _, op := range rq.sends {
+		op.Subscribe(w)
+	}
+	for _, op := range rq.recvs {
+		op.Subscribe(w)
+	}
+}
+
+// pump drives a progressed Request one step from the progression
+// tasklet: if the round in flight has fully completed, it posts the next
+// round and subscribes w to it. It reports true once the collective is
+// done (broadcasting doneC to release waiters), false while rounds
+// remain — in which case w stays subscribed to the pending operations
+// and will be woken again.
+func (rq *Request) pump(w sim.Waiter) bool {
+	if rq.done {
+		return true
+	}
+	for _, op := range rq.sends {
+		done, _, err := op.Test()
+		if err != nil {
+			rq.fail(err)
+			rq.doneC.Broadcast()
+			return true
+		}
+		if !done {
+			return false
+		}
+	}
+	for _, op := range rq.recvs {
+		done, _, err := op.Test()
+		if err != nil {
+			rq.fail(err)
+			rq.doneC.Broadcast()
+			return true
+		}
+		if !done {
+			return false
+		}
+	}
+	got := make([][]byte, len(rq.recvs))
+	for i, op := range rq.recvs {
+		_, data, _ := op.Test()
+		got[i] = data
+	}
+	rq.advance(got)
+	if rq.done {
+		rq.doneC.Broadcast()
+		return true
+	}
+	rq.subscribe(w)
+	return false
 }
 
 func (rq *Request) fail(err error) {
@@ -159,6 +260,15 @@ func (rq *Request) fail(err error) {
 // ranks for Reduce/AllReduce, the rank-major concatenation for
 // AllGather, nil for Barrier.
 func (rq *Request) Wait() ([]byte, error) {
+	if rq.progressed {
+		// The progression tasklet advances the rounds; just park on the
+		// completion broadcast.
+		for !rq.done {
+			rq.doneC.Wait(rq.r.t.P)
+			rq.r.t.Exec(rq.r.t.Node.Cfg.WakeLatency)
+		}
+		return rq.result, rq.err
+	}
 	for !rq.done {
 		got := make([][]byte, len(rq.recvs))
 		for i, op := range rq.recvs {
@@ -181,10 +291,17 @@ func (rq *Request) Wait() ([]byte, error) {
 }
 
 // Test reports whether the collective has completed, without blocking.
-// When the round in flight has completed, Test posts the next round —
-// this is the software progression point, so poll it inside long
-// compute phases to keep multi-round collectives moving.
+// Requests from the public I* calls advance in the background (the
+// World's progression tasklet posts each next round as the previous one
+// completes), so Test is a pure poll — calling it inside compute phases
+// is never needed for progress, only for checking.
 func (rq *Request) Test() (bool, []byte, error) {
+	if rq.progressed {
+		return rq.done, rq.result, rq.err
+	}
+	// A plain (internal, blocking-wrapper) Request has no progression
+	// tasklet: polling advances it, posting the next round when the one
+	// in flight has completed.
 	for !rq.done {
 		for _, op := range rq.sends {
 			done, _, err := op.Test()

@@ -167,6 +167,19 @@ func (c *Comm) Irecv(t *Thread, from ProcessID, maxLen int, opts ...Option) *Op 
 	return c.From(from).Irecv(t, maxLen, opts...)
 }
 
+// IsendAsync is Isend with no posting thread: the posting cost is
+// charged to the helper thread that runs the operation. It exists for
+// infrastructure that posts from engine context (the collective
+// progression tasklet); application code should use Isend.
+func (c *Comm) IsendAsync(to ProcessID, data []byte, opts ...Option) *Op {
+	return c.To(to).IsendAsync(data, opts...)
+}
+
+// IrecvAsync is Irecv with no posting thread (see IsendAsync).
+func (c *Comm) IrecvAsync(from ProcessID, maxLen int, opts ...Option) *Op {
+	return c.From(from).IrecvAsync(maxLen, opts...)
+}
+
 // Channel is one directed channel as seen from this process: outgoing
 // (Comm.To) or incoming (Comm.From). It owns a managed staging buffer
 // that grows by doubling and is reused across operations, mirroring a
@@ -270,5 +283,27 @@ func (ch *Channel) Irecv(t *Thread, maxLen int, opts ...Option) *Op {
 	}
 	cfg := resolve(opts)
 	return &Op{req: ch.c.ep.IrecvOpt(t, ch.peer, ch.addr(cfg, maxLen), maxLen,
+		pushpull.RecvOptions{Tag: cfg.tag})}
+}
+
+// IsendAsync starts a nonblocking send with no posting thread (see
+// Comm.IsendAsync).
+func (ch *Channel) IsendAsync(data []byte, opts ...Option) *Op {
+	if !ch.out {
+		return failedOp(fmt.Errorf("comm: send on incoming channel %v", ch.ID()))
+	}
+	cfg := resolve(opts)
+	return &Op{req: ch.c.ep.IsendAsyncOpt(ch.peer, ch.addr(cfg, len(data)), data,
+		pushpull.SendOptions{Tag: cfg.tag, BTP: cfg.btp})}
+}
+
+// IrecvAsync starts a nonblocking receive with no posting thread (see
+// Comm.IsendAsync).
+func (ch *Channel) IrecvAsync(maxLen int, opts ...Option) *Op {
+	if ch.out {
+		return failedOp(fmt.Errorf("comm: receive on outgoing channel %v", ch.ID()))
+	}
+	cfg := resolve(opts)
+	return &Op{req: ch.c.ep.IrecvAsyncOpt(ch.peer, ch.addr(cfg, maxLen), maxLen,
 		pushpull.RecvOptions{Tag: cfg.tag})}
 }

@@ -1,6 +1,9 @@
 package comm
 
-import "pushpull/internal/pushpull"
+import (
+	"pushpull/internal/pushpull"
+	"pushpull/internal/sim"
+)
 
 // Op is the one request type of the API: every nonblocking operation —
 // send or receive — returns an Op, completed with Wait (blocking),
@@ -33,6 +36,18 @@ func (op *Op) Test() (done bool, data []byte, err error) {
 		return true, nil, op.err
 	}
 	return op.req.Test()
+}
+
+// Subscribe registers w (a process or tasklet) for one wake when the
+// operation completes; it reports false, without registering, if the Op
+// is already complete (including an Op that failed before it started).
+// Infrastructure layered on comm (the collective progression tasklet in
+// package coll) uses it to sleep between rounds instead of polling Test.
+func (op *Op) Subscribe(w sim.Waiter) bool {
+	if op.err != nil {
+		return false
+	}
+	return op.req.Subscribe(w)
 }
 
 // Status reports the completed operation's matched envelope (source and

@@ -174,18 +174,17 @@ func main() {
 	})
 	overlapped := timeCollective(pushpull.PushPull, func(r *coll.Rank) {
 		req := r.IAllReduce(vec(r), coll.SumInt64)
-		// Poll between compute slices: each Test that finds the in-flight
-		// round complete posts the next one (software progression).
-		const slices = 20
-		for i := 0; i < slices; i++ {
-			r.Compute(computeCycles / slices)
-			req.Test()
-		}
+		// One uninterrupted compute phase: the world's progression
+		// tasklet posts each next round as the previous one completes,
+		// so the collective advances under the compute with no Test
+		// polling — the overlap measured here is the protocol's, not an
+		// artifact of how finely the application slices its loop.
+		r.Compute(computeCycles)
 		if _, err := req.Wait(); err != nil {
 			panic(err)
 		}
 	})
-	fmt.Printf("\ncompute‖allreduce overlap (push-pull): blocking %.1f µs/iter, IAllReduce+Compute(poll)+Wait %.1f µs/iter (%.0f%% saved)\n",
+	fmt.Printf("\ncompute‖allreduce overlap (push-pull): blocking %.1f µs/iter, IAllReduce+Compute+Wait %.1f µs/iter (%.0f%% saved)\n",
 		blocking.Microseconds(), overlapped.Microseconds(),
 		100*(1-overlapped.Microseconds()/blocking.Microseconds()))
 

@@ -229,6 +229,13 @@ func (c *Cluster) RunWithin(budget sim.Duration) (sim.Time, error) {
 	return end, nil
 }
 
+// Shutdown tears the simulation down once a run is over, unwinding every
+// still-parked process goroutine (rank threads at budget exhaustion, IRQ
+// handlers mid-copy) so a finished cluster holds no goroutines. The
+// cluster is unusable afterwards; call it last, and not at all if the
+// engine will run again.
+func (c *Cluster) Shutdown() { c.Engine.Shutdown() }
+
 // SetRecorder attaches one structured trace recorder to every stack (and
 // through them every NIC and go-back-N session) in the cluster.
 func (c *Cluster) SetRecorder(rec *trace.Recorder) {

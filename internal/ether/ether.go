@@ -83,9 +83,33 @@ type Medium interface {
 	// serialization (and, on shared media, contention) time, and delivers
 	// the frame to its destination after the propagation delay.
 	Transmit(p *sim.Process, from Port, f Frame)
+	// TransmitStep is the tasklet-tier Transmit: one resume of the same
+	// state machine, with cur carrying the resume point across parks.
+	// Call it with a zero TxCursor to start a transmission, and again on
+	// each wake until it reports true (frame fully serialized, delivery
+	// scheduled). A false return means the tasklet has either registered
+	// for a wake or armed a Sleep, and must simply return from its step.
+	TransmitStep(tk *sim.Tasklet, cur *TxCursor, from Port, f Frame) bool
 	// Config reports the medium's link technology.
 	Config() Config
 }
+
+// TxCursor is the resume state of one in-progress TransmitStep
+// transmission. The zero value starts a fresh transmission; the cursor is
+// opaque to callers and interpreted by the medium that owns the
+// transmission.
+type TxCursor struct {
+	pc        int8
+	contended bool // hub: medium was busy at first carrier sense
+}
+
+// TxCursor resume points shared by the Medium implementations.
+const (
+	txAcquire      = iota // first acquisition attempt (counts contention)
+	txReacquire           // wake-driven retry of the acquisition
+	txBackoffDone         // hub: jam+backoff slept, serialization next
+	txSerialized          // wire held for the serialization time; finish
+)
 
 // Link is a full-duplex point-to-point Fast Ethernet segment between two
 // ports. Each direction serializes independently (full duplex), so data
@@ -126,17 +150,48 @@ func (l *Link) FramesLost() uint64 { return l.lost }
 // delivers the frame to the far port after the propagation delay. from
 // identifies which end is transmitting.
 func (l *Link) Transmit(p *sim.Process, from Port, f Frame) {
-	var wire *sim.Resource
-	var dst Port
+	wire, dst := l.dir(from)
+	wire.Use(p, l.cfg.WireTime(f.PayloadBytes))
+	l.finish(dst, f)
+}
+
+// TransmitStep implements Medium for tasklet transmitters: acquire the
+// directional wire (parking on contention), hold it for the serialization
+// time, then release and deliver — the exact event sequence Transmit
+// produces for a process.
+func (l *Link) TransmitStep(tk *sim.Tasklet, cur *TxCursor, from Port, f Frame) bool {
+	wire, dst := l.dir(from)
+	switch cur.pc {
+	case txAcquire, txReacquire:
+		if !wire.PollAcquire(tk, cur.pc == txAcquire) {
+			cur.pc = txReacquire
+			return false
+		}
+		cur.pc = txSerialized
+		tk.Sleep(l.cfg.WireTime(f.PayloadBytes))
+		return false
+	default: // txSerialized
+		wire.Release()
+		l.finish(dst, f)
+		return true
+	}
+}
+
+// dir resolves the directional wire and far port for a transmission.
+func (l *Link) dir(from Port) (*sim.Resource, Port) {
 	switch from {
 	case l.a:
-		wire, dst = l.dirA, l.b
+		return l.dirA, l.b
 	case l.b:
-		wire, dst = l.dirB, l.a
+		return l.dirB, l.a
 	default:
 		panic(fmt.Sprintf("ether: transmit from foreign port on link %d<->%d", l.a.NodeID(), l.b.NodeID()))
 	}
-	wire.Use(p, l.cfg.WireTime(f.PayloadBytes))
+}
+
+// finish runs once the frame has fully serialized: count it, draw the
+// loss lottery, and schedule delivery after the propagation delay.
+func (l *Link) finish(dst Port, f Frame) {
 	l.sent++
 	if l.cfg.LossRate > 0 && l.e.Rand().Float64() < l.cfg.LossRate {
 		l.lost++

@@ -88,6 +88,46 @@ func (h *Hub) Transmit(p *sim.Process, from Port, f Frame) {
 	}
 	p.Sleep(h.cfg.WireTime(f.PayloadBytes))
 	h.medium.Release()
+	h.finish(f)
+}
+
+// TransmitStep implements Medium for tasklet transmitters. The carrier
+// sense, contention penalty, backoff RNG draw and serialization happen at
+// the same instants — and consume the same RNG and scheduling slots — as
+// the process-tier Transmit.
+func (h *Hub) TransmitStep(tk *sim.Tasklet, cur *TxCursor, from Port, f Frame) bool {
+	switch cur.pc {
+	case txAcquire, txReacquire:
+		if cur.pc == txAcquire {
+			cur.contended = h.medium.Held()
+		}
+		if !h.medium.PollAcquire(tk, cur.pc == txAcquire) {
+			cur.pc = txReacquire
+			return false
+		}
+		if cur.contended {
+			h.collisions++
+			cur.pc = txBackoffDone
+			tk.Sleep(h.slot + h.e.Rand().Duration(h.slot))
+			return false
+		}
+		cur.pc = txSerialized
+		tk.Sleep(h.cfg.WireTime(f.PayloadBytes))
+		return false
+	case txBackoffDone:
+		cur.pc = txSerialized
+		tk.Sleep(h.cfg.WireTime(f.PayloadBytes))
+		return false
+	default: // txSerialized
+		h.medium.Release()
+		h.finish(f)
+		return true
+	}
+}
+
+// finish counts the serialized frame, draws the loss lottery, and
+// schedules delivery to the claiming station.
+func (h *Hub) finish(f Frame) {
 	h.sent++
 	if h.cfg.LossRate > 0 && h.e.Rand().Float64() < h.cfg.LossRate {
 		h.lost++

@@ -31,12 +31,37 @@ func NewSwitch(e *sim.Engine, cfg Config, forwarding sim.Duration) *Switch {
 // Dropped reports frames lost to output-queue overflow.
 func (s *Switch) Dropped() uint64 { return s.dropped }
 
-// switchPort is the switch end of one attached link.
+// switchPort is the switch end of one attached link. Its transmitter is a
+// tasklet pump: fetching runs as a resumable state machine with fetching/
+// transmitting as the resume points, so draining a queued frame costs
+// inline event dispatches instead of goroutine handoffs.
 type switchPort struct {
 	sw     *Switch
 	nodeID int
 	link   *Link
 	outQ   *sim.Queue[Frame]
+
+	tk       *sim.Tasklet
+	sending  bool // resume point: false = fetch next frame, true = mid-transmit
+	frame    Frame
+	txCursor TxCursor
+}
+
+// pump drains the output queue onto the attached node's link.
+func (p *switchPort) pump(tk *sim.Tasklet) {
+	for {
+		if !p.sending {
+			f, ok := p.outQ.PollGet(tk)
+			if !ok {
+				return
+			}
+			p.frame, p.txCursor, p.sending = f, TxCursor{}, true
+		}
+		if !p.link.TransmitStep(tk, &p.txCursor, p, p.frame) {
+			return
+		}
+		p.sending, p.frame = false, Frame{}
+	}
 }
 
 // NodeID implements Port; the switch port answers for the attached node's
@@ -63,15 +88,13 @@ func (p *switchPort) DeliverFrame(f Frame) {
 // queue in frames (0 = unbounded).
 func (s *Switch) Attach(nodePort Port, outQueue int) *Link {
 	sp := &switchPort{sw: s, nodeID: nodePort.NodeID(), outQ: sim.NewQueue[Frame](s.e, outQueue)}
+	sp.outQ.SetName(fmt.Sprintf("switch-outq/%d", nodePort.NodeID()))
 	link := NewLink(s.e, s.cfg, nodePort, sp)
 	sp.link = link
 	s.ports[nodePort.NodeID()] = sp
-	// Per-port transmitter: drains the output queue onto the node's link.
-	s.e.Go(fmt.Sprintf("switch-tx/%d", nodePort.NodeID()), func(proc *sim.Process) {
-		for {
-			f := sp.outQ.Get(proc)
-			link.Transmit(proc, sp, f)
-		}
-	})
+	// Per-port transmitter pump: drains the output queue onto the node's
+	// link without a goroutine.
+	sp.tk = s.e.NewTasklet(fmt.Sprintf("switch-tx/%d", nodePort.NodeID()), sp.pump)
+	sp.tk.Start()
 	return link
 }

@@ -33,6 +33,18 @@ func (b *Bus) Occupy(p *sim.Process, d sim.Duration) {
 	b.res.Use(p, d)
 }
 
+// PollAcquire is the tasklet-tier bus acquisition: it takes the bus if it
+// is free, otherwise registers w for a wake and reports false. first must
+// be true only on the initial attempt of a logical acquisition (see
+// sim.Resource.PollAcquire). Pair a successful acquisition with Release
+// after the transfer duration has been slept.
+func (b *Bus) PollAcquire(w sim.Waiter, first bool) bool {
+	return b.res.PollAcquire(w, first)
+}
+
+// Release frees the bus after a PollAcquire-based transfer.
+func (b *Bus) Release() { b.res.Release() }
+
 // BusyTime reports cumulative bus occupancy, for utilization accounting.
 func (b *Bus) BusyTime() sim.Duration { return b.res.BusyTime() }
 

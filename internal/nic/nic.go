@@ -71,7 +71,10 @@ type TxRequest struct {
 	Preloaded bool
 }
 
-// NIC is one network interface attached to a node and a link.
+// NIC is one network interface attached to a node and a link. All three
+// of its actors — the transmit engine, the per-frame wire stage and the
+// receive DMA — run as engine tasklets: resumable state machines
+// dispatched inline, with no goroutine per pump or per frame.
 type NIC struct {
 	node *smp.Node
 	cfg  Config
@@ -82,6 +85,14 @@ type NIC struct {
 	// Rec, when set, receives nic-tx / nic-rx / nic-drop trace events.
 	Rec *trace.Recorder
 
+	// Transmit-engine pump state (resume point + frame in hand).
+	txTk  *sim.Tasklet
+	txPC  int8
+	txReq TxRequest
+	// Recycled one-shot tasklets for the wire and receive stages.
+	wirePool []*wireTx
+	rxPool   []*rxJob
+
 	rxInFlight int
 	txFrames   uint64
 	txBytes    uint64
@@ -89,12 +100,22 @@ type NIC struct {
 	rxDropped  uint64
 }
 
+// Transmit-engine resume points.
+const (
+	nicTxFetch   = iota // fetch the next FIFO entry (parks on empty ring)
+	nicTxSetup          // TxSetup elapsed: start the host DMA or go to wire
+	nicTxBusWait        // wake-driven retry of the bus acquisition
+	nicTxDMADone        // DMA hold elapsed: release the bus, go to wire
+)
+
 // New creates a NIC on node n. Attach a link with AttachLink before
 // sending.
 func New(n *smp.Node, cfg Config) *NIC {
 	nc := &NIC{node: n, cfg: cfg}
 	nc.txQ = sim.NewQueue[TxRequest](n.Engine, cfg.TxRingFrames)
-	n.Engine.Go(fmt.Sprintf("nic-tx/n%d", n.ID), nc.txLoop)
+	nc.txQ.SetName(fmt.Sprintf("nic-txq/n%d", n.ID))
+	nc.txTk = n.Engine.NewTasklet(fmt.Sprintf("nic-tx/n%d", n.ID), nc.txPump)
+	nc.txTk.Start()
 	return nc
 }
 
@@ -136,6 +157,13 @@ func (nc *NIC) Send(p *sim.Process, req TxRequest) {
 	nc.txQ.Put(p, req)
 }
 
+// SendPoll is the tasklet-tier Send: it queues the frame if the outgoing
+// FIFO has room; otherwise it registers w for a ring-space wake and
+// reports false, and the caller must retry the same request when woken.
+func (nc *NIC) SendPoll(w sim.Waiter, req TxRequest) bool {
+	return nc.txQ.PollPut(w, req)
+}
+
 // TriggerCost reports the cost of the user-level doorbell write.
 func (nc *NIC) TriggerCost() sim.Duration { return nc.cfg.TriggerUser }
 
@@ -143,32 +171,96 @@ func (nc *NIC) TriggerCost() sim.Duration { return nc.cfg.TriggerUser }
 // transmission is initiated from kernel context.
 func (nc *NIC) KernelTriggerCost() sim.Duration { return nc.cfg.TriggerKernel }
 
-// txLoop is the card's transmit engine: it drains the outgoing FIFO and
+// txPump is the card's transmit engine: it drains the outgoing FIFO and
 // DMAs payloads from host memory when they are not preloaded. Wire
 // serialization happens on a separate stage so the engine can fetch the
 // next frame while the current one is still on the wire — the link's FIFO
 // resource keeps frames in order, and the wire (not the DMA engine) is
 // the steady-state bottleneck, as on the real card.
-func (nc *NIC) txLoop(p *sim.Process) {
+//
+// The pump is a persistent tasklet: each wake resumes at txPC, and every
+// park (empty ring, bus contention, timed DMA hold) is a registration or
+// sleep followed by a plain return.
+func (nc *NIC) txPump(tk *sim.Tasklet) {
 	for {
-		req := nc.txQ.Get(p)
-		p.Sleep(nc.cfg.TxSetup)
-		if !req.Preloaded {
+		switch nc.txPC {
+		case nicTxFetch:
+			req, ok := nc.txQ.PollGet(tk)
+			if !ok {
+				return
+			}
+			nc.txReq = req
+			nc.txPC = nicTxSetup
+			tk.Sleep(nc.cfg.TxSetup)
+			return
+		case nicTxSetup:
+			if nc.txReq.Preloaded {
+				nc.launchWire()
+				nc.txPC = nicTxFetch
+				continue
+			}
 			// DMA the payload across the host bus into the FIFO.
-			d := dmaTime(req.Frame.PayloadBytes, nc.cfg.DMABytesPerSec)
-			nc.node.Bus.Occupy(p, d)
+			if !nc.node.Bus.PollAcquire(tk, true) {
+				nc.txPC = nicTxBusWait
+				return
+			}
+			nc.txPC = nicTxDMADone
+			tk.Sleep(dmaTime(nc.txReq.Frame.PayloadBytes, nc.cfg.DMABytesPerSec))
+			return
+		case nicTxBusWait:
+			if !nc.node.Bus.PollAcquire(tk, false) {
+				return
+			}
+			nc.txPC = nicTxDMADone
+			tk.Sleep(dmaTime(nc.txReq.Frame.PayloadBytes, nc.cfg.DMABytesPerSec))
+			return
+		case nicTxDMADone:
+			nc.node.Bus.Release()
+			nc.launchWire()
+			nc.txPC = nicTxFetch
 		}
-		if nc.link == nil {
-			panic(fmt.Sprintf("nic: node %d transmitting with no link attached", nc.node.ID))
-		}
-		frame := req.Frame
-		nc.node.Engine.Go(fmt.Sprintf("nic-wire/n%d", nc.node.ID), func(tx *sim.Process) {
-			nc.link.Transmit(tx, nc, frame)
-			nc.txFrames++
-			nc.txBytes += uint64(frame.PayloadBytes)
-			nc.Rec.Recordf(tx.Now(), nc.node.ID, trace.KindNICTx, "frame %d->%d %dB on wire", frame.Src, frame.Dst, frame.PayloadBytes)
-		})
 	}
+}
+
+// launchWire hands the frame in hand to a one-shot wire-stage tasklet,
+// recycled through a pool so steady-state transmission allocates nothing.
+func (nc *NIC) launchWire() {
+	if nc.link == nil {
+		panic(fmt.Sprintf("nic: node %d transmitting with no link attached", nc.node.ID))
+	}
+	var w *wireTx
+	if n := len(nc.wirePool); n > 0 {
+		w = nc.wirePool[n-1]
+		nc.wirePool = nc.wirePool[:n-1]
+	} else {
+		w = &wireTx{nc: nc}
+		w.tk = nc.node.Engine.NewTasklet(fmt.Sprintf("nic-wire/n%d", nc.node.ID), w.step)
+	}
+	w.frame = nc.txReq.Frame
+	w.cur = ether.TxCursor{}
+	nc.txReq = TxRequest{}
+	w.tk.Start()
+}
+
+// wireTx serializes one frame onto the medium: a one-shot tasklet whose
+// resume state lives in the medium's TxCursor.
+type wireTx struct {
+	nc    *NIC
+	tk    *sim.Tasklet
+	frame ether.Frame
+	cur   ether.TxCursor
+}
+
+func (w *wireTx) step(tk *sim.Tasklet) {
+	nc := w.nc
+	if !nc.link.TransmitStep(tk, &w.cur, nc, w.frame) {
+		return
+	}
+	nc.txFrames++
+	nc.txBytes += uint64(w.frame.PayloadBytes)
+	nc.Rec.Recordf(tk.Now(), nc.node.ID, trace.KindNICTx, "frame %d->%d %dB on wire", w.frame.Src, w.frame.Dst, w.frame.PayloadBytes)
+	w.frame = ether.Frame{}
+	nc.wirePool = append(nc.wirePool, w)
 }
 
 // DeliverFrame implements ether.Port: the last bit of a frame has arrived
@@ -180,13 +272,46 @@ func (nc *NIC) DeliverFrame(f ether.Frame) {
 		return
 	}
 	nc.rxInFlight++
-	e := nc.node.Engine
-	// Receive-side DMA into the host ring, then handler invocation.
-	e.Go(fmt.Sprintf("nic-rx/n%d", nc.node.ID), func(p *sim.Process) {
-		d := nc.cfg.RxSetup + dmaTime(f.PayloadBytes, nc.cfg.DMABytesPerSec)
-		nc.node.Bus.Occupy(p, d)
+	// Receive-side DMA into the host ring, then handler invocation: a
+	// one-shot tasklet per frame, recycled through a pool.
+	var j *rxJob
+	if n := len(nc.rxPool); n > 0 {
+		j = nc.rxPool[n-1]
+		nc.rxPool = nc.rxPool[:n-1]
+	} else {
+		j = &rxJob{nc: nc}
+		j.tk = nc.node.Engine.NewTasklet(fmt.Sprintf("nic-rx/n%d", nc.node.ID), j.step)
+	}
+	j.frame = f
+	j.tk.Start()
+}
+
+// rxJob DMAs one received frame into the host ring and raises the
+// handler interrupt.
+type rxJob struct {
+	nc    *NIC
+	tk    *sim.Tasklet
+	frame ether.Frame
+	pc    int8 // 0 = first bus attempt, 1 = retry, 2 = DMA hold elapsed
+}
+
+func (j *rxJob) step(tk *sim.Tasklet) {
+	nc := j.nc
+	switch j.pc {
+	case 0, 1:
+		if !nc.node.Bus.PollAcquire(tk, j.pc == 0) {
+			j.pc = 1
+			return
+		}
+		j.pc = 2
+		tk.Sleep(nc.cfg.RxSetup + dmaTime(j.frame.PayloadBytes, nc.cfg.DMABytesPerSec))
+	case 2:
+		nc.node.Bus.Release()
 		nc.rxFrames++
-		nc.Rec.Recordf(p.Now(), nc.node.ID, trace.KindNICRx, "frame %d->%d %dB in host ring", f.Src, f.Dst, f.PayloadBytes)
+		nc.Rec.Recordf(tk.Now(), nc.node.ID, trace.KindNICRx, "frame %d->%d %dB in host ring", j.frame.Src, j.frame.Dst, j.frame.PayloadBytes)
+		f := j.frame
+		j.frame, j.pc = ether.Frame{}, 0
+		nc.rxPool = append(nc.rxPool, j)
 		nc.node.IRQ.Raise("nic-rx", func(t *smp.Thread) {
 			t.Exec(nc.cfg.RxProcess)
 			nc.rxInFlight--
@@ -194,7 +319,7 @@ func (nc *NIC) DeliverFrame(f ether.Frame) {
 				nc.onRx(t, f)
 			}
 		})
-	})
+	}
 }
 
 func dmaTime(n int, rate int64) sim.Duration {

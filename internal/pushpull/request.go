@@ -66,6 +66,33 @@ func (ep *Endpoint) IrecvOpt(t *smp.Thread, from ProcessID, addr vm.VirtAddr, bu
 	return req
 }
 
+// IsendAsyncOpt is IsendOpt with no posting thread: the whole operation,
+// including the posting cost, runs on the helper thread. It exists for
+// infrastructure that posts operations from engine context (the
+// collective progression tasklet); application code, which always has a
+// calling thread, should use IsendOpt so the posting cost lands on the
+// caller.
+func (ep *Endpoint) IsendAsyncOpt(to ProcessID, addr vm.VirtAddr, data []byte, o SendOptions) *Request {
+	req := &Request{done: sim.NewCond(ep.stack.Node.Engine)}
+	ep.stack.Node.Spawn(fmt.Sprintf("isend/%v", ep.ID), ep.CPU, func(ht *smp.Thread) {
+		ht.Exec(ep.stack.Node.Cfg.CallOverhead)
+		err := ep.SendOpt(ht, to, addr, data, o)
+		req.finish(nil, Status{Source: ep.ID, Tag: o.Tag, Valid: true}, err)
+	})
+	return req
+}
+
+// IrecvAsyncOpt is IrecvOpt with no posting thread (see IsendAsyncOpt).
+func (ep *Endpoint) IrecvAsyncOpt(from ProcessID, addr vm.VirtAddr, bufLen int, o RecvOptions) *Request {
+	req := &Request{done: sim.NewCond(ep.stack.Node.Engine)}
+	ep.stack.Node.Spawn(fmt.Sprintf("irecv/%v", ep.ID), ep.CPU, func(ht *smp.Thread) {
+		ht.Exec(ep.stack.Node.Cfg.CallOverhead)
+		b, st, err := ep.RecvOpt(ht, from, addr, bufLen, o)
+		req.finish(b, st, err)
+	})
+	return req
+}
+
 // finish records the outcome and wakes every waiter. A failed
 // operation's Status is normalized to the error form (Valid false, Err
 // set) whatever the caller passed.
@@ -88,6 +115,19 @@ func (req *Request) Wait(t *smp.Thread) ([]byte, error) {
 		t.Exec(t.Node.Cfg.WakeLatency)
 	}
 	return req.data, req.err
+}
+
+// Subscribe registers w (a process or tasklet) for one wake when the
+// operation completes; it reports false, without registering, if the
+// operation is already complete. The completion cond is broadcast, never
+// signalled, so a subscription can coexist with other subscribers and
+// with threads parked in Wait.
+func (req *Request) Subscribe(w sim.Waiter) bool {
+	if req.complete {
+		return false
+	}
+	req.done.Await(w)
+	return true
 }
 
 // Test reports whether the operation has completed, without blocking.

@@ -212,6 +212,44 @@ type chanRail struct {
 	nic  *nic.NIC
 	snd  [numLanes]*gbn.Sender
 	rcv  [numLanes]*gbn.Receiver
+	// txPool recycles the one-shot enqueue tasklets that hand frames to
+	// the NIC (the former tx/ and tx-ack/ helper processes).
+	txPool []*txJob
+}
+
+// txJob enqueues one frame into the rail's NIC FIFO: a one-shot tasklet
+// that parks on ring space instead of blocking a goroutine.
+type txJob struct {
+	rail *chanRail
+	tk   *sim.Tasklet
+	req  nic.TxRequest
+}
+
+func (j *txJob) step(tk *sim.Tasklet) {
+	if !j.rail.nic.SendPoll(tk, j.req) {
+		return
+	}
+	j.req = nic.TxRequest{}
+	j.rail.txPool = append(j.rail.txPool, j)
+}
+
+// launchTx starts a pooled enqueue tasklet for req. Like the helper
+// process it replaces, it never blocks the caller — transmit runs in
+// handler and timer context — and enqueue order follows launch order
+// because the engine's dispatch ring and the FIFO's waiter list are both
+// FIFO.
+func (r *chanRail) launchTx(req nic.TxRequest) {
+	var j *txJob
+	if n := len(r.txPool); n > 0 {
+		j = r.txPool[n-1]
+		r.txPool = r.txPool[:n-1]
+	} else {
+		s := r.sess.stack
+		j = &txJob{rail: r}
+		j.tk = s.Node.Engine.NewTasklet(fmt.Sprintf("tx/n%d->n%d.r%d", s.Node.ID, r.sess.peer, r.idx), j.step)
+	}
+	j.req = req
+	j.tk.Start()
 }
 
 // outSession returns (creating if needed) the sending-side session of
@@ -276,7 +314,7 @@ func (ps *chanSession) send(l lane, bytes int, data any) {
 // transmit hands a go-back-N packet to this rail's NIC, addressed to the
 // given lane. It must not block the caller (it may run in handler or
 // timer context), so the enqueue — which can wait for outgoing-FIFO
-// space — happens on a helper process.
+// space — happens on a one-shot tasklet.
 func (r *chanRail) transmit(l lane, pkt gbn.Packet) {
 	preloaded := false
 	switch d := pkt.Data.(type) {
@@ -292,9 +330,7 @@ func (r *chanRail) transmit(l lane, pkt gbn.Packet) {
 		PayloadBytes: pkt.Bytes,
 		Payload:      wireMsg{ch: r.sess.ch, lane: l, pkt: pkt},
 	}
-	s.Node.Engine.Go(fmt.Sprintf("tx/n%d->n%d.r%d", s.Node.ID, r.sess.peer, r.idx), func(p *sim.Process) {
-		r.nic.Send(p, nic.TxRequest{Frame: frame, Preloaded: preloaded})
-	})
+	r.launchTx(nic.TxRequest{Frame: frame, Preloaded: preloaded})
 }
 
 // transmitAck sends a raw cumulative link acknowledgement for one lane
@@ -308,9 +344,7 @@ func (r *chanRail) transmitAck(l lane, ack uint32) {
 		PayloadBytes: linkAckMsg{}.wireBytes(),
 		Payload:      wireMsg{ch: r.sess.ch, lane: l, isAck: true, ack: linkAckMsg{ack: ack}},
 	}
-	s.Node.Engine.Go(fmt.Sprintf("tx-ack/n%d->n%d.r%d", s.Node.ID, r.sess.peer, r.idx), func(p *sim.Process) {
-		r.nic.Send(p, nic.TxRequest{Frame: frame, Preloaded: true})
-	})
+	r.launchTx(nic.TxRequest{Frame: frame, Preloaded: true})
 }
 
 // deliverFrag is the eager and pull lanes' go-back-N upward delivery: an

@@ -79,6 +79,11 @@ func IsBudgetError(err error) bool { return errors.Is(err, ErrVirtualBudget) }
 // returns an ErrVirtualBudget-wrapping error if the budget expired with
 // events still pending (see Spec.MaxVirtualMS); the caller's own
 // completion checks add pattern context.
+//
+// Either way the cluster is shut down before returning: a budget-
+// exhausted run leaves rank threads and protocol helpers parked, and
+// without the teardown each one would leak its goroutine for the life of
+// the sweep.
 func runSim(c *cluster.Cluster, s Spec) error {
 	budget := s.MaxVirtualMS
 	if budget <= 0 {
@@ -86,9 +91,11 @@ func runSim(c *cluster.Cluster, s Spec) error {
 	}
 	limit := sim.Time(0).Add(sim.Duration(budget * float64(sim.Millisecond)))
 	c.Engine.RunUntil(limit)
-	if c.Engine.Pending() > 0 {
+	pending := c.Engine.Pending()
+	c.Shutdown()
+	if pending > 0 {
 		return fmt.Errorf("scenario: %w: %g ms elapsed with %d events still pending — protocol deadlock or retransmission livelock",
-			ErrVirtualBudget, budget, c.Engine.Pending())
+			ErrVirtualBudget, budget, pending)
 	}
 	return nil
 }

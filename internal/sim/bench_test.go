@@ -82,3 +82,27 @@ func BenchmarkTimerArmCancel(b *testing.B) {
 		b.Fatalf("Pending() = %d after drain, want 0", pending)
 	}
 }
+
+// BenchmarkTaskletSwitch is BenchmarkProcessSwitch's counterpart on the
+// inline tier: two tasklets alternately yielding (Sleep(0)), the resume
+// shape of every converted protocol pump. The gap between the two
+// numbers is the goroutine context switch the tasklet tier eliminates.
+func BenchmarkTaskletSwitch(b *testing.B) {
+	e := NewEngine(1)
+	mk := func(name string) *Tasklet {
+		n := 0
+		var tk *Tasklet
+		tk = e.NewTasklet(name, func(*Tasklet) {
+			if n < b.N {
+				n++
+				tk.Sleep(0)
+			}
+		})
+		return tk
+	}
+	mk("a").Start()
+	mk("b").Start()
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,24 +1,42 @@
 package sim
 
-// Cond is a condition variable for simulation processes. Waiters are woken
-// in FIFO order, which keeps simulations deterministic.
+// Cond is a condition variable for simulation processes and tasklets.
+// Waiters are woken in FIFO order regardless of tier, which keeps
+// simulations deterministic.
 //
 // Unlike sync.Cond there is no associated lock: the simulation's one-at-a-
 // time execution model means state examined before Wait cannot change until
-// the process parks.
+// the waiter parks.
 type Cond struct {
 	e       *Engine
-	waiters []*Process
+	name    string
+	waiters []Waiter
 }
 
 // NewCond returns a condition variable bound to engine e.
 func NewCond(e *Engine) *Cond { return &Cond{e: e} }
 
+// NewNamedCond is NewCond with a name that appears in wake diagnostics
+// ("process X was parked on cond Y").
+func NewNamedCond(e *Engine, name string) *Cond { return &Cond{e: e, name: name} }
+
+// Name reports the cond's diagnostic name ("" if unnamed).
+func (c *Cond) Name() string { return c.name }
+
+// Await registers w at the tail of the waiter list without parking: the
+// next Signal (or Broadcast) reaching that position wakes w. This is the
+// tasklet-tier entry point — tasklets cannot block, so they register and
+// return from their step instead. The caller must not register the same
+// waiter twice before it is woken.
+func (c *Cond) Await(w Waiter) {
+	w.parkOn(c)
+	c.waiters = append(c.waiters, w)
+}
+
 // Wait parks the calling process until another event calls Signal or
 // Broadcast.
 func (c *Cond) Wait(p *Process) {
-	p.waiting = true
-	c.waiters = append(c.waiters, p)
+	c.Await(p)
 	p.park()
 }
 
@@ -30,26 +48,26 @@ func (c *Cond) WaitFor(p *Process, pred func() bool) {
 	}
 }
 
-// Signal wakes the longest-waiting process, if any. It reports whether a
-// process was woken.
+// Signal wakes the longest-waiting waiter, if any. It reports whether a
+// waiter was woken.
 func (c *Cond) Signal() bool {
 	if len(c.waiters) == 0 {
 		return false
 	}
-	p := c.waiters[0]
+	w := c.waiters[0]
 	copy(c.waiters, c.waiters[1:])
 	c.waiters = c.waiters[:len(c.waiters)-1]
-	p.wake()
+	w.wake()
 	return true
 }
 
-// Broadcast wakes every waiting process, in FIFO order.
+// Broadcast wakes every waiting waiter, in FIFO order.
 func (c *Cond) Broadcast() {
-	for _, p := range c.waiters {
-		p.wake()
+	for _, w := range c.waiters {
+		w.wake()
 	}
 	c.waiters = c.waiters[:0]
 }
 
-// Waiting reports the number of parked processes.
+// Waiting reports the number of registered waiters.
 func (c *Cond) Waiting() int { return len(c.waiters) }

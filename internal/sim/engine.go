@@ -83,7 +83,11 @@ type Engine struct {
 	stopped bool
 	rng     *Rand
 
-	nproc     int // live (not yet finished) processes
+	nproc int        // live (not yet finished) processes
+	procs []*Process // registry of live processes, for Shutdown
+	// dying flips while Shutdown unwinds parked processes: park resumes
+	// into a poison panic instead of returning to the model.
+	dying     bool
 	fault     any // panic captured from a process, re-raised in Run
 	executed  uint64
 	nameCount map[string]int
@@ -237,6 +241,79 @@ func (e *Engine) RunUntil(limit Time) Time {
 
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.events) + (len(e.dq) - e.dqHead) }
+
+// Live reports the number of live (started or pending) processes.
+func (e *Engine) Live() int { return e.nproc }
+
+// unregister removes p from the live-process registry by swapping the
+// last entry into its slot. It runs either in engine context (never-
+// started processes dropped by Shutdown) or in a finishing process's
+// goroutine while the engine is blocked on yield — exclusive either way.
+func (e *Engine) unregister(p *Process) {
+	last := len(e.procs) - 1
+	moved := e.procs[last]
+	e.procs[p.pidx] = moved
+	moved.pidx = p.pidx
+	e.procs[last] = nil
+	e.procs = e.procs[:last]
+}
+
+// Shutdown tears the engine down: every parked process goroutine is
+// resumed into a poison panic that unwinds it (running its defers), and
+// the remaining event set is cleared. Without this, a run that ends with
+// processes still parked — protocol pumps at virtual-budget exhaustion,
+// for instance — leaks one goroutine per parked process for the life of
+// the program.
+//
+// Shutdown must be called from engine context (never from inside a
+// process), after Run/RunUntil has returned. The engine is dead
+// afterwards: its event set is empty and scheduling into it is a bug.
+// Calling Shutdown again is a harmless no-op. If a process defer panics
+// during unwinding, the first such fault is re-raised after teardown
+// completes.
+func (e *Engine) Shutdown() {
+	e.dying = true
+	var fault any
+	for len(e.procs) > 0 {
+		p := e.procs[len(e.procs)-1]
+		if !p.started {
+			// The start event never ran, so no goroutine exists; clearing
+			// the event set below disposes of the pending start.
+			p.done = true
+			e.unregister(p)
+			e.nproc--
+			continue
+		}
+		// The goroutine is blocked in park's resume receive (a started,
+		// unfinished process has nowhere else to block). Resume it; park
+		// sees dying and panics the shutdown sentinel, the process's defer
+		// recovers it, unregisters, and yields back.
+		p.resume <- struct{}{}
+		<-e.yield
+		if e.fault != nil && fault == nil {
+			fault = e.fault
+		}
+		e.fault = nil
+	}
+	e.dying = false
+	// Drop the remaining event set: anything still scheduled (timers,
+	// wake transfers for processes just unwound) must never run. Bump
+	// generations so outstanding EventHandles turn inert.
+	for _, ev := range e.events {
+		ev.idx = -1
+		ev.gen++
+		ev.fn = nil
+	}
+	e.events = nil
+	e.free = nil
+	for i := range e.dq {
+		e.dq[i].fn = nil
+	}
+	e.dq, e.dqHead = nil, 0
+	if fault != nil {
+		panic(fault)
+	}
+}
 
 // eventLess is the engine's total execution order.
 func eventLess(a, b *event) bool {

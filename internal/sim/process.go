@@ -17,11 +17,28 @@ type Process struct {
 	// p.transfer directly would allocate a fresh method-value closure on
 	// every wake and sleep.
 	transferFn func()
-	done       bool
+	// wakeFn is the wake-path resume: it clears wakePending before
+	// transferring so double-wake detection sees the true state.
+	wakeFn func()
+	done   bool
+	// started flips once the start event has run and the goroutine exists;
+	// Shutdown must not resume a process that never started.
+	started bool
+	// pidx is this process's slot in the engine's registry (for O(1)
+	// swap-removal on finish).
+	pidx int
 	// waiting marks the process as parked on a Cond/Queue/Resource so that
-	// double-wakes can be detected as model bugs.
-	waiting bool
+	// double-wakes can be detected as model bugs; parked records which cond,
+	// for the diagnostic message.
+	waiting     bool
+	wakePending bool
+	parked      *Cond
 }
+
+// shutdownSentinel is the poison panic used by Engine.Shutdown to unwind
+// parked process goroutines; each process's recover treats it as a normal
+// exit rather than a model fault.
+type shutdownSentinel struct{}
 
 // Go starts a new process running body at the current virtual time. The
 // process is scheduled like any other event; body begins executing when the
@@ -34,18 +51,29 @@ func (e *Engine) Go(name string, body func(p *Process)) *Process {
 func (e *Engine) GoAt(d Duration, name string, body func(p *Process)) *Process {
 	p := &Process{e: e, name: e.uniqueName(name), resume: make(chan struct{}, 1)}
 	p.transferFn = p.transfer
+	p.wakeFn = func() {
+		p.wakePending = false
+		p.transfer()
+	}
 	e.nproc++
+	p.pidx = len(e.procs)
+	e.procs = append(e.procs, p)
 	e.Schedule(d, func() {
+		p.started = true
 		go func() {
 			<-p.resume
 			defer func() {
 				// Panics inside a process would otherwise kill the whole
 				// program from an anonymous goroutine; capture and re-raise
-				// them in engine context so callers of Run see them.
+				// them in engine context so callers of Run see them. The
+				// shutdown sentinel is the one expected unwinding.
 				if r := recover(); r != nil {
-					p.e.fault = r
+					if _, ok := r.(shutdownSentinel); !ok {
+						p.e.fault = r
+					}
 				}
 				p.done = true
+				p.e.unregister(p)
 				p.e.nproc--
 				p.e.yield <- struct{}{}
 			}()
@@ -76,20 +104,52 @@ func (p *Process) transfer() {
 }
 
 // park suspends the process until something resumes it. Must be called from
-// process context.
+// process context. A resume during engine shutdown unwinds the goroutine
+// instead of returning to the model.
 func (p *Process) park() {
 	p.e.yield <- struct{}{}
 	<-p.resume
+	if p.e.dying {
+		panic(shutdownSentinel{})
+	}
 }
 
 // wake schedules the process to resume at the current virtual time. It is
-// the engine-side counterpart to park.
+// the engine-side counterpart to park. Waking a finished process, or one
+// whose previous wake has not run yet, is always a model bug; the panic
+// carries enough context (process, virtual time, what it was parked on)
+// to find it.
 func (p *Process) wake() {
 	if p.done {
-		panic("sim: waking finished process " + p.name)
+		panic(fmt.Sprintf("sim: waking finished process %s at %v (last parked on %s)",
+			p.name, p.e.now, p.parkedDesc()))
 	}
+	if p.wakePending {
+		panic(fmt.Sprintf("sim: double wake of process %s at %v (parked on %s)",
+			p.name, p.e.now, p.parkedDesc()))
+	}
+	p.wakePending = true
 	p.waiting = false
-	p.e.At(p.e.now, PriorityNormal, p.transferFn)
+	p.e.At(p.e.now, PriorityNormal, p.wakeFn)
+}
+
+// parkOn records the cond the process is registering on; with wake it
+// implements the Waiter interface shared with tasklets.
+func (p *Process) parkOn(c *Cond) {
+	p.waiting = true
+	p.parked = c
+}
+
+// parkedDesc describes what the process is (or was last) parked on.
+func (p *Process) parkedDesc() string {
+	switch {
+	case p.parked == nil:
+		return "nothing"
+	case p.parked.name == "":
+		return "an unnamed cond"
+	default:
+		return fmt.Sprintf("cond %q", p.parked.name)
+	}
 }
 
 // Name reports the process's (unique) name.

@@ -25,6 +25,12 @@ func NewQueue[T any](e *Engine, capacity int) *Queue[T] {
 	}
 }
 
+// SetName names the queue's internal conds for wake diagnostics.
+func (q *Queue[T]) SetName(name string) {
+	q.notEmpty.name = name + ".notEmpty"
+	q.notFull.name = name + ".notFull"
+}
+
 // Len reports the number of queued items.
 func (q *Queue[T]) Len() int { return len(q.items) }
 
@@ -55,6 +61,21 @@ func (q *Queue[T]) Put(p *Process, v T) {
 	q.notEmpty.Signal()
 }
 
+// PollPut is the tasklet-tier Put: it appends v if there is room;
+// otherwise it registers w for a wake when space frees up and reports
+// false, in which case the caller must retry the same item when woken.
+// Unlike TryPut, a failed PollPut does not count the item as dropped —
+// the item is deferred, not lost.
+func (q *Queue[T]) PollPut(w Waiter, v T) bool {
+	if q.full() {
+		q.notFull.Await(w)
+		return false
+	}
+	q.items = append(q.items, v)
+	q.notEmpty.Signal()
+	return true
+}
+
 // TryGet removes and returns the head item without blocking. ok is false if
 // the queue is empty.
 func (q *Queue[T]) TryGet() (v T, ok bool) {
@@ -75,6 +96,18 @@ func (q *Queue[T]) Get(p *Process) T {
 	q.notEmpty.WaitFor(p, func() bool { return len(q.items) > 0 })
 	v, _ := q.TryGet()
 	return v
+}
+
+// PollGet is the tasklet-tier Get: it removes and returns the head item
+// if there is one; otherwise it registers w for a wake when an item
+// arrives and reports false.
+func (q *Queue[T]) PollGet(w Waiter) (v T, ok bool) {
+	if len(q.items) == 0 {
+		q.notEmpty.Await(w)
+		return v, false
+	}
+	v, _ = q.TryGet()
+	return v, true
 }
 
 // Peek returns the head item without removing it.

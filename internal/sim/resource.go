@@ -20,7 +20,7 @@ type Resource struct {
 
 // NewResource returns an idle resource bound to engine e.
 func NewResource(e *Engine, name string) *Resource {
-	return &Resource{e: e, name: name, free: NewCond(e)}
+	return &Resource{e: e, name: name, free: NewNamedCond(e, name)}
 }
 
 // Name reports the resource's name.
@@ -36,6 +36,26 @@ func (r *Resource) Acquire(p *Process) {
 	r.held = true
 	r.acquires++
 	r.lastStart = r.e.now
+}
+
+// PollAcquire is the tasklet-tier Acquire: it takes the resource if it is
+// free; otherwise it registers w at the tail of the FIFO for a wake on
+// release and reports false. first must be true on the initial attempt of a logical
+// acquisition and false on wake-driven retries, so the contention counter
+// counts logical acquisitions exactly once — matching what a blocking
+// Acquire would have recorded.
+func (r *Resource) PollAcquire(w Waiter, first bool) bool {
+	if r.held {
+		if first {
+			r.contended++
+		}
+		r.free.Await(w)
+		return false
+	}
+	r.held = true
+	r.acquires++
+	r.lastStart = r.e.now
+	return true
 }
 
 // Release frees the resource and wakes the longest waiter. Releasing a free

@@ -3,16 +3,44 @@
 // NICs, Ethernet links and the Push-Pull Messaging protocol itself — is
 // modelled.
 //
-// The kernel has two layers:
+// The kernel schedules callbacks at absolute virtual times and runs them
+// in a total order (time, priority, sequence number), so simulations are
+// exactly reproducible. On top of the raw event layer sit two execution
+// tiers that model code chooses between:
 //
-//   - An event layer: callbacks scheduled at absolute virtual times and run
-//     in a total order (time, priority, sequence number), so simulations are
-//     exactly reproducible.
-//   - A process layer: goroutine-backed coroutines that may block on virtual
-//     time (Sleep), conditions (Cond), bounded queues (Queue) and resources
-//     (Resource). The engine hands control to at most one process at a time,
-//     so process code reads like straight-line protocol code yet remains
-//     deterministic.
+//   - Processes (sim.Process): goroutine-backed coroutines that may block
+//     on virtual time (Sleep), conditions (Cond), bounded queues (Queue)
+//     and resources (Resource). The engine hands control to at most one
+//     process at a time, so process code reads like straight-line protocol
+//     code yet remains deterministic. Each resume costs a goroutine
+//     handoff (~2 µs): fine for application-level scenario code, too
+//     expensive for protocol hot paths.
+//   - Tasklets (sim.Tasklet): resumable state-machine callbacks dispatched
+//     inline by the engine with zero goroutine handoff. A tasklet's step
+//     function runs in engine context and parks by registering with a
+//     sync primitive through its polling variants (Queue.PollGet/PollPut,
+//     Resource.PollAcquire, Cond.Await) and returning; an explicit resume
+//     point (a pc field in the owning struct) replaces the goroutine
+//     stack. The NIC, go-back-N and switch pumps run on this tier.
+//
+// Both tiers park on the same primitives through the Waiter interface:
+// Cond, Queue and Resource keep a single FIFO waiter list in which
+// processes and tasklets mix freely, so wake order — and therefore the
+// engine's total execution order — does not depend on which tier a waiter
+// runs on. A process wake, a tasklet wake and a tasklet Start each consume
+// exactly one scheduling slot, which is what makes converting an actor
+// from one tier to the other behavior-neutral (byte-identical scenario
+// digests), not just approximately equivalent.
+//
+// Determinism guarantees are tier-independent: same seed, same model,
+// same execution order. Tasklet wakes coalesce (waking an already-
+// scheduled tasklet is a no-op) and same-timestamp resumes batch through
+// the engine's direct-dispatch ring, so a wake chain never leaves engine
+// context.
+//
+// Engines that ran processes should be torn down with Engine.Shutdown
+// once the run is over; otherwise every still-parked process leaks its
+// goroutine.
 //
 // All state is confined to a single Engine; engines are not safe for use
 // from multiple goroutines except through the process mechanism.

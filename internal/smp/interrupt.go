@@ -70,6 +70,12 @@ func (ic *InterruptController) Raised() uint64 { return ic.raised }
 // The handler runs on a processor chosen by the policy after the delivery
 // latency; its execution time is stolen from whatever that processor was
 // doing at the time.
+//
+// Raise is tier-neutral: it only schedules, never blocks, so it may be
+// called from any engine-context code — an event callback, a tasklet step
+// (the NIC receive path raises from one), or a process body. The handler
+// itself always runs on a fresh irq/ process, because handler bodies
+// block (bus copies, Exec) and so need the goroutine tier.
 func (ic *InterruptController) Raise(name string, handler func(t *Thread)) {
 	ic.raised++
 	n := ic.node

@@ -263,3 +263,42 @@ func TestExecZeroOrNegativeIsFree(t *testing.T) {
 		t.Errorf("no-op operations advanced time to %v", end)
 	}
 }
+
+// TestRaiseTierNeutral: Raise behaves identically whatever context calls
+// it — a process body, a bare event callback, or a tasklet step. The
+// handler's CPU and completion time must match across all three.
+func TestRaiseTierNeutral(t *testing.T) {
+	type outcome struct {
+		cpu int
+		at  sim.Time
+	}
+	measure := func(raise func(e *sim.Engine, n *Node, fire func())) outcome {
+		e := sim.NewEngine(1)
+		n := newNode(e)
+		n.IRQ.SetPolicy(Symmetric, 0)
+		var out outcome
+		fire := func() {
+			n.IRQ.Raise("rx", func(h *Thread) { out = outcome{h.CPU.ID, h.Now()} })
+		}
+		raise(e, n, fire)
+		e.Run()
+		return out
+	}
+	fromEvent := measure(func(e *sim.Engine, n *Node, fire func()) {
+		e.Schedule(10*sim.Microsecond, fire)
+	})
+	fromProcess := measure(func(e *sim.Engine, n *Node, fire func()) {
+		e.GoAt(10*sim.Microsecond, "raiser", func(p *sim.Process) { fire() })
+	})
+	fromTasklet := measure(func(e *sim.Engine, n *Node, fire func()) {
+		tk := e.NewTasklet("raiser", func(tk *sim.Tasklet) { fire() })
+		e.Schedule(10*sim.Microsecond, func() { tk.Wake() })
+	})
+	if fromProcess != fromEvent || fromTasklet != fromEvent {
+		t.Fatalf("Raise is tier-sensitive: event=%+v process=%+v tasklet=%+v",
+			fromEvent, fromProcess, fromTasklet)
+	}
+	if fromEvent.at == 0 {
+		t.Fatal("handler never ran")
+	}
+}
