@@ -3,10 +3,10 @@ GO ?= go
 # ci is the documented tier-1 gate: vet, build, the full test suite
 # under the race detector, one iteration of every benchmark (so the
 # benchmark-only files at the repo root are compiled AND executed), the
-# goroutine-leak check, the sweep determinism check, and a smoke run of
-# every example binary.
+# goroutine-leak check, the sweep determinism check, the fault-injection
+# determinism check, and a smoke run of every example binary.
 .PHONY: ci
-ci: vet build race bench leak-check sweep-check examples
+ci: vet build race bench leak-check sweep-check fault-check examples
 
 .PHONY: vet
 vet:
@@ -75,13 +75,36 @@ examples:
 # sweep-check proves parallelism never changes results: each builtin CI
 # grid must produce the same aggregate digest on 1 worker and on a real
 # worker pool. smoke-grid covers the point-to-point patterns; coll-smoke
-# covers the collective family's algorithm axis. The parallel leg pins 8
-# workers, not GOMAXPROCS: on a single-core CI box GOMAXPROCS resolves
-# to 1 and would compare two serial runs, never exercising the pool at
-# all.
+# covers the collective family's algorithm axis; fault-smoke covers the
+# faultPlans axis (degradation must be as deterministic as traffic). The
+# parallel leg pins 8 workers, not GOMAXPROCS: on a single-core CI box
+# GOMAXPROCS resolves to 1 and would compare two serial runs, never
+# exercising the pool at all.
+
+# fault-check pins the fault-injection subsystem: the lossy/blackout
+# suites run under the race detector, and every fault-family builtin
+# must reproduce its digest byte-for-byte across two runs at two seeds —
+# a fault plan that perturbs the engine's RNG stream or compiles
+# nondeterministically breaks the diff immediately.
+.PHONY: fault-check
+fault-check:
+	$(GO) test -race ./internal/fault ./internal/gbn -count=1
+	$(GO) test -race ./internal/scenario -run 'TestFault|TestPeerUnreachable|TestBlackout' -count=1
+	@for sc in blackout-recovery flaky-link-allreduce flapping-wavefront port-blackout-pipeline; do \
+		for seed in 1 7; do \
+			d1=$$($(GO) run ./cmd/pushpull-scen run -seed $$seed $$sc 2>&1 >/dev/null | sed -n 's/.*digest //p') || exit 1; \
+			d2=$$($(GO) run ./cmd/pushpull-scen run -seed $$seed $$sc 2>&1 >/dev/null | sed -n 's/.*digest //p') || exit 1; \
+			if [ -z "$$d1" ] || [ "$$d1" != "$$d2" ]; then \
+				echo "fault-check FAILED: $$sc seed $$seed not reproducible ($$d1 vs $$d2)"; \
+				exit 1; \
+			fi; \
+		done; \
+		echo "fault-check OK ($$sc)"; \
+	done
+
 .PHONY: sweep-check
 sweep-check:
-	@for sw in smoke-grid coll-smoke; do \
+	@for sw in smoke-grid coll-smoke fault-smoke; do \
 		d1=$$($(GO) run ./cmd/pushpull-scen sweep -workers 1 -digest $$sw) || exit 1; \
 		dn=$$($(GO) run ./cmd/pushpull-scen sweep -workers 8 -digest $$sw) || exit 1; \
 		if [ "$$d1" != "$$dn" ]; then \

@@ -6,7 +6,7 @@
 //	pushpull-scen list
 //	pushpull-scen patterns
 //	pushpull-scen spec <scenario>
-//	pushpull-scen run [-seed N] [-messages N] [-size N] [-algorithm A] [-samples] [-out FILE] <scenario|spec.json> ...
+//	pushpull-scen run [-seed N] [-messages N] [-size N] [-algorithm A] [-faults FILE] [-samples] [-out FILE] <scenario|spec.json> ...
 //	pushpull-scen sweeps
 //	pushpull-scen sweep [-workers N] [-digest] [-print] [-out FILE] <sweep|sweep.json>
 //
@@ -22,9 +22,11 @@
 // an aggregate digest: the output is byte-identical whatever -workers.
 //
 // Exit codes: 0 on success, 1 on operational errors, 2 on usage errors,
-// and 3 when any run or sweep point exhausted its virtual-time budget —
-// the signature of a protocol deadlock or retransmission livelock — so
-// CI and sweep drivers detect stalls mechanically.
+// 3 when any run or sweep point exhausted its virtual-time budget — the
+// signature of a protocol deadlock or retransmission livelock — and 4
+// when the transport diagnosed an unreachable peer (the retransmission
+// budget fired; see -faults and the protocol's maxRetries), so CI and
+// sweep drivers tell stalls from diagnosed dead links mechanically.
 package main
 
 import (
@@ -35,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"pushpull/internal/fault"
 	"pushpull/internal/scenario"
 )
 
@@ -85,12 +88,24 @@ func runCmd(args []string) {
 	messages := fs.Int("messages", 0, "override the per-sender message count (0 keeps the spec's)")
 	size := fs.Int("size", 0, "override the message size in bytes (0 keeps the spec's)")
 	algorithm := fs.String("algorithm", "", "override the collective algorithm (collective patterns only; empty keeps the spec's)")
+	faults := fs.String("faults", "", "overlay a JSON fault plan file onto every scenario (replaces the spec's own)")
 	samples := fs.Bool("samples", false, "include raw per-message latency samples in the output")
 	out := fs.String("out", "", "write results to this file instead of stdout")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: pushpull-scen run [flags] <scenario|spec.json> ...")
 		os.Exit(2)
+	}
+	var plan *fault.Plan
+	if *faults != "" {
+		data, err := os.ReadFile(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		plan, err = fault.ParsePlan(data)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	var results []string
@@ -111,12 +126,19 @@ func runCmd(args []string) {
 		if *algorithm != "" {
 			spec.Traffic.Algorithm = *algorithm
 		}
+		if plan != nil {
+			spec.Faults = plan
+		}
 		var opts []scenario.RunOption
 		if *samples {
 			opts = append(opts, scenario.KeepSamples())
 		}
 		res, err := scenario.Run(spec, opts...)
 		if err != nil {
+			if scenario.IsPeerUnreachable(err) {
+				fmt.Fprintln(os.Stderr, "pushpull-scen:", err)
+				os.Exit(exitUnreachable)
+			}
 			if scenario.IsBudgetError(err) {
 				fmt.Fprintln(os.Stderr, "pushpull-scen:", err)
 				os.Exit(exitBudget)
@@ -229,7 +251,15 @@ func resolve(arg string) (scenario.Spec, error) {
 
 // exitBudget is the distinct exit code for virtual-time-budget
 // exhaustion: a stalled protocol, not an operational error.
-const exitBudget = 3
+// exitUnreachable is its structured counterpart: the transport
+// diagnosed a dead peer and failed fast instead of stalling, so drivers
+// can distinguish "the protocol hung" from "the network was declared
+// broken". Checked first — an unreachable-peer diagnosis is more
+// specific than any budget it also happens to blow.
+const (
+	exitBudget      = 3
+	exitUnreachable = 4
+)
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pushpull-scen:", err)
@@ -255,8 +285,13 @@ run flags:
   -messages N   override per-sender message count
   -size N       override message size
   -algorithm A  override the collective algorithm (collective patterns only)
+  -faults FILE  overlay a JSON fault plan (link/node fault schedule) on every run
   -samples      include raw latency samples in the JSON
   -out FILE     write the JSON array to FILE
+
+exit codes: 1 operational error, 2 usage, 3 virtual-time budget
+exhausted (deadlock/livelock), 4 peer declared unreachable
+(retransmission budget exhausted toward a dead link)
 
 sweep flags:
   -workers N    pool size (0 = GOMAXPROCS); results are byte-identical for any N

@@ -196,7 +196,7 @@ func (r *Rank) segment(opts []Opt) int {
 // overrides) pass through.
 func (r *Rank) Send(to int, data []byte, opts ...comm.Option) {
 	if err := r.cm.Send(r.t, r.peer(to), data, opts...); err != nil {
-		panic(fmt.Sprintf("coll: rank %d send to %d: %v", r.id, to, err))
+		panic(fmt.Errorf("coll: rank %d send to %d: %w", r.id, to, err))
 	}
 }
 
@@ -210,7 +210,7 @@ func (r *Rank) Isend(to int, data []byte, opts ...comm.Option) *comm.Op {
 func (r *Rank) Recv(from, n int, opts ...comm.Option) []byte {
 	b, err := r.cm.Recv(r.t, r.peer(from), n, opts...)
 	if err != nil {
-		panic(fmt.Sprintf("coll: rank %d recv from %d: %v", r.id, from, err))
+		panic(fmt.Errorf("coll: rank %d recv from %d: %w", r.id, from, err))
 	}
 	return b
 }
@@ -229,7 +229,7 @@ func (r *Rank) SendRecv(to int, data []byte, from, n int, opts ...comm.Option) [
 	sreq := r.Isend(to, data, opts...)
 	got := r.Recv(from, n, opts...)
 	if _, err := sreq.Wait(r.t); err != nil {
-		panic(fmt.Sprintf("coll: rank %d sendrecv to %d: %v", r.id, to, err))
+		panic(fmt.Errorf("coll: rank %d sendrecv to %d: %w", r.id, to, err))
 	}
 	return got
 }

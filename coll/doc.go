@@ -64,6 +64,20 @@
 // work), but later rounds are only posted when the rank calls Test or
 // Wait. All Request methods must be called from the rank's own thread.
 //
+// # Failure propagation
+//
+// Collectives propagate transport failures instead of hanging on them:
+// when the cluster runs with a retransmission budget
+// (Options.GBN.MaxRetries) and a peer becomes unreachable, the
+// operations of the round in flight fail with an error wrapping
+// comm.ErrPeerUnreachable, and Request.Wait/Test (and the blocking
+// wrappers) return it — the wrapped *PeerUnreachableError identifies
+// the dead node pair, so the failed rank is known. A failed Request is
+// done: its rounds stop posting, and WaitAll reports the first failure.
+// Ranks that never exchange with the dead peer in the remaining rounds
+// may still complete; deciding what to do with a half-failed collective
+// is the application's policy, as in MPI.
+//
 // Each collective travels on its own tag lane (ReservedTag plus a
 // per-rank start sequence), so neither point-to-point messages nor
 // other in-flight collectives on the same channels can cross-match —

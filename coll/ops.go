@@ -15,11 +15,14 @@ type Op func(a, b []byte) []byte
 
 // wait completes a blocking collective, panicking with rank context on
 // transport failure (collectives are programming errors when they fail,
-// not runtime conditions).
+// not runtime conditions). The panic value is an error that wraps the
+// transport failure, so a recovering harness can still classify it —
+// errors.Is(v, comm.ErrPeerUnreachable) keeps working through the
+// panic.
 func (r *Rank) wait(what string, rq *Request) []byte {
 	res, err := rq.Wait()
 	if err != nil {
-		panic(fmt.Sprintf("coll: rank %d %s: %v", r.id, what, err))
+		panic(fmt.Errorf("coll: rank %d %s: %w", r.id, what, err))
 	}
 	return res
 }

@@ -41,6 +41,18 @@
 // message that started arriving first. Zero-length messages are valid
 // and carry only their envelope.
 //
+// # Failure semantics
+//
+// With a retransmission budget configured (Options.GBN.MaxRetries), a
+// peer whose link stays dead long enough is declared unreachable rather
+// than retried forever. The failure is structured and total: every
+// operation bound to the dead peer — in-flight receives, mid-transfer
+// messages, parked synchronous senders — completes with an error
+// wrapping ErrPeerUnreachable, Op.Status carries it in Status.Err, and
+// later operations naming the peer fail immediately. Without a budget
+// (MaxRetries zero, the default) the transport retries forever, exactly
+// like the paper's fixed-RTO implementation.
+//
 // # Buffers
 //
 // A Channel manages a registered, page-aligned staging buffer that grows

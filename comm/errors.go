@@ -1,0 +1,20 @@
+package comm
+
+import "pushpull/internal/pushpull"
+
+// ErrPeerUnreachable is the sentinel a failed operation wraps when the
+// transport exhausted its retransmission budget toward the remote node
+// (Options.GBN.MaxRetries consecutive go-back-N timeouts with no
+// acknowledgement progress — see the gbn package). It surfaces through
+// the normal completion flow: Op.Wait and Op.Test return it, Op.Status
+// reports it in Status.Err, and collectives built on comm (package
+// coll) propagate it out of Request.Wait/Test, so a collective over a
+// dead link fails fast instead of hanging until the virtual-time budget
+// kills the run. Classify with errors.Is(err, ErrPeerUnreachable); the
+// wrapped *pushpull.PeerUnreachableError names the node pair.
+//
+// Once a peer is declared dead the declaration is sticky for the run:
+// in-flight operations bound to the peer fail at declaration time, and
+// subsequent sends to (or definite-source receives from) it fail
+// immediately.
+var ErrPeerUnreachable = pushpull.ErrPeerUnreachable

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"pushpull/internal/ether"
+	"pushpull/internal/fault"
 	"pushpull/internal/nic"
 	"pushpull/internal/pushpull"
 	"pushpull/internal/sim"
@@ -47,6 +48,11 @@ type Config struct {
 	// SwitchQueueFrames bounds each switch output queue (0 = unbounded).
 	SwitchQueueFrames int
 	Seed              uint64
+	// FaultPlan, when set, is compiled against the seed and armed on the
+	// topology: link faults on the back-to-back or switch access links
+	// (or the hub), port blackouts on the switch, pause/stall windows on
+	// the NICs. Nil costs nothing anywhere.
+	FaultPlan *fault.Plan
 }
 
 // DefaultConfig is the paper's two-node testbed.
@@ -74,6 +80,12 @@ type Cluster struct {
 	Switch *ether.Switch
 	Hub    *ether.Hub
 	Links  []*ether.Link // back-to-back links, rail-major (empty otherwise)
+	// SwitchLinks are the per-node access links of a switch topology, in
+	// node order (empty otherwise).
+	SwitchLinks []*ether.Link
+	// Faults is the compiled fault plan armed on this cluster, nil when
+	// none was configured.
+	Faults *fault.Set
 }
 
 // normalize applies the defaulting rules New has always used: more than
@@ -105,6 +117,11 @@ func (cfg Config) Validate() error {
 	if cfg.Rails > 1 && cfg.Nodes > 1 && (cfg.Nodes != 2 || cfg.UseSwitch) {
 		return fmt.Errorf("cluster: multi-rail requires a two-node back-to-back topology")
 	}
+	if cfg.FaultPlan != nil {
+		if err := cfg.FaultPlan.Validate(cfg.Nodes); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -134,6 +151,14 @@ func New(cfg Config) *Cluster {
 		return c // intranode-only cluster: no network
 	}
 
+	if cfg.FaultPlan != nil {
+		fs, err := fault.Compile(cfg.FaultPlan, cfg.Seed)
+		if err != nil {
+			panic(err) // Validate above accepted the plan; compile errors are bugs
+		}
+		c.Faults = fs
+	}
+
 	// Validate (above) already rejected multi-rail on anything but a
 	// two-node back-to-back topology.
 	rails := cfg.Rails
@@ -145,6 +170,9 @@ func New(cfg Config) *Cluster {
 	for i, n := range c.Nodes {
 		for r := 0; r < rails; r++ {
 			nc := nic.New(n, cfg.NIC)
+			if c.Faults != nil {
+				nc.SetFaultInjector(c.Faults.NICInjector(n.ID))
+			}
 			c.NICs = append(c.NICs, nc)
 			c.Stacks[i].AttachNIC(nc)
 		}
@@ -153,6 +181,9 @@ func New(cfg Config) *Cluster {
 	switch {
 	case cfg.UseHub:
 		c.Hub = ether.NewHub(e, cfg.Net)
+		if c.Faults != nil {
+			c.Hub.SetInjector(c.Faults.HubInjector())
+		}
 		for _, nc := range c.NICs {
 			c.Hub.Attach(nc)
 			nc.AttachLink(c.Hub)
@@ -161,6 +192,9 @@ func New(cfg Config) *Cluster {
 		for r := 0; r < rails; r++ {
 			a, b := c.NICs[r], c.NICs[rails+r]
 			link := ether.NewLink(e, cfg.Net, a, b)
+			if c.Faults != nil {
+				link.SetInjector(c.Faults.LinkInjector(a.NodeID(), b.NodeID()))
+			}
 			a.AttachLink(link)
 			b.AttachLink(link)
 			c.Links = append(c.Links, link)
@@ -168,7 +202,13 @@ func New(cfg Config) *Cluster {
 	default:
 		c.Switch = ether.NewSwitch(e, cfg.Net, cfg.SwitchForward)
 		for _, nc := range c.NICs {
-			nc.AttachLink(c.Switch.Attach(nc, cfg.SwitchQueueFrames))
+			link := c.Switch.Attach(nc, cfg.SwitchQueueFrames)
+			nc.AttachLink(link)
+			c.SwitchLinks = append(c.SwitchLinks, link)
+			if c.Faults != nil {
+				link.SetInjector(c.Faults.LinkInjector(nc.NodeID()))
+				c.Switch.SetPortInjector(nc.NodeID(), c.Faults.PortInjector(nc.NodeID()))
+			}
 		}
 	}
 
@@ -242,4 +282,53 @@ func (c *Cluster) SetRecorder(rec *trace.Recorder) {
 	for _, st := range c.Stacks {
 		st.SetRecorder(rec)
 	}
+}
+
+// FrameLoss is the cluster-wide frame-death ledger: every place the
+// topology can discard a frame, attributed to its cause. The sum answers
+// "where did frames die" for any run.
+type FrameLoss struct {
+	// LinkLost / HubLost are i.i.d. LossRate drops on the wires;
+	// LinkFaultLost / HubFaultLost are injected link faults.
+	LinkLost, LinkFaultLost uint64
+	HubLost, HubFaultLost   uint64
+	// SwitchDropped is output-queue overflow (plus unknown destinations);
+	// SwitchFaultDropped is injected port blackouts.
+	SwitchDropped, SwitchFaultDropped uint64
+	// NICRxDropped is incoming-ring overflow; NICFaultDropped is frames
+	// discarded while the host was paused by an injected fault.
+	NICRxDropped, NICFaultDropped uint64
+}
+
+// Total sums every counted frame death.
+func (fl FrameLoss) Total() uint64 {
+	return fl.LinkLost + fl.LinkFaultLost + fl.HubLost + fl.HubFaultLost +
+		fl.SwitchDropped + fl.SwitchFaultDropped + fl.NICRxDropped + fl.NICFaultDropped
+}
+
+// FrameLoss aggregates the loss counters of every medium and NIC in the
+// cluster.
+func (c *Cluster) FrameLoss() FrameLoss {
+	var fl FrameLoss
+	for _, l := range c.Links {
+		fl.LinkLost += l.FramesLost()
+		fl.LinkFaultLost += l.FaultLost()
+	}
+	for _, l := range c.SwitchLinks {
+		fl.LinkLost += l.FramesLost()
+		fl.LinkFaultLost += l.FaultLost()
+	}
+	if c.Hub != nil {
+		fl.HubLost = c.Hub.FramesLost()
+		fl.HubFaultLost = c.Hub.FaultLost()
+	}
+	if c.Switch != nil {
+		fl.SwitchDropped = c.Switch.Dropped()
+		fl.SwitchFaultDropped = c.Switch.FaultDropped()
+	}
+	for _, nc := range c.NICs {
+		fl.NICRxDropped += nc.RxDropped()
+		fl.NICFaultDropped += nc.FaultDropped()
+	}
+	return fl
 }

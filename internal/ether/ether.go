@@ -9,6 +9,7 @@ package ether
 import (
 	"fmt"
 
+	"pushpull/internal/fault"
 	"pushpull/internal/sim"
 )
 
@@ -122,6 +123,12 @@ type Link struct {
 	dirB *sim.Resource // b -> a
 	sent uint64
 	lost uint64
+
+	// inj, when set, is the armed fault injector for this link; frames it
+	// claims are counted in faultLost. Nil (the default) costs one
+	// comparison per frame.
+	inj       *fault.LinkInjector
+	faultLost uint64
 }
 
 // NewLink connects two ports back-to-back.
@@ -144,6 +151,12 @@ func (l *Link) FramesSent() uint64 { return l.sent }
 
 // FramesLost reports frames dropped by the configured loss rate.
 func (l *Link) FramesLost() uint64 { return l.lost }
+
+// SetInjector arms a fault injector on the link (nil disarms).
+func (l *Link) SetInjector(in *fault.LinkInjector) { l.inj = in }
+
+// FaultLost reports frames dropped by the armed fault injector.
+func (l *Link) FaultLost() uint64 { return l.faultLost }
 
 // Transmit serializes f onto the wire on behalf of process p (the
 // transmitting port's engine), blocking p for the serialization time, and
@@ -196,6 +209,12 @@ func (l *Link) finish(dst Port, f Frame) {
 	if l.cfg.LossRate > 0 && l.e.Rand().Float64() < l.cfg.LossRate {
 		l.lost++
 		return // the frame corrupts on the wire; reliability recovers it
+	}
+	// Fault injection consults after the i.i.d. loss draw, so arming a
+	// plan never perturbs the engine-RNG sequence of the base run.
+	if l.inj != nil && l.inj.Lose(l.e.Now()) {
+		l.faultLost++
+		return
 	}
 	frame := f
 	l.e.Schedule(l.cfg.Propagation, func() { dst.DeliverFrame(frame) })

@@ -3,6 +3,7 @@ package ether
 import (
 	"fmt"
 
+	"pushpull/internal/fault"
 	"pushpull/internal/sim"
 )
 
@@ -33,6 +34,9 @@ type Hub struct {
 	collisions uint64
 	sent       uint64
 	lost       uint64
+
+	inj       *fault.HubInjector
+	faultLost uint64
 }
 
 // NewHub creates a hub. Attach every NIC with Attach; the hub itself is
@@ -72,6 +76,12 @@ func (h *Hub) FramesSent() uint64 { return h.sent }
 
 // FramesLost reports frames dropped by the configured loss rate.
 func (h *Hub) FramesLost() uint64 { return h.lost }
+
+// SetInjector arms a fault injector on the shared medium (nil disarms).
+func (h *Hub) SetInjector(in *fault.HubInjector) { h.inj = in }
+
+// FaultLost reports frames dropped by the armed fault injector.
+func (h *Hub) FaultLost() uint64 { return h.faultLost }
 
 // Transmit implements Medium: defer while the wire is busy (carrier
 // sense), pay a jam-plus-backoff penalty if there was contention, then
@@ -132,6 +142,12 @@ func (h *Hub) finish(f Frame) {
 	if h.cfg.LossRate > 0 && h.e.Rand().Float64() < h.cfg.LossRate {
 		h.lost++
 		return // lost on the wire, like a point-to-point link would lose it
+	}
+	// Consulted after the i.i.d. draw so the engine-RNG sequence of an
+	// unfaulted run is untouched.
+	if h.inj != nil && h.inj.Lose(h.e.Now(), f.Src, f.Dst) {
+		h.faultLost++
+		return
 	}
 	dst, ok := h.ports[f.Dst]
 	if !ok {

@@ -3,6 +3,7 @@ package ether
 import (
 	"fmt"
 
+	"pushpull/internal/fault"
 	"pushpull/internal/sim"
 )
 
@@ -20,6 +21,9 @@ type Switch struct {
 	fwd     sim.Duration // lookup/forwarding latency after last bit in
 	ports   map[int]*switchPort
 	dropped uint64
+	// faultDropped counts frames the port-blackout injectors discarded at
+	// the forwarding plane.
+	faultDropped uint64
 }
 
 // NewSwitch creates a switch with the given per-port link technology and
@@ -30,6 +34,19 @@ func NewSwitch(e *sim.Engine, cfg Config, forwarding sim.Duration) *Switch {
 
 // Dropped reports frames lost to output-queue overflow.
 func (s *Switch) Dropped() uint64 { return s.dropped }
+
+// FaultDropped reports frames discarded by armed port-blackout injectors.
+func (s *Switch) FaultDropped() uint64 { return s.faultDropped }
+
+// SetPortInjector arms a blackout injector on node's port (nil disarms).
+// While blacked out, the port forwards nothing in either direction.
+func (s *Switch) SetPortInjector(node int, in *fault.PortInjector) {
+	p, ok := s.ports[node]
+	if !ok {
+		panic(fmt.Sprintf("ether: no switch port for node %d", node))
+	}
+	p.inj = in
+}
 
 // switchPort is the switch end of one attached link. Its transmitter is a
 // tasklet pump: fetching runs as a resumable state machine with fetching/
@@ -45,6 +62,8 @@ type switchPort struct {
 	sending  bool // resume point: false = fetch next frame, true = mid-transmit
 	frame    Frame
 	txCursor TxCursor
+
+	inj *fault.PortInjector
 }
 
 // pump drains the output queue onto the attached node's link.
@@ -71,12 +90,20 @@ func (p *switchPort) NodeID() int { return p.nodeID }
 // DeliverFrame receives a fully arrived frame from the attached node and
 // forwards it toward its destination port.
 func (p *switchPort) DeliverFrame(f Frame) {
+	if p.inj != nil && p.inj.Blocked(p.sw.e.Now()) {
+		p.sw.faultDropped++ // ingress port blacked out
+		return
+	}
 	dst, ok := p.sw.ports[f.Dst]
 	if !ok {
 		p.sw.dropped++ // unknown destination: flood suppressed, count as drop
 		return
 	}
 	p.sw.e.Schedule(p.sw.fwd, func() {
+		if dst.inj != nil && dst.inj.Blocked(p.sw.e.Now()) {
+			p.sw.faultDropped++ // egress port blacked out
+			return
+		}
 		if !dst.outQ.TryPut(f) {
 			p.sw.dropped++
 		}

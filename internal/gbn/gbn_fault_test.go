@@ -1,0 +1,276 @@
+package gbn
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pushpull/internal/sim"
+)
+
+func TestConfigValidateTyped(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		field string
+	}{
+		{"zero window", Config{Window: 0, RTO: sim.Millisecond}, "Window"},
+		{"negative window", Config{Window: -1, RTO: sim.Millisecond}, "Window"},
+		{"zero RTO", Config{Window: 8, RTO: 0}, "RTO"},
+		{"negative RTO", Config{Window: 8, RTO: -sim.Millisecond}, "RTO"},
+		{"negative MinRTO", Config{Window: 8, RTO: sim.Millisecond, MinRTO: -1}, "MinRTO"},
+		{"negative MaxRTO", Config{Window: 8, RTO: sim.Millisecond, MaxRTO: -1}, "MaxRTO"},
+		{"inverted clamp", Config{Window: 8, RTO: sim.Millisecond,
+			MinRTO: 2 * sim.Millisecond, MaxRTO: sim.Millisecond}, "MinRTO"},
+		{"negative budget", Config{Window: 8, RTO: sim.Millisecond, MaxRetries: -1}, "MaxRetries"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Validate() = %v, want *ConfigError", err)
+			}
+			if ce.Field != tc.field {
+				t.Errorf("ConfigError.Field = %q, want %q (%v)", ce.Field, tc.field, ce)
+			}
+		})
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("DefaultConfig().Validate() = %v, want nil", err)
+	}
+}
+
+// TestAdaptiveRTOTracksRTT pins the estimator against a constant-delay
+// wire: the first sample sets RTO = RTT + 4·(RTT/2), and with zero
+// variance RTTVAR decays so the timeout converges far below a fixed
+// 150 ms RTO while never undercutting MinRTO.
+func TestAdaptiveRTOTracksRTT(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := Config{Window: 4, RTO: 150 * sim.Millisecond, Adaptive: true,
+		MinRTO: 100 * sim.Microsecond}
+	w := newLossyWire(e, cfg, func(Packet) bool { return true })
+	for i := 0; i < 50; i++ {
+		w.s.Send(100, i)
+	}
+	e.Run()
+	got := w.s.CurrentRTO()
+	if got >= 150*sim.Millisecond {
+		t.Errorf("adaptive RTO %v never left the initial 150 ms", got)
+	}
+	if got < cfg.MinRTO {
+		t.Errorf("adaptive RTO %v undercuts MinRTO %v", got, cfg.MinRTO)
+	}
+	// RTT is 2×10 µs; after 50 zero-variance samples the timeout should
+	// sit within a small multiple of it.
+	if got > 10*20*sim.Microsecond {
+		t.Errorf("adaptive RTO %v did not converge toward the 20 µs RTT", got)
+	}
+}
+
+// TestKarnRetransmitNotSampled pins Karn's algorithm: an ack that
+// covers a retransmitted packet must not feed the estimator, or the
+// ambiguous (first-send → late-ack) round trip would poison SRTT.
+func TestKarnRetransmitNotSampled(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := Config{Window: 1, RTO: sim.Millisecond, Adaptive: true,
+		MinRTO: 100 * sim.Microsecond}
+	w := newLossyWire(e, cfg, func(Packet) bool { return true })
+	w.dropData = func(seq uint32, attempt int) bool { return seq == 0 && attempt == 0 }
+	w.s.Send(100, 0)
+	e.Run()
+	if w.s.Retransmissions() != 1 {
+		t.Fatalf("retransmissions = %d, want 1", w.s.Retransmissions())
+	}
+	// The only delivery was a retransmit: no sample may exist, so the
+	// timeout is still the initial RTO doubled once... and then reset by
+	// the ack progress to the plain initial RTO.
+	if got := w.s.CurrentRTO(); got != cfg.RTO {
+		t.Errorf("CurrentRTO = %v after retransmit-only traffic, want initial %v (no Karn sample)", got, cfg.RTO)
+	}
+	if w.s.Recovered() != 1 {
+		t.Errorf("recovered = %d, want 1", w.s.Recovered())
+	}
+}
+
+// blackoutWire drops every data packet while the engine clock is inside
+// [from, to) — a virtual-time link blackout.
+func blackoutWire(e *sim.Engine, cfg Config, from, to sim.Time, deliver func(Packet) bool) *lossyWire {
+	w := newLossyWire(e, cfg, deliver)
+	w.dropData = func(uint32, int) bool {
+		now := e.Now()
+		return now >= from && now < to
+	}
+	return w
+}
+
+// TestBlackoutBackoffAndRecovery drives a sender into a blackout many
+// RTOs long: the adaptive timeout must back off exponentially across
+// the outage (each consecutive timeout doubling the armed value), and
+// every message must be delivered exactly once, in order, after the
+// link returns.
+func TestBlackoutBackoffAndRecovery(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := Config{Window: 4, RTO: sim.Millisecond, Adaptive: true,
+		MinRTO: 500 * sim.Microsecond}
+	from := sim.Time(0) // dark from the first transmission
+	to := from.Add(20 * sim.Millisecond) // ~5 doublings past the 1 ms initial RTO
+	seen := make(map[uint32]int)
+	var order []uint32
+	w := blackoutWire(e, cfg, from, to, func(p Packet) bool {
+		seen[p.Seq]++
+		order = append(order, p.Seq)
+		return true
+	})
+	const n = 12
+	for i := 0; i < n; i++ {
+		w.s.Send(100, i)
+	}
+	e.Run()
+
+	if len(seen) != n {
+		t.Fatalf("delivered %d distinct seqs, want %d", len(seen), n)
+	}
+	for seq, c := range seen {
+		if c != 1 {
+			t.Errorf("seq %d delivered %d times, want exactly once", seq, c)
+		}
+	}
+	for i, seq := range order {
+		if seq != uint32(i) {
+			t.Fatalf("delivery order broken at %d: %v", i, order)
+		}
+	}
+	samples := w.s.RTOSamples()
+	if len(samples) < 4 {
+		t.Fatalf("only %d backoff samples across a 20 ms blackout at 1 ms RTO", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i] < samples[i-1] {
+			t.Errorf("backoff shrank mid-outage: sample %d = %v µs after %v µs", i, samples[i], samples[i-1])
+		}
+	}
+	if last, first := samples[len(samples)-1], samples[0]; last < 4*first {
+		t.Errorf("backoff grew only %v → %v µs across the outage, want ≥ 4×", first, last)
+	}
+	if w.s.Dead() {
+		t.Error("sender went dead with no retransmission budget configured")
+	}
+}
+
+// TestBlackoutRetransmissionsPinned pins the exact retransmission and
+// timeout counts of seeded random-loss-plus-blackout runs: the
+// deterministic engine must reproduce them bit-for-bit, so any change
+// to timer arithmetic or backoff policy shows up as a count diff here
+// before it shows up as a digest diff in CI.
+func TestBlackoutRetransmissionsPinned(t *testing.T) {
+	pinned := map[uint64][2]uint64{ // seed → {retransmissions, timeouts}
+		1: {16, 4},
+		2: {20, 5},
+		3: {20, 5},
+	}
+	for seed, want := range pinned {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			e := sim.NewEngine(seed)
+			rng := sim.NewRand(seed)
+			cfg := Config{Window: 4, RTO: sim.Millisecond, Adaptive: true,
+				MinRTO: 500 * sim.Microsecond}
+			from := sim.Time(0) // dark from the first transmission
+			to := from.Add(10 * sim.Millisecond)
+			seen := make(map[uint32]int)
+			w := newLossyWire(e, cfg, func(p Packet) bool {
+				seen[p.Seq]++
+				return true
+			})
+			w.dropData = func(uint32, int) bool {
+				now := e.Now()
+				if now >= from && now < to {
+					return true
+				}
+				return rng.Float64() < 0.05 // light ambient loss around the outage
+			}
+			const n = 20
+			for i := 0; i < n; i++ {
+				w.s.Send(100, i)
+			}
+			e.Run()
+			for seq, c := range seen {
+				if c != 1 {
+					t.Errorf("seq %d delivered %d times, want exactly once", seq, c)
+				}
+			}
+			if len(seen) != n {
+				t.Fatalf("delivered %d distinct seqs, want %d", len(seen), n)
+			}
+			if got := [2]uint64{w.s.Retransmissions(), w.s.Timeouts()}; got != want {
+				t.Errorf("seed %d: {retransmissions, timeouts} = %v, want pinned %v", seed, got, want)
+			}
+		})
+	}
+}
+
+// TestRetransmissionBudgetDeclaresDead pins the budget semantics: a
+// permanently dark link exhausts MaxRetries consecutive timeouts, the
+// sender goes dead exactly once, stops retransmitting, and quietly
+// queues (never transmits) later Sends.
+func TestRetransmissionBudgetDeclaresDead(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := Config{Window: 2, RTO: sim.Millisecond, Adaptive: true,
+		MinRTO: 500 * sim.Microsecond, MaxRetries: 3}
+	deadCalls := 0
+	w := newLossyWire(e, cfg, func(Packet) bool { return true })
+	w.dropData = func(uint32, int) bool { return true }
+	w.s.SetOnDead(func() { deadCalls++ })
+	w.s.Send(100, 0)
+	e.Run()
+
+	if !w.s.Dead() {
+		t.Fatal("sender not dead after a permanently dark link")
+	}
+	if deadCalls != 1 {
+		t.Errorf("OnDead fired %d times, want exactly once", deadCalls)
+	}
+	if got := w.s.Timeouts(); got != uint64(cfg.MaxRetries)+1 {
+		t.Errorf("timeouts = %d, want MaxRetries+1 = %d", got, cfg.MaxRetries+1)
+	}
+	attempts := w.attempts[0]
+	w.s.Send(100, 1)
+	e.Run()
+	if w.attempts[1] != 0 {
+		t.Error("dead sender transmitted a new packet")
+	}
+	if w.attempts[0] != attempts {
+		t.Error("dead sender kept retransmitting")
+	}
+	if w.s.Queued() != 1 {
+		t.Errorf("queued = %d, want 1 (the post-death send)", w.s.Queued())
+	}
+	if w.s.Outstanding() != 1 {
+		t.Errorf("outstanding = %d, want 1 (the abandoned window)", w.s.Outstanding())
+	}
+	// A stray late ack must not resurrect it.
+	w.s.OnAck(1)
+	if !w.s.Dead() {
+		t.Error("late ack resurrected a dead sender")
+	}
+}
+
+// TestFixedRTONotAffected pins that the legacy configuration is
+// untouched by the adaptive machinery: with Adaptive off the armed
+// timeout never moves off the fixed RTO and no samples are logged.
+func TestFixedRTONotAffected(t *testing.T) {
+	e := sim.NewEngine(1)
+	cfg := Config{Window: 4, RTO: 150 * sim.Millisecond}
+	w := newLossyWire(e, cfg, func(Packet) bool { return true })
+	w.dropData = func(seq uint32, attempt int) bool { return attempt == 0 }
+	for i := 0; i < 10; i++ {
+		w.s.Send(100, i)
+	}
+	e.Run()
+	if got := w.s.CurrentRTO(); got != cfg.RTO {
+		t.Errorf("fixed-RTO sender's timeout = %v, want %v", got, cfg.RTO)
+	}
+	if n := len(w.s.RTOSamples()); n != 0 {
+		t.Errorf("fixed-RTO sender logged %d backoff samples, want 0", n)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"pushpull/internal/ether"
+	"pushpull/internal/fault"
 	"pushpull/internal/sim"
 	"pushpull/internal/smp"
 	"pushpull/internal/trace"
@@ -98,6 +99,11 @@ type NIC struct {
 	txBytes    uint64
 	rxFrames   uint64
 	rxDropped  uint64
+
+	// inj, when set, injects node-pause rx drops and tx-stall windows;
+	// nil (the default) costs one comparison per frame.
+	inj          *fault.NICInjector
+	faultDropped uint64
 }
 
 // Transmit-engine resume points.
@@ -151,6 +157,13 @@ func (nc *NIC) RxFrames() uint64 { return nc.rxFrames }
 // RxDropped reports frames lost to incoming-ring overflow.
 func (nc *NIC) RxDropped() uint64 { return nc.rxDropped }
 
+// SetFaultInjector arms a fault injector on the NIC (nil disarms).
+func (nc *NIC) SetFaultInjector(in *fault.NICInjector) { nc.inj = in }
+
+// FaultDropped reports received frames discarded because the host was
+// paused by an injected fault.
+func (nc *NIC) FaultDropped() uint64 { return nc.faultDropped }
+
 // Send queues a frame for transmission, blocking the calling thread while
 // the outgoing FIFO is full (the driver spins on ring space).
 func (nc *NIC) Send(p *sim.Process, req TxRequest) {
@@ -191,7 +204,15 @@ func (nc *NIC) txPump(tk *sim.Tasklet) {
 			}
 			nc.txReq = req
 			nc.txPC = nicTxSetup
-			tk.Sleep(nc.cfg.TxSetup)
+			delay := nc.cfg.TxSetup
+			// A stall or pause window freezes the transmit engine: the
+			// fetched frame waits until the window lifts.
+			if nc.inj != nil {
+				if until, stalled := nc.inj.StallUntil(tk.Now()); stalled {
+					delay += until.Sub(tk.Now())
+				}
+			}
+			tk.Sleep(delay)
 			return
 		case nicTxSetup:
 			if nc.txReq.Preloaded {
@@ -266,6 +287,11 @@ func (w *wireTx) step(tk *sim.Tasklet) {
 // DeliverFrame implements ether.Port: the last bit of a frame has arrived
 // in the card's incoming buffer.
 func (nc *NIC) DeliverFrame(f ether.Frame) {
+	if nc.inj != nil && nc.inj.RxDrop(nc.node.Engine.Now()) {
+		nc.faultDropped++
+		nc.Rec.Recordf(nc.node.Engine.Now(), nc.node.ID, trace.KindNICDrop, "frame %d->%d %dB dropped: host paused", f.Src, f.Dst, f.PayloadBytes)
+		return
+	}
 	if nc.rxInFlight >= nc.cfg.RxRingFrames {
 		nc.rxDropped++
 		nc.Rec.Recordf(nc.node.Engine.Now(), nc.node.ID, trace.KindNICDrop, "frame %d->%d %dB lost to rx-ring overflow", f.Src, f.Dst, f.PayloadBytes)

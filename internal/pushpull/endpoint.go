@@ -2,6 +2,7 @@ package pushpull
 
 import (
 	"fmt"
+	"sort"
 
 	"pushpull/internal/sim"
 	"pushpull/internal/smp"
@@ -89,6 +90,12 @@ func (ep *Endpoint) SendOpt(t *smp.Thread, to ProcessID, addr vm.VirtAddr, data 
 			return fmt.Errorf("pushpull: send source: %w", err)
 		}
 	}
+	if !ep.stack.intranode(to) {
+		if derr := ep.stack.deadPeers[to.Node]; derr != nil {
+			ep.stack.failedOps++
+			return fmt.Errorf("pushpull: send to %v: %w", to, derr)
+		}
+	}
 	ch := ChannelID{From: ep.ID, To: to}
 	msgID := ep.nextMsg[ch]
 	ep.nextMsg[ch] = msgID + 1
@@ -126,6 +133,12 @@ func (ep *Endpoint) RecvOpt(t *smp.Thread, from ProcessID, addr vm.VirtAddr, buf
 	if bufLen > 0 {
 		if _, err := ep.Space.Translate(addr, bufLen); err != nil {
 			return nil, Status{}, fmt.Errorf("pushpull: receive destination: %w", err)
+		}
+	}
+	if from != AnySource && !ep.stack.intranode(from) {
+		if derr := ep.stack.deadPeers[from.Node]; derr != nil {
+			ep.stack.failedOps++
+			return nil, Status{}, fmt.Errorf("pushpull: receive from %v: %w", from, derr)
 		}
 	}
 	cfg := ep.stack.Node.Cfg
@@ -237,6 +250,57 @@ func (ep *Endpoint) bind(op *recvOp, m *inboundMsg) {
 func (ep *Endpoint) fail(op *recvOp, err error) {
 	op.err = err
 	ep.dropPending(op)
+}
+
+// failPeer fails every operation on this endpoint bound to the
+// now-unreachable peer node: pending receives naming it, messages
+// mid-transfer from it, and parked synchronous senders toward it. Runs
+// in timer context from Stack.peerUnreachable.
+func (ep *Endpoint) failPeer(peer int, err error) {
+	// Pending receives with a definite source on the dead peer. Iterate a
+	// snapshot: fail mutates ep.pending.
+	pend := append([]*recvOp(nil), ep.pending...)
+	for _, op := range pend {
+		if op.src != AnySource && op.src.Node == peer {
+			ep.fail(op, err)
+			op.done.Broadcast()
+			ep.stack.failedOps++
+		}
+	}
+	// Receives already bound to a message the dead peer will never
+	// finish transferring.
+	for _, m := range ep.inbound {
+		if m.ch.From.Node == peer && m.op != nil && !m.complete && m.op.err == nil {
+			m.op.err = err
+			m.op.done.Broadcast()
+			ep.stack.failedOps++
+		}
+	}
+	// Parked synchronous (three-phase) senders waiting on a grant the
+	// dead peer will never send. The map iterates in sorted key order so
+	// the wake sequence is deterministic.
+	keys := make([]sendKey, 0, len(ep.sendOps))
+	for k := range ep.sendOps {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.ch.To.Node != b.ch.To.Node {
+			return a.ch.To.Node < b.ch.To.Node
+		}
+		if a.ch.To.Proc != b.ch.To.Proc {
+			return a.ch.To.Proc < b.ch.To.Proc
+		}
+		return a.msgID < b.msgID
+	})
+	for _, k := range keys {
+		op := ep.sendOps[k]
+		if op.ch.To.Node == peer && op.done != nil && op.grant == nil && !op.served && op.err == nil {
+			op.err = err
+			op.done.Broadcast()
+			ep.stack.failedOps++
+		}
+	}
 }
 
 func (ep *Endpoint) dropPending(op *recvOp) {

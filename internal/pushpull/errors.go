@@ -1,0 +1,29 @@
+package pushpull
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrPeerUnreachable is the sentinel every unreachable-peer failure
+// wraps: a go-back-N sender exhausted its retransmission budget
+// (Options.GBN.MaxRetries consecutive timeouts with no acknowledgement
+// progress), so the stack declared the peer dead and failed every
+// operation bound to it. Classify with errors.Is(err,
+// ErrPeerUnreachable); the concrete *PeerUnreachableError carries the
+// node pair.
+var ErrPeerUnreachable = errors.New("peer unreachable: retransmission budget exhausted")
+
+// PeerUnreachableError reports which peer a node declared dead. It
+// matches ErrPeerUnreachable under errors.Is.
+type PeerUnreachableError struct {
+	Node int // the node that exhausted its budget
+	Peer int // the peer it could not reach
+}
+
+func (e *PeerUnreachableError) Error() string {
+	return fmt.Sprintf("pushpull: node %d: peer node %d unreachable: retransmission budget exhausted", e.Node, e.Peer)
+}
+
+// Is makes errors.Is(err, ErrPeerUnreachable) true for this error.
+func (e *PeerUnreachableError) Is(target error) bool { return target == ErrPeerUnreachable }

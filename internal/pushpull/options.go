@@ -108,8 +108,8 @@ func (o Options) Validate() error {
 	if o.PushedBufBytes <= 0 {
 		return fmt.Errorf("pushpull: PushedBufBytes must be positive")
 	}
-	if o.GBN.Window <= 0 {
-		return fmt.Errorf("pushpull: go-back-N window must be positive")
+	if err := o.GBN.Validate(); err != nil {
+		return fmt.Errorf("pushpull: %w", err)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package pushpull
 
 import (
 	"fmt"
+	"sort"
 
 	"pushpull/internal/ether"
 	"pushpull/internal/gbn"
@@ -62,6 +63,15 @@ type Stack struct {
 	// wire bandwidth the eager push wasted.
 	discardedBytes uint64
 
+	// deadPeers holds the typed unreachability error per peer node a
+	// go-back-N sender declared dead (retransmission budget exhausted).
+	// Operations toward a dead peer fail fast with that error.
+	deadPeers map[int]*PeerUnreachableError
+	// failedOps counts operations the stack failed with
+	// ErrPeerUnreachable (pending receives, mid-transfer messages and
+	// parked senders at declaration time, plus fast-failed entries).
+	failedOps uint64
+
 	// Trace, when set, receives one line per protocol event (used by
 	// cmd/pushpull-trace).
 	Trace func(format string, args ...any)
@@ -80,13 +90,14 @@ func NewStack(n *smp.Node, opts Options) *Stack {
 		panic(err)
 	}
 	return &Stack{
-		Node:    n,
-		Opts:    opts,
-		eps:     make(map[int]*Endpoint),
-		peers:   make(map[int]bool),
-		outSess: make(map[ChannelID]*chanSession),
-		inSess:  make(map[ChannelID]*chanSession),
-		rxLock:  sim.NewResource(n.Engine, fmt.Sprintf("rxlock/n%d", n.ID)),
+		Node:      n,
+		Opts:      opts,
+		eps:       make(map[int]*Endpoint),
+		peers:     make(map[int]bool),
+		outSess:   make(map[ChannelID]*chanSession),
+		inSess:    make(map[ChannelID]*chanSession),
+		deadPeers: make(map[int]*PeerUnreachableError),
+		rxLock:    sim.NewResource(n.Engine, fmt.Sprintf("rxlock/n%d", n.ID)),
 	}
 }
 
@@ -289,6 +300,9 @@ func (s *Stack) newSession(ch ChannelID, peer int, out bool) *chanSession {
 				// This node transmits on the lane.
 				r.snd[l] = gbn.NewSender(s.Node.Engine, s.Opts.GBN, func(pkt gbn.Packet) { r.transmit(l, pkt) })
 				r.snd[l].SetTrace(s.Rec, s.Node.ID)
+				if s.Opts.GBN.MaxRetries > 0 {
+					r.snd[l].SetOnDead(func() { s.peerUnreachable(peer) })
+				}
 			} else {
 				// This node receives on the lane.
 				deliver := sess.deliverFrag
@@ -406,13 +420,67 @@ func (s *Stack) handleFrame(railIdx int, t *smp.Thread, f ether.Frame) {
 	s.rxLock.Release()
 }
 
+// peerUnreachable marks peer dead — a go-back-N sender toward it
+// exhausted its retransmission budget — and fails every operation bound
+// to it: pending receives naming the peer, messages mid-transfer from
+// it, and parked three-phase senders toward it. Subsequent sends and
+// receives involving the peer fail fast at entry. It runs in timer
+// context (the sender's onDead callback) and fires once per peer.
+func (s *Stack) peerUnreachable(peer int) {
+	if s.deadPeers[peer] != nil {
+		return
+	}
+	err := &PeerUnreachableError{Node: s.Node.ID, Peer: peer}
+	s.deadPeers[peer] = err
+	s.event(trace.KindError, "peer node %d unreachable: retransmission budget exhausted", peer)
+	// Endpoints are numbered 0..Procs()-1 by every builder; index order
+	// keeps the wake sequence deterministic.
+	for proc := 0; proc < len(s.eps); proc++ {
+		if ep := s.eps[proc]; ep != nil {
+			ep.failPeer(peer, err)
+		}
+	}
+}
+
+// DeadPeers returns the peers this node has declared unreachable, in
+// ascending node order.
+func (s *Stack) DeadPeers() []int {
+	var out []int
+	for p := range s.deadPeers {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FailedOps reports operations this stack failed with
+// ErrPeerUnreachable.
+func (s *Stack) FailedOps() uint64 { return s.failedOps }
+
+// RTOSamples appends every backed-off adaptive timeout (µs) this node's
+// go-back-N senders armed after retransmissions, in session order.
+func (s *Stack) RTOSamples(dst []float64) []float64 {
+	for _, sess := range s.sessOrder {
+		for _, r := range sess.rails {
+			for l := lane(0); l < numLanes; l++ {
+				if snd := r.snd[l]; snd != nil {
+					dst = append(dst, snd.RTOSamples()...)
+				}
+			}
+		}
+	}
+	return dst
+}
+
 // LinkStats aggregates the go-back-N counters of every channel session
 // between this node and peer, both lanes: the transmitting halves on
 // this node (data out plus control out) and the receiving halves (data
 // in plus control in).
 type LinkStats struct {
-	// Transmitting halves on this node toward peer.
-	Retransmissions, Timeouts, Outstanding, Queued uint64
+	// Transmitting halves on this node toward peer. Recovered counts
+	// packets acknowledged only after at least one retransmission — the
+	// deliveries the reliability layer actually saved.
+	Retransmissions, Timeouts, Recovered, Outstanding, Queued uint64
 	// Receiving halves on this node from peer.
 	Delivered, Rejected, OutOfOrder, Duplicates uint64
 }
@@ -449,6 +517,7 @@ func (ps *chanSession) addStats(st *LinkStats) {
 			if snd := r.snd[l]; snd != nil {
 				st.Retransmissions += snd.Retransmissions()
 				st.Timeouts += snd.Timeouts()
+				st.Recovered += snd.Recovered()
 				st.Outstanding += uint64(snd.Outstanding())
 				st.Queued += uint64(snd.Queued())
 			}

@@ -64,10 +64,17 @@ func (s *Stack) sendInterThreePhase(t *smp.Thread, ep *Endpoint, ch ChannelID, m
 	t.Exec(s.nicKernelTrigger())
 	sess.send(laneEager, rts.wireBytes(), rts)
 
-	// Phase 2: park until the receiver's clear-to-send arrives.
-	for op.grant == nil {
+	// Phase 2: park until the receiver's clear-to-send arrives — or the
+	// peer is declared unreachable, which aborts the handshake.
+	for op.grant == nil && op.err == nil {
 		op.done.Wait(t.P)
 		t.Exec(cfg.WakeLatency)
+	}
+	if op.err != nil {
+		s.event(trace.KindError, "%v#%d three-phase send aborted: %v", ch, msgID, op.err)
+		s.finishSend(ep, op)
+		t.Exec(cfg.SyscallExit)
+		return
 	}
 
 	// Phase 3: transmit the whole message from the send process's thread.

@@ -132,6 +132,9 @@ type sendOp struct {
 	// grant is the received clear-to-send for a parked three-phase
 	// sender.
 	grant *pullReqMsg
+	// err aborts a parked sender: set (with a broadcast on done) when
+	// the peer is declared unreachable.
+	err error
 }
 
 // recvOp is a registered receive operation. src and tag may be the

@@ -69,7 +69,7 @@ func RunConfig(cfg cluster.Config, spec Spec, opts ...RunOption) (*Result, error
 		}
 	}
 
-	samples, bytes, err := pat.run(c, spec)
+	samples, bytes, err := runPattern(c, pat.run, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -102,6 +102,82 @@ func RunConfig(cfg cluster.Config, spec Spec, opts ...RunOption) (*Result, error
 	if res.VirtualUS > 0 {
 		res.ThroughputMBps = float64(bytes) / res.VirtualUS // bytes/µs == MB/s
 	}
+	if c.Faults != nil {
+		res.Degradation = degradation(c)
+	}
 	res.seal(samples, o.keepSamples)
+	if len(c.NICs) > 0 {
+		fl := c.FrameLoss()
+		res.FrameLoss = &fl
+	}
 	return res, nil
+}
+
+// runPattern drives the pattern and converts pattern-level panics on
+// unreachable peers (the patterns' must() helper) into returned errors.
+// Anything else is a real bug and keeps panicking. The engine is shut
+// down on the recovery path: runSim's deferred Shutdown never ran when
+// RunUntil re-raised a process panic, and without it the cluster's
+// pumps would leak goroutines parked on the virtual clock.
+func runPattern(c *cluster.Cluster, pat patternFunc, spec Spec) (samples []float64, bytes uint64, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		perr, ok := r.(error)
+		if !ok || !IsPeerUnreachable(perr) {
+			panic(r)
+		}
+		c.Shutdown()
+		samples, bytes = nil, 0
+		err = perr
+	}()
+	return pat(c, spec)
+}
+
+// degradation assembles the fault-impact section from the compiled
+// fault set and the stacks' transport counters.
+func degradation(c *cluster.Cluster) *Degradation {
+	d := &Degradation{}
+	end := c.Engine.Now()
+	var rto []float64
+	for node, st := range c.Stacks {
+		nd := NodeDegradation{
+			Node:        node,
+			DowntimeUS:  c.Faults.Downtime(node, end).Microseconds(),
+			BurstLosses: c.Faults.BurstLosses(node),
+			FailedOps:   st.FailedOps(),
+			DeadPeers:   st.DeadPeers(),
+		}
+		for peer := range c.Stacks {
+			if peer == node {
+				continue
+			}
+			ls := st.LinkStats(peer)
+			nd.Retransmissions += ls.Retransmissions
+			nd.Timeouts += ls.Timeouts
+			nd.Recovered += ls.Recovered
+		}
+		d.Nodes = append(d.Nodes, nd)
+		d.Retransmissions += nd.Retransmissions
+		d.Timeouts += nd.Timeouts
+		d.Recovered += nd.Recovered
+		d.FailedOps += nd.FailedOps
+		rto = st.RTOSamples(rto)
+	}
+	last := c.Faults.LastFaultEnd()
+	if last > end {
+		last = end
+	}
+	d.LastFaultUS = sim.Duration(last).Microseconds()
+	if end > last {
+		d.RecoveryUS = end.Sub(last).Microseconds()
+	}
+	if len(rto) > 0 {
+		s := stats.Summarize(rto)
+		d.BackoffRTO = &s
+		d.BackoffHist = stats.NewHistogram(rto, 8)
+	}
+	return d
 }

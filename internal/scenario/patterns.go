@@ -7,6 +7,7 @@ import (
 
 	"pushpull/comm"
 	"pushpull/internal/cluster"
+	"pushpull/internal/pushpull"
 	"pushpull/internal/sim"
 	"pushpull/internal/smp"
 )
@@ -74,6 +75,13 @@ var ErrVirtualBudget = cluster.ErrBudget
 
 // IsBudgetError reports whether err is a virtual-time-budget exhaustion.
 func IsBudgetError(err error) bool { return errors.Is(err, ErrVirtualBudget) }
+
+// IsPeerUnreachable reports whether err is (or wraps) a structured
+// unreachable-peer failure: the transport exhausted its retransmission
+// budget toward a dead node and failed the operation instead of
+// retrying forever. Distinct from IsBudgetError — the run ended with a
+// diagnosis, not a stall; cmd/pushpull-scen gives it its own exit code.
+func IsPeerUnreachable(err error) bool { return errors.Is(err, pushpull.ErrPeerUnreachable) }
 
 // runSim drives the cluster within the spec's virtual-time budget. It
 // returns an ErrVirtualBudget-wrapping error if the budget expired with

@@ -3,6 +3,8 @@ package scenario
 import (
 	"fmt"
 	"sort"
+
+	"pushpull/internal/fault"
 )
 
 // Builtin returns the named scenarios shipped with the engine: the
@@ -155,12 +157,67 @@ func Builtin() []Spec {
 	collHalo.Traffic = Traffic{Pattern: "halo", Size: 8192, Messages: 20,
 		ComputeX: 300_000, ComputeY: 60_000}
 
+	// The fault family exercises the deterministic fault-injection
+	// subsystem (internal/fault) against the self-healing transport:
+	// each pins a degradation-and-recovery story in its digest — per-
+	// link downtime, retransmissions, backoff spread, recovery tail.
+	blackoutRecovery := base("blackout-recovery",
+		"fault family: the internode ping-pong through an 8 ms total link blackout — adaptive RTO backs off across the outage, delivery resumes exactly-once on restore")
+	blackoutRecovery.Traffic = Traffic{Pattern: "pingpong", Size: 1400, Messages: 400}
+	blackoutRecovery.Protocol.RTOMs = 2
+	blackoutRecovery.Protocol.AdaptiveRTO = true
+	blackoutRecovery.Protocol.MaxRetries = 10
+	blackoutRecovery.MaxVirtualMS = 3000
+	blackoutRecovery.Faults = &fault.Plan{Events: []fault.Event{
+		{Kind: fault.KindLinkDown, Node: 1, AtMS: 2, UntilMS: 10},
+	}}
+
+	flakyAllreduce := base("flaky-link-allreduce",
+		"fault family: recursive-doubling allreduce while one rank's cable suffers correlated Gilbert-Elliott loss bursts — go-back-N recoveries inside a collective schedule")
+	flakyAllreduce.Topology = Topology{Kind: "switch", Nodes: 4, ProcsPerNode: 1, Policy: "symmetric"}
+	flakyAllreduce.Traffic = Traffic{Pattern: "allreduce", Size: 2048, Messages: 10,
+		Algorithm: "recursive-doubling"}
+	flakyAllreduce.Protocol.RTOMs = 2
+	flakyAllreduce.Protocol.AdaptiveRTO = true
+	flakyAllreduce.MaxVirtualMS = 3000
+	flakyAllreduce.Faults = &fault.Plan{Seed: 7, Events: []fault.Event{
+		{Kind: fault.KindLossBurst, Node: 2, AtMS: 0, UntilMS: 40,
+			PEnterBurst: 0.02, PExitBurst: 0.25, BurstLoss: 0.6},
+	}}
+
+	flappingWave := base("flapping-wavefront",
+		"fault family: the irregular wavefront over a flapping access link (1.5 ms period, 70% duty, seeded-random down phase) — retransmission storms meet data-dependent traffic")
+	flappingWave.Topology = Topology{Kind: "switch", Nodes: 6, ProcsPerNode: 1, Policy: "symmetric"}
+	flappingWave.Traffic = Traffic{Pattern: "wavefront", Size: 1024, Messages: 4,
+		Fanout: 2, Depth: 5, MinSize: 800, MaxSize: 2400}
+	flappingWave.Protocol.RTOMs = 2
+	flappingWave.Protocol.AdaptiveRTO = true
+	flappingWave.MaxVirtualMS = 3000
+	flappingWave.Faults = &fault.Plan{Seed: 3, Events: []fault.Event{
+		{Kind: fault.KindLinkFlap, Node: 3, AtMS: 0, UntilMS: 15,
+			PeriodMS: 1.5, DutyCycle: 0.7, Random: true},
+	}}
+
+	portBlackoutPipeline := base("port-blackout-pipeline",
+		"fault family: the store-and-forward chain through a switch-port blackout at hop 2 plus a NIC transmit stall at hop 1 — back-to-back faults at different layers of the same path")
+	portBlackoutPipeline.Topology = Topology{Kind: "switch", Nodes: 4, ProcsPerNode: 1, Policy: "symmetric"}
+	portBlackoutPipeline.Traffic = Traffic{Pattern: "pipeline", Size: 4096, Messages: 60}
+	portBlackoutPipeline.Protocol.RTOMs = 2
+	portBlackoutPipeline.Protocol.AdaptiveRTO = true
+	portBlackoutPipeline.Protocol.MaxRetries = 12
+	portBlackoutPipeline.MaxVirtualMS = 3000
+	portBlackoutPipeline.Faults = &fault.Plan{Events: []fault.Event{
+		{Kind: fault.KindPortBlackout, Node: 2, AtMS: 1, UntilMS: 4},
+		{Kind: fault.KindNICStall, Node: 1, AtMS: 5, UntilMS: 7},
+	}}
+
 	return []Spec{
 		intraPing, interPing, early, late, bw,
 		hotspot, perm, bursty, pipeline, wave,
 		waveAdaptive, hubHotspot, lossyPerm, eagerOverflow,
 		collAllreduce, collAllreduceRing, collAlltoall, collHalo,
 		collBcastSeg, collAllreduceRsag,
+		blackoutRecovery, flakyAllreduce, flappingWave, portBlackoutPipeline,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 
+	"pushpull/internal/cluster"
 	"pushpull/internal/stats"
 )
 
@@ -41,6 +42,15 @@ type Result struct {
 	// DiscardedBytes totals pushed bytes receivers dropped for lack of
 	// pushed-buffer space (re-fetched by the pull phase).
 	DiscardedBytes uint64 `json:"discardedBytes"`
+	// Degradation is present only when the spec armed a fault plan. It
+	// is part of the digest: a fault scenario pins its degradation and
+	// recovery behaviour exactly like its traffic.
+	Degradation *Degradation `json:"degradation,omitempty"`
+	// FrameLoss breaks down where frames died in the fabric, attached
+	// for every networked run. It is set after sealing and excluded
+	// from the digest (see seal), so the pre-existing pinned digests —
+	// including the lossy ones — are unaffected by its introduction.
+	FrameLoss *cluster.FrameLoss `json:"frameLoss,omitempty"`
 	// Samples holds the raw per-message latencies (µs) when the run was
 	// asked to keep them.
 	Samples []float64 `json:"samples,omitempty"`
@@ -57,18 +67,66 @@ type EndpointResult struct {
 	Received uint64 `json:"received"`
 }
 
+// Degradation quantifies fault impact and transport reaction for a run
+// that armed a fault plan (Spec.Faults).
+type Degradation struct {
+	// Nodes reports per-node fault exposure and reaction, by node ID.
+	Nodes []NodeDegradation `json:"nodes"`
+	// Totals of the per-node transport counters below.
+	Retransmissions uint64 `json:"retransmissions"`
+	Timeouts        uint64 `json:"timeouts"`
+	Recovered       uint64 `json:"recovered"`
+	FailedOps       uint64 `json:"failedOps"`
+	// BackoffRTO summarizes the adaptive timeout values (µs) armed
+	// after each expiry, with a histogram exposing the exponential-
+	// backoff spread. Present only when Protocol.AdaptiveRTO is on and
+	// at least one timeout fired.
+	BackoffRTO  *stats.Summary   `json:"backoffRTO,omitempty"`
+	BackoffHist *stats.Histogram `json:"backoffHist,omitempty"`
+	// LastFaultUS is the virtual time the last scheduled fault window
+	// ended (clamped to the run's end); RecoveryUS is how long the run
+	// kept going after that — the post-fault recovery tail, 0 when the
+	// run finished inside a fault window.
+	LastFaultUS float64 `json:"lastFaultUS"`
+	RecoveryUS  float64 `json:"recoveryUS"`
+}
+
+// NodeDegradation is one node's view of the plan: how long its
+// links/ports were scheduled unusable, what the burst overlay ate, and
+// how its outbound go-back-N sessions reacted.
+type NodeDegradation struct {
+	Node int `json:"node"`
+	// DowntimeUS totals this node's scheduled link/port/pause downtime
+	// windows, merged and clamped to the run's end.
+	DowntimeUS float64 `json:"downtimeUS"`
+	// BurstLosses counts frames the Gilbert–Elliott overlay dropped on
+	// this node's links.
+	BurstLosses uint64 `json:"burstLosses"`
+	// Outbound session counters summed over all peers.
+	Retransmissions uint64 `json:"retransmissions"`
+	Timeouts        uint64 `json:"timeouts"`
+	Recovered       uint64 `json:"recovered"`
+	// FailedOps counts operations this node failed with an
+	// unreachable-peer error; DeadPeers lists who it gave up on.
+	FailedOps uint64 `json:"failedOps"`
+	DeadPeers []int  `json:"deadPeers,omitempty"`
+}
+
 // seal computes the digest. keepSamples controls whether the raw
 // samples stay in the emitted result; they are always digested, so the
 // digest is insensitive to the choice.
 func (r *Result) seal(samples []float64, keepSamples bool) {
 	r.Samples = samples
 	r.Digest = ""
+	fl := r.FrameLoss
+	r.FrameLoss = nil // observational, not digested (restored below)
 	enc, err := json.Marshal(r)
 	if err != nil {
 		panic(err) // plain-data struct: cannot fail
 	}
 	sum := sha256.Sum256(enc)
 	r.Digest = hex.EncodeToString(sum[:])
+	r.FrameLoss = fl
 	if !keepSamples {
 		r.Samples = nil
 	}

@@ -21,6 +21,7 @@ import (
 	"pushpull/coll"
 	"pushpull/internal/adapt"
 	"pushpull/internal/cluster"
+	"pushpull/internal/fault"
 	"pushpull/internal/gbn"
 	"pushpull/internal/pushpull"
 	"pushpull/internal/sim"
@@ -43,6 +44,11 @@ type Spec struct {
 	// buffer slots it needs are held by messages queued behind it — and
 	// the budget turns such runs into reported errors instead of hangs.
 	MaxVirtualMS float64 `json:"maxVirtualMS,omitempty"`
+	// Faults, when set, is the deterministic fault plan armed on the
+	// topology (see internal/fault): link down/flap windows, correlated
+	// loss bursts, switch-port blackouts, node pauses, NIC stalls. Runs
+	// with a plan report a degradation section in their Result.
+	Faults *fault.Plan `json:"faults,omitempty"`
 }
 
 // Topology selects the machines and the interconnect joining them.
@@ -89,6 +95,16 @@ type Protocol struct {
 	// Go-back-N reliability parameters.
 	GBNWindow int     `json:"gbnWindow"`
 	RTOMs     float64 `json:"rtoMs"`
+	// AdaptiveRTO switches go-back-N from the fixed RTO to the RFC
+	// 6298-style SRTT/RTTVAR estimator with exponential backoff;
+	// MinRTOMs/MaxRTOMs clamp it (zero = the gbn package defaults).
+	AdaptiveRTO bool    `json:"adaptiveRTO,omitempty"`
+	MinRTOMs    float64 `json:"minRTOMs,omitempty"`
+	MaxRTOMs    float64 `json:"maxRTOMs,omitempty"`
+	// MaxRetries, when positive, is the retransmission budget: that many
+	// consecutive timeouts with no progress declare the peer unreachable
+	// and fail its operations with ErrPeerUnreachable.
+	MaxRetries int `json:"maxRetries,omitempty"`
 	// Adaptive installs the AIMD BTP controller (§3's dynamic
 	// pushed-buffer remark) on every stack. AdaptMax bounds the adapted
 	// BTP; zero means the pushed buffer size.
@@ -340,9 +356,20 @@ func (s Spec) clusterConfig() (cluster.Config, error) {
 	if p.RTOMs > 0 {
 		cfg.Opts.GBN.RTO = sim.Duration(p.RTOMs * float64(sim.Millisecond))
 	}
+	cfg.Opts.GBN.Adaptive = p.AdaptiveRTO
+	if p.MinRTOMs > 0 {
+		cfg.Opts.GBN.MinRTO = sim.Duration(p.MinRTOMs * float64(sim.Millisecond))
+	}
+	if p.MaxRTOMs > 0 {
+		cfg.Opts.GBN.MaxRTO = sim.Duration(p.MaxRTOMs * float64(sim.Millisecond))
+	}
+	if p.MaxRetries > 0 {
+		cfg.Opts.GBN.MaxRetries = p.MaxRetries
+	}
 	if err := cfg.Opts.Validate(); err != nil {
 		return cluster.Config{}, err
 	}
+	cfg.FaultPlan = s.Faults
 	return cfg, nil
 }
 

@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"pushpull/internal/fault"
 )
 
 // Sweep is a declarative parameter study: one base Spec expanded over a
@@ -27,7 +29,7 @@ type Sweep struct {
 // Grid names the swept axes. An empty axis keeps the base value; the
 // expansion is the cartesian product of the non-empty axes, ordered
 // nodes (outermost) > pushedBufBytes > sizes > lossRates > algorithms >
-// seeds (innermost).
+// faultPlans > seeds (innermost).
 type Grid struct {
 	// Nodes varies Topology.Nodes.
 	Nodes []int `json:"nodes,omitempty"`
@@ -40,22 +42,58 @@ type Grid struct {
 	// Algorithms varies Traffic.Algorithm (collective patterns only —
 	// expansion fails on a pattern with no algorithm axis).
 	Algorithms []string `json:"algorithms,omitempty"`
+	// FaultPlans varies Spec.Faults over the named presets of
+	// FaultPlanByName ("none" clears the base plan), so degradation
+	// studies sweep fault shapes like any other parameter.
+	FaultPlans []string `json:"faultPlans,omitempty"`
 	// Seeds varies Seed.
 	Seeds []uint64 `json:"seeds,omitempty"`
 }
 
+// FaultPlanNames lists the named fault-plan presets a sweep's
+// faultPlans axis accepts, sorted.
+func FaultPlanNames() []string { return []string{"blackout-5ms", "burst-loss", "flap", "none"} }
+
+// FaultPlanByName returns a preset fault plan for sweep axes: small,
+// one-event shapes targeting node 1 (present in every networked
+// topology). "none" returns nil — the clean-baseline cell.
+func FaultPlanByName(name string) (*fault.Plan, error) {
+	switch name {
+	case "none":
+		return nil, nil
+	case "blackout-5ms":
+		return &fault.Plan{Events: []fault.Event{
+			{Kind: fault.KindLinkDown, Node: 1, AtMS: 1, UntilMS: 6},
+		}}, nil
+	case "flap":
+		return &fault.Plan{Events: []fault.Event{
+			{Kind: fault.KindLinkFlap, Node: 1, AtMS: 0, UntilMS: 10,
+				PeriodMS: 1, DutyCycle: 0.6, Random: true},
+		}}, nil
+	case "burst-loss":
+		return &fault.Plan{Events: []fault.Event{
+			{Kind: fault.KindLossBurst, Node: 1, AtMS: 0, UntilMS: 20,
+				PEnterBurst: 0.03, PExitBurst: 0.25, BurstLoss: 0.5},
+		}}, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown fault plan %q (have %v)", name, FaultPlanNames())
+}
+
 // Point is one expanded grid cell: a complete runnable Spec plus its
-// position in grid order.
+// position in grid order. FaultPlan records the cell's faultPlans
+// preset name ("" when that axis is not swept) — the plan itself lives
+// in Spec.Faults, but results label cells by name.
 type Point struct {
-	Index int
-	Spec  Spec
+	Index     int
+	Spec      Spec
+	FaultPlan string
 }
 
 // Points reports the expansion size without expanding.
 func (g Grid) Points() int {
 	n := 1
 	for _, axis := range []int{
-		len(g.Nodes), len(g.PushedBufBytes), len(g.Sizes), len(g.LossRates), len(g.Algorithms), len(g.Seeds),
+		len(g.Nodes), len(g.PushedBufBytes), len(g.Sizes), len(g.LossRates), len(g.Algorithms), len(g.FaultPlans), len(g.Seeds),
 	} {
 		if axis > 0 {
 			n *= axis
@@ -95,6 +133,13 @@ func (sw Sweep) Expand() ([]Point, error) {
 			return nil, fmt.Errorf("scenario: sweep grid algorithms value is empty (name an algorithm explicitly)")
 		}
 	}
+	for _, f := range sw.Grid.FaultPlans {
+		// Resolve every preset up front: a typo fails the expansion, not
+		// point N of a half-run study.
+		if _, err := FaultPlanByName(f); err != nil {
+			return nil, fmt.Errorf("scenario: sweep grid faultPlans: %w", err)
+		}
+	}
 	axes := []struct {
 		key    string
 		n      int
@@ -116,6 +161,12 @@ func (sw Sweep) Expand() ([]Point, error) {
 		{"alg", len(sw.Grid.Algorithms),
 			func(i int) string { return sw.Grid.Algorithms[i] },
 			func(s *Spec, i int) { s.Traffic.Algorithm = sw.Grid.Algorithms[i] }},
+		{"faults", len(sw.Grid.FaultPlans),
+			func(i int) string { return sw.Grid.FaultPlans[i] },
+			func(s *Spec, i int) {
+				p, _ := FaultPlanByName(sw.Grid.FaultPlans[i]) // pre-validated above
+				s.Faults = p
+			}},
 		{"seed", len(sw.Grid.Seeds),
 			func(i int) string { return fmt.Sprintf("%d", sw.Grid.Seeds[i]) },
 			func(s *Spec, i int) { s.Seed = sw.Grid.Seeds[i] }},
@@ -133,11 +184,15 @@ func (sw Sweep) Expand() ([]Point, error) {
 	for {
 		spec := base
 		suffix := ""
+		faultPlan := ""
 		for a, ax := range axes {
 			if ax.n == 0 {
 				continue
 			}
 			ax.apply(&spec, idx[a])
+			if ax.key == "faults" {
+				faultPlan = ax.format(idx[a])
+			}
 			if suffix != "" {
 				suffix += ","
 			}
@@ -150,7 +205,7 @@ func (sw Sweep) Expand() ([]Point, error) {
 		if err := spec.Validate(); err != nil {
 			return nil, fmt.Errorf("scenario: sweep %q point %q: %w", name, spec.Name, err)
 		}
-		points = append(points, Point{Index: len(points), Spec: spec})
+		points = append(points, Point{Index: len(points), Spec: spec, FaultPlan: faultPlan})
 
 		// Increment the counter, innermost (last) axis fastest.
 		a := len(axes) - 1
@@ -182,13 +237,18 @@ type PointResult struct {
 	Size           int     `json:"size"`
 	LossRate       float64 `json:"lossRate"`
 	Algorithm      string  `json:"algorithm,omitempty"`
-	Seed           uint64  `json:"seed"`
-	Error          string  `json:"error,omitempty"`
+	// FaultPlan names the cell's faultPlans preset ("" when the axis is
+	// not swept).
+	FaultPlan string `json:"faultPlan,omitempty"`
+	Seed      uint64 `json:"seed"`
+	Error     string `json:"error,omitempty"`
 	// BudgetExhausted flags an Error that was a virtual-time-budget
 	// exhaustion (protocol deadlock or retransmission livelock), so
 	// sweeps over pathological cells are machine-checkable without
-	// string matching.
+	// string matching. PeerUnreachable flags the structured failure
+	// instead: the transport diagnosed a dead peer and failed fast.
 	BudgetExhausted bool    `json:"budgetExhausted,omitempty"`
+	PeerUnreachable bool    `json:"peerUnreachable,omitempty"`
 	Result          *Result `json:"result,omitempty"`
 }
 
@@ -304,6 +364,7 @@ func runPoint(pt Point, opts ...RunOption) (pr PointResult) {
 		Size:           s.Traffic.Size,
 		LossRate:       s.Topology.LossRate,
 		Algorithm:      s.Traffic.Algorithm,
+		FaultPlan:      pt.FaultPlan,
 		Seed:           s.Seed,
 	}
 	defer func() {
@@ -316,6 +377,7 @@ func runPoint(pt Point, opts ...RunOption) (pr PointResult) {
 	if err != nil {
 		pr.Error = err.Error()
 		pr.BudgetExhausted = IsBudgetError(err)
+		pr.PeerUnreachable = IsPeerUnreachable(err)
 		return pr
 	}
 	pr.Result = res
@@ -391,7 +453,22 @@ func BuiltinSweeps() []Sweep {
 		Seeds:      []uint64{1, 2},
 	}
 
-	return []Sweep{smoke, study, collSmoke}
+	faultSmoke := Sweep{
+		Name:        "fault-smoke",
+		Description: "CI grid for the fault family: internode ping-pong over faultPlan x seed (8 points, seconds) — pins that every preset degrades and recovers identically across worker counts",
+		Base:        DefaultSpec(),
+	}
+	faultSmoke.Base.Traffic = Traffic{Pattern: "pingpong", Size: 1400, Messages: 100}
+	faultSmoke.Base.Protocol.RTOMs = 2
+	faultSmoke.Base.Protocol.AdaptiveRTO = true
+	faultSmoke.Base.Protocol.MaxRetries = 10
+	faultSmoke.Base.MaxVirtualMS = 3000
+	faultSmoke.Grid = Grid{
+		FaultPlans: []string{"none", "blackout-5ms", "flap", "burst-loss"},
+		Seeds:      []uint64{1, 2},
+	}
+
+	return []Sweep{smoke, study, collSmoke, faultSmoke}
 }
 
 // SweepNames lists the builtin sweep names, sorted.
