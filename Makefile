@@ -4,9 +4,10 @@ GO ?= go
 # under the race detector, one iteration of every benchmark (so the
 # benchmark-only files at the repo root are compiled AND executed), the
 # goroutine-leak check, the sweep determinism check, the fault-injection
-# determinism check, and a smoke run of every example binary.
+# determinism check, the lab artifact gate, and a smoke run of every
+# example binary.
 .PHONY: ci
-ci: vet build race bench leak-check sweep-check fault-check examples
+ci: vet build race bench leak-check sweep-check fault-check lab-check examples
 
 .PHONY: vet
 vet:
@@ -101,6 +102,48 @@ fault-check:
 		done; \
 		echo "fault-check OK ($$sc)"; \
 	done
+
+# lab-check pins the lab subsystem's two CI guarantees: (1) the smoke
+# study's artifact body is byte-identical at 1 worker and 8 workers —
+# the sweep-check guarantee extended to whole studies — and (2) a fresh
+# capture matches the checked-in baseline under `pushpull-lab compare`
+# (job digests exact, metrics within tolerance). A digest change here
+# means the study ran a different computation; recapture via
+# `make lab-baseline` is legitimate ONLY for the same wire-behavior
+# changes that justify `make digests`.
+.PHONY: lab-check
+lab-check:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/pushpull-lab run -workers 1 -out "$$tmp/w1.json" smoke >/dev/null 2>&1 || exit 1; \
+	$(GO) run ./cmd/pushpull-lab run -workers 8 -out "$$tmp/w8.json" smoke >/dev/null 2>&1 || exit 1; \
+	$(GO) run ./cmd/pushpull-lab show -body "$$tmp/w1.json" > "$$tmp/w1.body"; \
+	$(GO) run ./cmd/pushpull-lab show -body "$$tmp/w8.json" > "$$tmp/w8.body"; \
+	if ! diff -q "$$tmp/w1.body" "$$tmp/w8.body" >/dev/null; then \
+		echo "lab-check FAILED: workers changed the smoke artifact body"; \
+		diff "$$tmp/w1.body" "$$tmp/w8.body" | head -20; \
+		exit 1; \
+	fi; \
+	echo "lab-check OK: smoke artifact body byte-identical at 1 and 8 workers"; \
+	$(GO) run ./cmd/pushpull-lab compare internal/lab/testdata/baseline-smoke.json "$$tmp/w1.json" || { \
+		echo "lab-check FAILED: fresh smoke capture diverges from the checked-in baseline"; \
+		exit 1; \
+	}
+
+# lab-baseline recaptures the checked-in smoke baseline artifact that
+# lab-check compares against. Like `make digests`, recapture is
+# legitimate ONLY for intentional wire-behavior or metric-schema
+# changes — review the diff before committing it.
+.PHONY: lab-baseline
+lab-baseline:
+	$(GO) run ./cmd/pushpull-lab run -workers 4 -out internal/lab/testdata/baseline-smoke.json smoke
+
+# bench-capture appends one wall-clock capture of the tracked
+# internal/sim microbenchmarks to the BENCH_sim.json series (the lab's
+# replacement for hand-editing that file after a -bench run). Pass a
+# context line: make bench-capture COMMENT="what changed".
+.PHONY: bench-capture
+bench-capture:
+	$(GO) run ./cmd/pushpull-lab gobench -comment "$(COMMENT)"
 
 .PHONY: sweep-check
 sweep-check:

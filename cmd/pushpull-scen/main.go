@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -48,7 +49,12 @@ func main() {
 	}
 	switch os.Args[1] {
 	case "list":
-		for _, s := range scenario.Builtin() {
+		// Sorted by name, not definition order: the listing is piped into
+		// scripts (see the Makefile's scenarios target), so it must be
+		// deterministic and greppable.
+		specs := scenario.Builtin()
+		sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+		for _, s := range specs {
 			fmt.Printf("%-24s %s\n", s.Name, s.Description)
 		}
 	case "patterns":
@@ -68,7 +74,9 @@ func main() {
 	case "run":
 		runCmd(os.Args[2:])
 	case "sweeps":
-		for _, sw := range scenario.BuiltinSweeps() {
+		sweeps := scenario.BuiltinSweeps()
+		sort.Slice(sweeps, func(i, j int) bool { return sweeps[i].Name < sweeps[j].Name })
+		for _, sw := range sweeps {
 			fmt.Printf("%-12s %4d points  %s\n", sw.Name, sw.Grid.Points(), sw.Description)
 		}
 	case "sweep":

@@ -146,9 +146,10 @@ func runHub(p Params) []*stats.Table {
 		cfg := baseConfig(pushpull.DefaultOptions())
 		topo.mut(&cfg)
 		samples := SingleTripSamples(Workload{Cluster: cfg, Size: 8192, Iters: p.Iters})
-		for _, pct := range []float64{0.50, 0.90, 0.99} {
-			s.Add(pct*100, stats.Percentile(samples, pct))
-		}
+		q := stats.QuantileSummary(samples)
+		s.Add(50, q.P50)
+		s.Add(90, q.P90)
+		s.Add(99, q.P99)
 	}
 	return []*stats.Table{lat, bw, jit}
 }

@@ -1,0 +1,180 @@
+package lab
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tolerances configures the regression gate. Every metric delta is
+// relative: |b-a| / |a| (absolute when a == 0). Default applies to any
+// metric without a PerMetric entry.
+type Tolerances struct {
+	Default   float64
+	PerMetric map[string]float64
+}
+
+// DefaultTolerances allows 5% drift on derived metrics and none at all
+// on exact counters — receives, bytes, points, failed are deterministic
+// counts, so any movement is a behaviour change, not noise.
+func DefaultTolerances() Tolerances {
+	return Tolerances{
+		Default: 0.05,
+		PerMetric: map[string]float64{
+			"receives": 0,
+			"bytes":    0,
+			"points":   0,
+			"failed":   0,
+		},
+	}
+}
+
+// For returns the tolerance for a metric name.
+func (t Tolerances) For(name string) float64 {
+	if v, ok := t.PerMetric[name]; ok {
+		return v
+	}
+	return t.Default
+}
+
+// MetricDelta is one metric compared across two artifacts.
+type MetricDelta struct {
+	Job       string  `json:"job"`
+	Metric    string  `json:"metric"`
+	Unit      string  `json:"unit,omitempty"`
+	A         float64 `json:"a"`
+	B         float64 `json:"b"`
+	RelDelta  float64 `json:"relDelta"`
+	Tolerance float64 `json:"tolerance"`
+	Regressed bool    `json:"regressed"`
+}
+
+// Comparison is the outcome of diffing artifact B against baseline A.
+type Comparison struct {
+	Study string `json:"study"`
+	// DigestChanged lists jobs whose digests moved (plus jobs present in
+	// only one artifact). Digest changes are hard failures: the study
+	// did not run the same computation, so metric deltas are findings
+	// about a *different* experiment.
+	DigestChanged []string `json:"digestChanged,omitempty"`
+	// Regressions are the metric deltas outside tolerance; Deltas holds
+	// every compared metric for reporting.
+	Regressions []MetricDelta `json:"regressions,omitempty"`
+	Deltas      []MetricDelta `json:"deltas"`
+}
+
+// Compare exit codes, shared with the CLI and pinned by tests: digest
+// changes and metric regressions fail differently so CI logs say which
+// gate tripped without parsing prose.
+const (
+	ExitOK               = 0
+	ExitMetricRegression = 3
+	ExitDigestChange     = 4
+)
+
+// ExitCode maps the comparison to the CLI's exit code. A digest change
+// outranks a metric regression: when the computation itself moved, the
+// metric deltas are a symptom, not the diagnosis.
+func (c *Comparison) ExitCode() int {
+	if len(c.DigestChanged) > 0 {
+		return ExitDigestChange
+	}
+	if len(c.Regressions) > 0 {
+		return ExitMetricRegression
+	}
+	return ExitOK
+}
+
+// Compare diffs artifact b against baseline a. It refuses — with an
+// error, not a report — when the artifacts are not comparable: schema
+// mismatch, different studies, or different config hashes (a diff
+// between different configurations is a different experiment, and
+// `make lab-baseline` is the legitimate path to a new baseline).
+func Compare(a, b *Artifact, tol Tolerances) (*Comparison, error) {
+	if a.Schema != b.Schema {
+		return nil, fmt.Errorf("lab: artifact schemas differ (%d vs %d); not comparable", a.Schema, b.Schema)
+	}
+	if a.Study != b.Study {
+		return nil, fmt.Errorf("lab: artifacts capture different studies (%q vs %q); not comparable", a.Study, b.Study)
+	}
+	if a.ConfigHash != b.ConfigHash {
+		return nil, fmt.Errorf("lab: config hash mismatch (%s vs %s): the study configuration changed, so a diff would compare different experiments — recapture the baseline (make lab-baseline)",
+			short(a.ConfigHash), short(b.ConfigHash))
+	}
+
+	c := &Comparison{Study: a.Study}
+	bJobs := make(map[string]*JobResult, len(b.Jobs))
+	for i := range b.Jobs {
+		bJobs[b.Jobs[i].Job] = &b.Jobs[i]
+	}
+	seen := make(map[string]bool, len(a.Jobs))
+	for i := range a.Jobs {
+		ja := &a.Jobs[i]
+		seen[ja.Job] = true
+		jb, ok := bJobs[ja.Job]
+		if !ok {
+			c.DigestChanged = append(c.DigestChanged, ja.Job+" (missing from B)")
+			continue
+		}
+		if ja.Digest != jb.Digest {
+			c.DigestChanged = append(c.DigestChanged, ja.Job)
+		}
+		for _, ma := range ja.Metrics {
+			mb, ok := jb.metric(ma.Name)
+			if !ok {
+				c.DigestChanged = append(c.DigestChanged, fmt.Sprintf("%s (metric %s missing from B)", ja.Job, ma.Name))
+				continue
+			}
+			d := MetricDelta{
+				Job: ja.Job, Metric: ma.Name, Unit: ma.Unit,
+				A: ma.Value, B: mb.Value,
+				Tolerance: tol.For(ma.Name),
+			}
+			diff := math.Abs(mb.Value - ma.Value)
+			if ma.Value != 0 {
+				d.RelDelta = diff / math.Abs(ma.Value)
+			} else if diff > 0 {
+				d.RelDelta = math.Inf(1)
+			}
+			d.Regressed = d.RelDelta > d.Tolerance
+			c.Deltas = append(c.Deltas, d)
+			if d.Regressed {
+				c.Regressions = append(c.Regressions, d)
+			}
+		}
+	}
+	for i := range b.Jobs {
+		if !seen[b.Jobs[i].Job] {
+			c.DigestChanged = append(c.DigestChanged, b.Jobs[i].Job+" (missing from A)")
+		}
+	}
+	return c, nil
+}
+
+// Render formats the comparison for humans: one line per out-of-family
+// finding, a summary line last.
+func (c *Comparison) Render() string {
+	var sb strings.Builder
+	for _, j := range c.DigestChanged {
+		fmt.Fprintf(&sb, "DIGEST  %-24s job digest changed — the study ran a different computation\n", j)
+	}
+	for _, d := range c.Regressions {
+		dir := "up"
+		if d.B < d.A {
+			dir = "down"
+		}
+		fmt.Fprintf(&sb, "METRIC  %-24s %-20s %g -> %g %s (%s %.1f%%, tolerance %.1f%%)\n",
+			d.Job, d.Metric, d.A, d.B, d.Unit, dir, d.RelDelta*100, d.Tolerance*100)
+	}
+	switch {
+	case len(c.DigestChanged) > 0:
+		fmt.Fprintf(&sb, "lab compare: %s: %d job digest change(s), %d metric regression(s) — HARD FAIL\n",
+			c.Study, len(c.DigestChanged), len(c.Regressions))
+	case len(c.Regressions) > 0:
+		fmt.Fprintf(&sb, "lab compare: %s: %d metric regression(s) beyond tolerance\n", c.Study, len(c.Regressions))
+	default:
+		fmt.Fprintf(&sb, "lab compare: %s: OK (%d metrics within tolerance, all job digests identical)\n",
+			c.Study, len(c.Deltas))
+	}
+	return sb.String()
+}

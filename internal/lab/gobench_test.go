@@ -1,0 +1,106 @@
+package lab
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAppendBenchSeriesPreservesHistory: appending a capture must keep
+// every existing series entry verbatim — including historical entries
+// whose shape differs from today's (the PR-2 before/after form).
+func TestAppendBenchSeriesPreservesHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "series.json")
+	legacy := `{
+  "comment": "existing comment",
+  "series": [
+    {"pr": 2, "before": {"x": 1}, "after": {"x": 2}},
+    {"captured_at": "2026-01-01T00:00:00Z", "benchmarks": []}
+  ]
+}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entry := BenchSeriesEntry{
+		CapturedAt: "2026-02-01T00:00:00Z",
+		Comment:    "test capture",
+		Benchmarks: []BenchMeasurement{{Name: "BenchmarkX", NsPerOp: 42, AllocsPerOp: 1}},
+	}
+	if err := AppendBenchSeries(path, entry); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		Comment string            `json:"comment"`
+		Series  []json.RawMessage `json:"series"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.Comment != "existing comment" {
+		t.Errorf("comment rewritten to %q", file.Comment)
+	}
+	if len(file.Series) != 3 {
+		t.Fatalf("series has %d entries, want 3", len(file.Series))
+	}
+	// The legacy heterogeneous entry survives semantically intact.
+	var first map[string]any
+	if err := json.Unmarshal(file.Series[0], &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["pr"] != float64(2) || first["before"] == nil {
+		t.Errorf("legacy entry mangled: %v", first)
+	}
+	var last BenchSeriesEntry
+	if err := json.Unmarshal(file.Series[2], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.CapturedAt != entry.CapturedAt || len(last.Benchmarks) != 1 || last.Benchmarks[0].NsPerOp != 42 {
+		t.Errorf("appended entry mangled: %+v", last)
+	}
+}
+
+// TestAppendBenchSeriesCreates: appending to a missing file creates it
+// with the standard header comment.
+func TestAppendBenchSeriesCreates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "new.json")
+	if err := AppendBenchSeries(path, BenchSeriesEntry{CapturedAt: "2026-01-01T00:00:00Z"}); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		Comment string            `json:"comment"`
+		Series  []json.RawMessage `json:"series"`
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.Comment == "" || len(file.Series) != 1 {
+		t.Errorf("created file malformed: comment=%q series=%d", file.Comment, len(file.Series))
+	}
+}
+
+// TestGoBenchmarksRun: every tracked microbenchmark executes one
+// iteration cleanly. Full timing runs belong to `pushpull-lab gobench`,
+// not the test suite.
+func TestGoBenchmarksRun(t *testing.T) {
+	for _, gb := range GoBenchmarks() {
+		gb := gb
+		t.Run(gb.Name, func(t *testing.T) {
+			r := testing.Benchmark(func(b *testing.B) {
+				if b.N > 1 {
+					b.Skip()
+				}
+				gb.F(b)
+			})
+			_ = r
+		})
+	}
+}

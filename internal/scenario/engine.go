@@ -175,8 +175,8 @@ func degradation(c *cluster.Cluster) *Degradation {
 		d.RecoveryUS = end.Sub(last).Microseconds()
 	}
 	if len(rto) > 0 {
-		s := stats.Summarize(rto)
-		d.BackoffRTO = &s
+		q := stats.QuantileSummary(rto)
+		d.BackoffRTO = &q
 		d.BackoffHist = stats.NewHistogram(rto, 8)
 	}
 	return d

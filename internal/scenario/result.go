@@ -78,10 +78,11 @@ type Degradation struct {
 	Recovered       uint64 `json:"recovered"`
 	FailedOps       uint64 `json:"failedOps"`
 	// BackoffRTO summarizes the adaptive timeout values (µs) armed
-	// after each expiry, with a histogram exposing the exponential-
-	// backoff spread. Present only when Protocol.AdaptiveRTO is on and
-	// at least one timeout fired.
-	BackoffRTO  *stats.Summary   `json:"backoffRTO,omitempty"`
+	// after each expiry — count/mean/p50/p90/p99/max, the tail being
+	// what exponential backoff is about — with a histogram exposing the
+	// spread. Present only when Protocol.AdaptiveRTO is on and at least
+	// one timeout fired.
+	BackoffRTO  *stats.Quantiles `json:"backoffRTO,omitempty"`
 	BackoffHist *stats.Histogram `json:"backoffHist,omitempty"`
 	// LastFaultUS is the virtual time the last scheduled fault window
 	// ended (clamped to the run's end); RecoveryUS is how long the run

@@ -1,0 +1,58 @@
+package stats
+
+import "sort"
+
+// Quantiles condenses samples for dashboards and regression gates:
+// count, mean, min/max and the p50/p90/p99 order statistics. Where
+// Summary carries the paper's trimmed-mean estimator, Quantiles carries
+// the tail — the numbers a perf trajectory or a backoff spread is
+// judged by. The JSON encoding is stable, so the struct can sit inside
+// digested results.
+type Quantiles struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// QuantileSummary computes Quantiles over xs. The percentiles use the
+// same linear interpolation between order statistics as Percentile, but
+// the samples are sorted once. Empty input returns the zero value.
+func QuantileSummary(xs []float64) Quantiles {
+	if len(xs) == 0 {
+		return Quantiles{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	q := Quantiles{
+		Count: len(sorted),
+		Mean:  sum / float64(len(sorted)),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+	}
+	q.P50 = percentileSorted(sorted, 0.50)
+	q.P90 = percentileSorted(sorted, 0.90)
+	q.P99 = percentileSorted(sorted, 0.99)
+	return q
+}
+
+// percentileSorted is Percentile over already-sorted input.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo == len(sorted)-1 {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileSummaryEmpty(t *testing.T) {
+	if q := QuantileSummary(nil); q != (Quantiles{}) {
+		t.Errorf("QuantileSummary(nil) = %+v, want zero", q)
+	}
+}
+
+func TestQuantileSummaryMatchesPercentile(t *testing.T) {
+	xs := []float64{9, 1, 4, 7, 2, 8, 3, 6, 5, 10}
+	q := QuantileSummary(xs)
+	if q.Count != len(xs) {
+		t.Errorf("Count = %d, want %d", q.Count, len(xs))
+	}
+	if q.Min != 1 || q.Max != 10 {
+		t.Errorf("Min/Max = %g/%g, want 1/10", q.Min, q.Max)
+	}
+	if q.Mean != 5.5 {
+		t.Errorf("Mean = %g, want 5.5", q.Mean)
+	}
+	// The quantiles must agree exactly with the exported Percentile
+	// (same interpolation, sorted once).
+	for _, tc := range []struct {
+		p    float64
+		got  float64
+		name string
+	}{
+		{0.50, q.P50, "P50"},
+		{0.90, q.P90, "P90"},
+		{0.99, q.P99, "P99"},
+	} {
+		want := Percentile(xs, tc.p)
+		if math.Abs(tc.got-want) > 1e-12 {
+			t.Errorf("%s = %g, Percentile(xs, %g) = %g", tc.name, tc.got, tc.p, want)
+		}
+	}
+}
+
+func TestQuantileSummarySingleSample(t *testing.T) {
+	q := QuantileSummary([]float64{42})
+	want := Quantiles{Count: 1, Mean: 42, Min: 42, P50: 42, P90: 42, P99: 42, Max: 42}
+	if q != want {
+		t.Errorf("QuantileSummary([42]) = %+v, want %+v", q, want)
+	}
+}
+
+func TestQuantileSummaryDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	QuantileSummary(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
