@@ -15,12 +15,37 @@ type World struct {
 	c     *cluster.Cluster
 	cfg   Config
 	ranks []*comm.Comm
-	// prog is the world's progression tasklet (created on the first
-	// nonblocking collective): it advances every outstanding Request's
-	// rounds as their operations complete, so collectives make progress
-	// while rank threads compute, without Test polling.
-	prog        *sim.Tasklet
+	// progs are the per-node progression tasklets (each created on its
+	// node's first nonblocking collective): they advance outstanding
+	// Requests' rounds as their operations complete, so collectives make
+	// progress while rank threads compute, without Test polling. The
+	// state is per node — tasklet, outstanding list, completion conds —
+	// so under a partitioned cluster every rank's progression runs
+	// entirely on its own shard.
+	progs []*nodeProgressor
+}
+
+// nodeProgressor drives the progressed Requests of one node's ranks on
+// that node's engine.
+type nodeProgressor struct {
+	tk          *sim.Tasklet
 	outstanding []*Request
+}
+
+// step is the progression tasklet's body: pump every outstanding
+// Request, dropping the ones that completed. Spurious wakes (several
+// operations broadcasting before the tasklet runs) cost one scan.
+func (np *nodeProgressor) step(tk *sim.Tasklet) {
+	live := np.outstanding[:0]
+	for _, rq := range np.outstanding {
+		if !rq.pump(tk) {
+			live = append(live, rq)
+		}
+	}
+	for i := len(live); i < len(np.outstanding); i++ {
+		np.outstanding[i] = nil
+	}
+	np.outstanding = live
 }
 
 // WorldOption configures a World at construction.
@@ -50,36 +75,27 @@ func NewWorld(c *cluster.Cluster, opts ...WorldOption) *World {
 	return w
 }
 
-// enqueueProgress hands a freshly started progressed Request to the
-// progression tasklet and subscribes the tasklet to the round already in
-// flight. The unconditional Wake covers operations that completed before
-// the subscription (the round was posted on the rank's thread, whose
-// posting costs let helper threads run ahead): Subscribe registers
-// nothing for those, so the first pump must not depend on a wake from
-// them.
+// enqueueProgress hands a freshly started progressed Request to its
+// node's progression tasklet and subscribes the tasklet to the round
+// already in flight. The unconditional Wake covers operations that
+// completed before the subscription (the round was posted on the rank's
+// thread, whose posting costs let helper threads run ahead): Subscribe
+// registers nothing for those, so the first pump must not depend on a
+// wake from them.
 func (w *World) enqueueProgress(rq *Request) {
-	if w.prog == nil {
-		w.prog = w.c.Engine.NewTasklet("coll-progress", w.progressStep)
+	node := rq.r.cm.ID().Node
+	if w.progs == nil {
+		w.progs = make([]*nodeProgressor, len(w.c.Nodes))
 	}
-	w.outstanding = append(w.outstanding, rq)
-	rq.subscribe(w.prog)
-	w.prog.Wake()
-}
-
-// progressStep is the progression tasklet's body: pump every outstanding
-// Request, dropping the ones that completed. Spurious wakes (several
-// operations broadcasting before the tasklet runs) cost one scan.
-func (w *World) progressStep(tk *sim.Tasklet) {
-	live := w.outstanding[:0]
-	for _, rq := range w.outstanding {
-		if !rq.pump(tk) {
-			live = append(live, rq)
-		}
+	np := w.progs[node]
+	if np == nil {
+		np = &nodeProgressor{}
+		np.tk = w.c.Nodes[node].Engine.NewTasklet("coll-progress", np.step)
+		w.progs[node] = np
 	}
-	for i := len(live); i < len(w.outstanding); i++ {
-		w.outstanding[i] = nil
-	}
-	w.outstanding = live
+	np.outstanding = append(np.outstanding, rq)
+	rq.subscribe(np.tk)
+	np.tk.Wake()
 }
 
 // Size reports the number of ranks.

@@ -112,60 +112,100 @@ const (
 	txSerialized          // wire held for the serialization time; finish
 )
 
-// Link is a full-duplex point-to-point Fast Ethernet segment between two
-// ports. Each direction serializes independently (full duplex), so data
-// and acknowledgement traffic do not contend.
-type Link struct {
-	e    *sim.Engine
+// halfLink is one direction of a full-duplex link. Each half is homed
+// on its transmitter's engine — the wire resource, the serialization
+// state, the counters and the loss draws all belong to the sender's
+// shard — and delivery crosses to the receiver's engine through
+// ScheduleOn, which is a plain local Schedule when both ends share one
+// engine (the sequential topology) and a routed cross-shard event under
+// a sim.Partition.
+type halfLink struct {
+	e    *sim.Engine // transmitter-side engine: owns wire, counters, draws
+	dste *sim.Engine // receiver-side engine: delivery target
 	cfg  Config
-	a, b Port
-	dirA *sim.Resource // a -> b serialization
-	dirB *sim.Resource // b -> a
+	dst  Port
+	wire *sim.Resource
 	sent uint64
 	lost uint64
 
-	// inj, when set, is the armed fault injector for this link; frames it
-	// claims are counted in faultLost. Nil (the default) costs one
-	// comparison per frame.
+	// inj, when set, is the armed fault injector for this direction;
+	// frames it claims are counted in faultLost. Nil (the default) costs
+	// one comparison per frame.
 	inj       *fault.LinkInjector
 	faultLost uint64
 }
 
-// NewLink connects two ports back-to-back.
+// Link is a full-duplex point-to-point Fast Ethernet segment between two
+// ports. Each direction serializes independently (full duplex), so data
+// and acknowledgement traffic do not contend — and under a partitioned
+// run each direction lives entirely on its transmitter's shard.
+type Link struct {
+	cfg  Config
+	a, b Port
+	ab   halfLink // a -> b
+	ba   halfLink // b -> a
+}
+
+// NewLink connects two ports back-to-back on one engine.
 func NewLink(e *sim.Engine, cfg Config, a, b Port) *Link {
+	return NewLinkOn(e, e, cfg, a, b)
+}
+
+// NewLinkOn connects two ports that may live on different engines of the
+// same sim.Partition: ea drives a's transmissions (and receives b's),
+// eb the converse. With ea == eb it is exactly NewLink. The link's
+// propagation delay is the latency floor every cross-engine frame
+// respects — the conservative lookahead a partition over this topology
+// may use.
+func NewLinkOn(ea, eb *sim.Engine, cfg Config, a, b Port) *Link {
 	return &Link{
-		e:    e,
-		cfg:  cfg,
-		a:    a,
-		b:    b,
-		dirA: sim.NewResource(e, fmt.Sprintf("wire %d->%d", a.NodeID(), b.NodeID())),
-		dirB: sim.NewResource(e, fmt.Sprintf("wire %d->%d", b.NodeID(), a.NodeID())),
+		cfg: cfg,
+		a:   a,
+		b:   b,
+		ab: halfLink{
+			e: ea, dste: eb, cfg: cfg, dst: b,
+			wire: sim.NewResource(ea, fmt.Sprintf("wire %d->%d", a.NodeID(), b.NodeID())),
+		},
+		ba: halfLink{
+			e: eb, dste: ea, cfg: cfg, dst: a,
+			wire: sim.NewResource(eb, fmt.Sprintf("wire %d->%d", b.NodeID(), a.NodeID())),
+		},
 	}
 }
 
 // Config reports the link technology.
 func (l *Link) Config() Config { return l.cfg }
 
+// Lookahead reports the link's latency floor: no frame reaches the far
+// engine sooner than this after leaving its transmitter.
+func (l *Link) Lookahead() sim.Duration { return l.cfg.Propagation }
+
 // FramesSent reports the number of frames fully serialized onto the link.
-func (l *Link) FramesSent() uint64 { return l.sent }
+func (l *Link) FramesSent() uint64 { return l.ab.sent + l.ba.sent }
 
 // FramesLost reports frames dropped by the configured loss rate.
-func (l *Link) FramesLost() uint64 { return l.lost }
+func (l *Link) FramesLost() uint64 { return l.ab.lost + l.ba.lost }
 
-// SetInjector arms a fault injector on the link (nil disarms).
-func (l *Link) SetInjector(in *fault.LinkInjector) { l.inj = in }
+// SetInjector arms one fault injector on both directions (nil disarms).
+// Partitioned runs use SetInjectorDirs instead: the two directions
+// execute on different shards and must not share stateful overlays.
+func (l *Link) SetInjector(in *fault.LinkInjector) { l.ab.inj, l.ba.inj = in, in }
 
-// FaultLost reports frames dropped by the armed fault injector.
-func (l *Link) FaultLost() uint64 { return l.faultLost }
+// SetInjectorDirs arms per-direction fault injectors: ab on the a->b
+// half, ba on the b->a half.
+func (l *Link) SetInjectorDirs(ab, ba *fault.LinkInjector) { l.ab.inj, l.ba.inj = ab, ba }
+
+// FaultLost reports frames dropped by the armed fault injectors.
+func (l *Link) FaultLost() uint64 { return l.ab.faultLost + l.ba.faultLost }
 
 // Transmit serializes f onto the wire on behalf of process p (the
 // transmitting port's engine), blocking p for the serialization time, and
 // delivers the frame to the far port after the propagation delay. from
 // identifies which end is transmitting.
 func (l *Link) Transmit(p *sim.Process, from Port, f Frame) {
-	wire, dst := l.dir(from)
-	wire.Use(p, l.cfg.WireTime(f.PayloadBytes))
-	l.finish(dst, f)
+	h := l.dir(from)
+	h.wire.Use(p, l.cfg.WireTime(f.PayloadBytes))
+	h.finish(f)
 }
 
 // TransmitStep implements Medium for tasklet transmitters: acquire the
@@ -173,10 +213,10 @@ func (l *Link) Transmit(p *sim.Process, from Port, f Frame) {
 // time, then release and deliver — the exact event sequence Transmit
 // produces for a process.
 func (l *Link) TransmitStep(tk *sim.Tasklet, cur *TxCursor, from Port, f Frame) bool {
-	wire, dst := l.dir(from)
+	h := l.dir(from)
 	switch cur.pc {
 	case txAcquire, txReacquire:
-		if !wire.PollAcquire(tk, cur.pc == txAcquire) {
+		if !h.wire.PollAcquire(tk, cur.pc == txAcquire) {
 			cur.pc = txReacquire
 			return false
 		}
@@ -184,38 +224,56 @@ func (l *Link) TransmitStep(tk *sim.Tasklet, cur *TxCursor, from Port, f Frame) 
 		tk.Sleep(l.cfg.WireTime(f.PayloadBytes))
 		return false
 	default: // txSerialized
-		wire.Release()
-		l.finish(dst, f)
+		h.wire.Release()
+		h.finish(f)
 		return true
 	}
 }
 
-// dir resolves the directional wire and far port for a transmission.
-func (l *Link) dir(from Port) (*sim.Resource, Port) {
+// dir resolves the transmitting direction's half-link.
+func (l *Link) dir(from Port) *halfLink {
 	switch from {
 	case l.a:
-		return l.dirA, l.b
+		return &l.ab
 	case l.b:
-		return l.dirB, l.a
+		return &l.ba
 	default:
 		panic(fmt.Sprintf("ether: transmit from foreign port on link %d<->%d", l.a.NodeID(), l.b.NodeID()))
 	}
 }
 
 // finish runs once the frame has fully serialized: count it, draw the
-// loss lottery, and schedule delivery after the propagation delay.
-func (l *Link) finish(dst Port, f Frame) {
-	l.sent++
-	if l.cfg.LossRate > 0 && l.e.Rand().Float64() < l.cfg.LossRate {
-		l.lost++
+// loss lottery, and schedule delivery after the propagation delay. It
+// runs on the transmitter's engine; delivery lands on the receiver's.
+func (h *halfLink) finish(f Frame) {
+	h.sent++
+	if h.cfg.LossRate > 0 && h.e.Rand().Float64() < h.cfg.LossRate {
+		h.lost++
 		return // the frame corrupts on the wire; reliability recovers it
 	}
 	// Fault injection consults after the i.i.d. loss draw, so arming a
 	// plan never perturbs the engine-RNG sequence of the base run.
-	if l.inj != nil && l.inj.Lose(l.e.Now()) {
-		l.faultLost++
+	if h.inj != nil && h.inj.Lose(h.e.Now()) {
+		h.faultLost++
 		return
 	}
 	frame := f
-	l.e.Schedule(l.cfg.Propagation, func() { dst.DeliverFrame(frame) })
+	dst := h.dst
+	h.e.ScheduleOn(h.dste, h.cfg.Propagation, func() { dst.DeliverFrame(frame) })
+}
+
+// MinLookahead reports the smallest positive propagation delay among
+// the given links — the conservative lookahead bound for a partition
+// whose shards are connected by them (every cross-shard frame is
+// delayed at least this much). It returns 0 when no link contributes a
+// positive floor, in which case a conservative partition over the
+// topology is not admissible.
+func MinLookahead(links ...*Link) sim.Duration {
+	var min sim.Duration
+	for _, l := range links {
+		if p := l.cfg.Propagation; p > 0 && (min == 0 || p < min) {
+			min = p
+		}
+	}
+	return min
 }

@@ -106,6 +106,60 @@ func GoBenchmarks() []GoBenchmark {
 			},
 		},
 		{
+			Name: "BenchmarkPDESSuperstepBarrier", Note: "one 8-shard superstep per op: feed pool, drain, barrier (4 workers)",
+			F: func(b *testing.B) {
+				const shards = 8
+				p := sim.NewPartition(1, shards, 4, 100)
+				defer p.Shutdown()
+				var tick [shards]func()
+				for i := 0; i < shards; i++ {
+					e, n := p.Shard(i), i
+					tick[i] = func() { e.Schedule(100, tick[n]) }
+					e.At(1, sim.PriorityNormal, tick[i])
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.RunUntil(p.Now().Add(100))
+				}
+			},
+		},
+		{
+			Name: "BenchmarkPDESCrossShardRouting", Note: "one routed event per op: outbox, barrier merge, destination insert",
+			F: func(b *testing.B) {
+				p := sim.NewPartition(1, 2, 1, 100)
+				defer p.Shutdown()
+				a, c := p.Shard(0), p.Shard(1)
+				var fwd, back func()
+				fwd = func() { a.ScheduleOn(c, 100, back) }
+				back = func() { c.ScheduleOn(a, 100, fwd) }
+				a.At(1, sim.PriorityNormal, fwd)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.RunUntil(p.Now().Add(100))
+				}
+			},
+		},
+		{
+			Name: "BenchmarkPDESWindowPlanning", Note: "one conservative-window computation per op (PlanWindow over 16 loaded shards)",
+			F: func(b *testing.B) {
+				const shards = 16
+				p := sim.NewPartition(1, shards, 1, 100)
+				defer p.Shutdown()
+				for i := 0; i < shards; i++ {
+					p.Shard(i).At(sim.Time(1+i*10), sim.PriorityNormal, func() {})
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, _, ok := p.PlanWindow(); !ok {
+						b.Fatal("unplannable window")
+					}
+				}
+			},
+		},
+		{
 			Name: "BenchmarkTimerArmCancel", Note: "one Reset+Stop cycle per op (the go-back-N retransmission shape)",
 			F: func(b *testing.B) {
 				e := sim.NewEngine(1)
@@ -181,6 +235,14 @@ type benchSeriesFile struct {
 // AppendBenchSeries appends one capture entry to the series file
 // (creating it if absent), preserving every existing entry verbatim.
 func AppendBenchSeries(path string, entry BenchSeriesEntry) error {
+	return appendSeriesEntry(path, "internal/sim hot-path microbenchmark trajectory, captured by `pushpull-lab gobench`. Append-only: each series entry is one capture, never overwritten. Compare ratios within one entry, not ns across entries — machine speed varies between captures.", entry)
+}
+
+// appendSeriesEntry is the shared append-only series writer: entries
+// stay raw so heterogeneous historical shapes survive a rewrite
+// byte-for-byte up to re-indentation; defaultComment seeds the file's
+// top-level comment only on creation.
+func appendSeriesEntry(path, defaultComment string, entry any) error {
 	var file benchSeriesFile
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &file); err != nil {
@@ -190,7 +252,7 @@ func AppendBenchSeries(path string, entry BenchSeriesEntry) error {
 		return err
 	}
 	if file.Comment == "" {
-		file.Comment = "internal/sim hot-path microbenchmark trajectory, captured by `pushpull-lab gobench`. Append-only: each series entry is one capture, never overwritten. Compare ratios within one entry, not ns across entries — machine speed varies between captures."
+		file.Comment = defaultComment
 	}
 	raw, err := json.Marshal(entry)
 	if err != nil {

@@ -1,0 +1,110 @@
+package lab
+
+import (
+	"runtime"
+	"time"
+
+	"pushpull/internal/scenario"
+)
+
+// The BENCH_pdes.json capture path: wall-clock speedup of the
+// conservative-PDES partition against the sequential engine on a
+// representative scenario, plus the schedule-derived orchestration
+// counters. Like BENCH_sim.json it is an append-only series compared
+// within one entry — and on a single-core CI box the speedup hovers
+// around (or below) 1.0, since the partition's barriers cost real time
+// while the workers time-slice one core. The capture target for
+// meaningful speedups is a multi-core machine with GOMAXPROCS >= the
+// worker count; gomaxprocs is recorded so entries say which kind of
+// box they came from.
+
+// PDESBenchRun is one timed configuration: workers 0 is the plain
+// sequential engine, workers >= 1 the partition.
+type PDESBenchRun struct {
+	Workers int     `json:"workers"`
+	WallMS  float64 `json:"wall_ms"`
+}
+
+// PDESBenchEntry is one append-only capture of the PDES speedup probe.
+type PDESBenchEntry struct {
+	CapturedAt string `json:"captured_at"`
+	Commit     string `json:"commit,omitempty"`
+	Comment    string `json:"comment,omitempty"`
+	// Scenario names the probe workload; GoMaxProcs the cores the
+	// capture box exposed (the speedup ceiling).
+	Scenario   string         `json:"scenario"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Runs       []PDESBenchRun `json:"runs"`
+	// SpeedupW4OverW1 is wall(1 worker) / wall(4 workers) — the
+	// parallel efficiency of the partition itself, with the sharding
+	// overhead present in both terms.
+	SpeedupW4OverW1 float64 `json:"speedup_w4_over_w1"`
+	// Schedule-derived orchestration counters of the partitioned run
+	// (identical for any worker count).
+	Supersteps           uint64  `json:"supersteps"`
+	RoutedEvents         uint64  `json:"routed_events"`
+	MeanReady            float64 `json:"mean_ready"`
+	LookaheadUtilization float64 `json:"lookahead_utilization"`
+}
+
+const pdesSeriesComment = "conservative-PDES wall-clock speedup trajectory, captured by `pushpull-lab gobench`. Append-only: each entry is one capture of the probe scenario at 0 (sequential), 1, 2 and 4 workers. Compare wall_ms within one entry; speedup > 1 needs gomaxprocs >= workers — single-core CI boxes legitimately record ~1.0 or below."
+
+// pdesProbeSpec is the speedup probe workload: the permutation builtin
+// (6 switched nodes, every channel concurrent — the shape sharding
+// helps) with enough traffic that per-run wall clock dominates setup.
+func pdesProbeSpec() (scenario.Spec, error) {
+	s, err := scenario.ByName("permutation")
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	s.Traffic.Messages = 150
+	return s, nil
+}
+
+// CapturePDESBench times the probe at 0/1/2/4 workers (best of 3 each)
+// and assembles the series entry, stamp fields left to the caller.
+func CapturePDESBench() (PDESBenchEntry, error) {
+	spec, err := pdesProbeSpec()
+	if err != nil {
+		return PDESBenchEntry{}, err
+	}
+	entry := PDESBenchEntry{
+		Scenario:   spec.Name,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	wall := make(map[int]float64)
+	for _, workers := range []int{0, 1, 2, 4} {
+		s := spec
+		s.ParallelWorkers = workers
+		best := 0.0
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			res, err := scenario.Run(s)
+			elapsed := time.Since(start)
+			if err != nil {
+				return PDESBenchEntry{}, err
+			}
+			if ms := float64(elapsed.Nanoseconds()) / 1e6; rep == 0 || ms < best {
+				best = ms
+			}
+			if workers == 1 && rep == 0 && res.PDES != nil {
+				entry.Supersteps = res.PDES.Supersteps
+				entry.RoutedEvents = res.PDES.RoutedEvents
+				entry.MeanReady = res.PDES.MeanReady
+				entry.LookaheadUtilization = res.PDES.LookaheadUtilization
+			}
+		}
+		wall[workers] = best
+		entry.Runs = append(entry.Runs, PDESBenchRun{Workers: workers, WallMS: best})
+	}
+	if wall[4] > 0 {
+		entry.SpeedupW4OverW1 = wall[1] / wall[4]
+	}
+	return entry, nil
+}
+
+// AppendPDESBenchSeries appends one PDES capture to the series file
+// (creating it if absent), preserving every existing entry verbatim.
+func AppendPDESBenchSeries(path string, entry PDESBenchEntry) error {
+	return appendSeriesEntry(path, pdesSeriesComment, entry)
+}

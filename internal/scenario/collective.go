@@ -45,6 +45,21 @@ func collFill(r, n int) []byte {
 	return b
 }
 
+// firstRankErr reduces per-rank error slots to one error, lowest rank
+// first. The collective patterns record validation failures per rank —
+// under a partitioned (PDES) cluster the ranks run concurrently on
+// their nodes' shards, so they must not write one shared variable —
+// and the lowest-rank pick keeps the reported error deterministic for
+// any worker count.
+func firstRankErr(rankErr []error) error {
+	for _, err := range rankErr {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runAllReduce: every rank allreduces a Size-byte vector Messages
 // times under the selected algorithm (XOR combine: commutative, so
 // every algorithm must produce identical bytes). Samples are
@@ -62,15 +77,15 @@ func runAllReduce(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 		want = coll.XorBytes(want, collFill(rank, n))
 	}
 	samples := make([]float64, 0, iters)
-	var runErr error
+	rankErr := make([]error, size)
 	w.Launch(func(r *coll.Rank) {
 		data := collFill(r.ID(), n)
 		r.Barrier()
 		for i := 0; i < iters; i++ {
 			start := r.Thread().Now()
 			res := r.AllReduce(data, coll.XorBytes, coll.WithAlgorithm(alg))
-			if !bytes.Equal(res, want) && runErr == nil {
-				runErr = fmt.Errorf("scenario: allreduce rank %d iteration %d produced wrong bytes", r.ID(), i)
+			if !bytes.Equal(res, want) && rankErr[r.ID()] == nil {
+				rankErr[r.ID()] = fmt.Errorf("scenario: allreduce rank %d iteration %d produced wrong bytes", r.ID(), i)
 			}
 			if r.ID() == 0 {
 				samples = append(samples, r.Thread().Now().Sub(start).Microseconds())
@@ -80,8 +95,8 @@ func runAllReduce(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 	if err := runSim(c, s); err != nil {
 		return nil, 0, err
 	}
-	if runErr != nil {
-		return nil, 0, runErr
+	if err := firstRankErr(rankErr); err != nil {
+		return nil, 0, err
 	}
 	if len(samples) != iters {
 		return nil, 0, fmt.Errorf("scenario: allreduce finished %d of %d operations (deadlock?)", len(samples), iters)
@@ -122,7 +137,7 @@ func runBcast(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 
 	payload := collFill(root, n)
 	samples := make([]float64, 0, iters)
-	var runErr error
+	rankErr := make([]error, size)
 	w.Launch(func(r *coll.Rank) {
 		r.Barrier()
 		for i := 0; i < iters; i++ {
@@ -132,8 +147,8 @@ func runBcast(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 				data = payload
 			}
 			got := r.Bcast(root, data, n, opts...)
-			if !bytes.Equal(got, payload) && runErr == nil {
-				runErr = fmt.Errorf("scenario: bcast rank %d iteration %d received wrong bytes", r.ID(), i)
+			if !bytes.Equal(got, payload) && rankErr[r.ID()] == nil {
+				rankErr[r.ID()] = fmt.Errorf("scenario: bcast rank %d iteration %d received wrong bytes", r.ID(), i)
 			}
 			if r.ID() == last {
 				samples = append(samples, r.Thread().Now().Sub(start).Microseconds())
@@ -143,8 +158,8 @@ func runBcast(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 	if err := runSim(c, s); err != nil {
 		return nil, 0, err
 	}
-	if runErr != nil {
-		return nil, 0, runErr
+	if err := firstRankErr(rankErr); err != nil {
+		return nil, 0, err
 	}
 	if len(samples) != iters {
 		return nil, 0, fmt.Errorf("scenario: bcast finished %d of %d operations (deadlock?)", len(samples), iters)
@@ -163,7 +178,7 @@ func runAllToAll(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 	iters := s.Traffic.Messages
 
 	samples := make([]float64, 0, iters)
-	var runErr error
+	rankErr := make([]error, size)
 	w.Launch(func(r *coll.Rank) {
 		blocks := make([][]byte, size)
 		for to := 0; to < size; to++ {
@@ -174,8 +189,8 @@ func runAllToAll(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 			start := r.Thread().Now()
 			got := r.AllToAll(blocks, n)
 			for from := 0; from < size; from++ {
-				if !bytes.Equal(got[from], collFill(from*size+r.ID(), n)) && runErr == nil {
-					runErr = fmt.Errorf("scenario: alltoall rank %d iteration %d got a wrong block from %d", r.ID(), i, from)
+				if !bytes.Equal(got[from], collFill(from*size+r.ID(), n)) && rankErr[r.ID()] == nil {
+					rankErr[r.ID()] = fmt.Errorf("scenario: alltoall rank %d iteration %d got a wrong block from %d", r.ID(), i, from)
 				}
 			}
 			if r.ID() == 0 {
@@ -186,8 +201,8 @@ func runAllToAll(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 	if err := runSim(c, s); err != nil {
 		return nil, 0, err
 	}
-	if runErr != nil {
-		return nil, 0, runErr
+	if err := firstRankErr(rankErr); err != nil {
+		return nil, 0, err
 	}
 	if len(samples) != iters {
 		return nil, 0, fmt.Errorf("scenario: alltoall finished %d of %d rounds (deadlock?)", len(samples), iters)
@@ -213,7 +228,7 @@ func runHalo(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 	)
 
 	samples := make([]float64, 0, iters)
-	var runErr error
+	rankErr := make([]error, size)
 	w.Launch(func(r *coll.Rank) {
 		rank := r.ID()
 		left, right := rank-1, rank+1
@@ -231,18 +246,18 @@ func runHalo(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 			}
 			if left >= 0 {
 				got := r.Recv(left, n, comm.WithTag(tagUp))
-				if !bytes.Equal(got, collFill(left, n)) && runErr == nil {
-					runErr = fmt.Errorf("scenario: halo rank %d iteration %d got a wrong halo from %d", rank, i, left)
+				if !bytes.Equal(got, collFill(left, n)) && rankErr[rank] == nil {
+					rankErr[rank] = fmt.Errorf("scenario: halo rank %d iteration %d got a wrong halo from %d", rank, i, left)
 				}
 			}
 			if right < size {
 				got := r.Recv(right, n, comm.WithTag(tagDown))
-				if !bytes.Equal(got, collFill(right, n)) && runErr == nil {
-					runErr = fmt.Errorf("scenario: halo rank %d iteration %d got a wrong halo from %d", rank, i, right)
+				if !bytes.Equal(got, collFill(right, n)) && rankErr[rank] == nil {
+					rankErr[rank] = fmt.Errorf("scenario: halo rank %d iteration %d got a wrong halo from %d", rank, i, right)
 				}
 			}
-			if err := comm.WaitAll(r.Thread(), sends...); err != nil && runErr == nil {
-				runErr = fmt.Errorf("scenario: halo rank %d iteration %d send: %w", rank, i, err)
+			if err := comm.WaitAll(r.Thread(), sends...); err != nil && rankErr[rank] == nil {
+				rankErr[rank] = fmt.Errorf("scenario: halo rank %d iteration %d send: %w", rank, i, err)
 			}
 			if rank == size-1 {
 				samples = append(samples, r.Thread().Now().Sub(start).Microseconds())
@@ -252,8 +267,8 @@ func runHalo(c *cluster.Cluster, s Spec) ([]float64, uint64, error) {
 	if err := runSim(c, s); err != nil {
 		return nil, 0, err
 	}
-	if runErr != nil {
-		return nil, 0, runErr
+	if err := firstRankErr(rankErr); err != nil {
+		return nil, 0, err
 	}
 	if len(samples) != iters {
 		return nil, 0, fmt.Errorf("scenario: halo finished %d of %d iterations (deadlock?)", len(samples), iters)

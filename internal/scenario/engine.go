@@ -60,8 +60,16 @@ func RunConfig(cfg cluster.Config, spec Spec, opts ...RunOption) (*Result, error
 	spec.Seed = cfg.Seed
 
 	c := cluster.New(cfg)
-	rec := trace.NewRecorder(4096)
-	c.SetRecorder(rec)
+	// One recorder per node: under a partitioned (PDES) cluster each
+	// node's stack records from its own shard, so the recorders must not
+	// be shared. Sequential clusters get the same layout — the Result
+	// only reads per-kind counts, which merge below, so the layout is
+	// digest-neutral either way.
+	recs := make([]*trace.Recorder, len(c.Stacks))
+	for i := range recs {
+		recs[i] = trace.NewRecorder(4096)
+	}
+	c.SetNodeRecorders(recs)
 	if spec.Protocol.Adaptive {
 		ac := spec.adaptConfig(cfg.Opts)
 		for _, st := range c.Stacks {
@@ -78,12 +86,14 @@ func RunConfig(cfg cluster.Config, spec Spec, opts ...RunOption) (*Result, error
 		Scenario:  spec.Name,
 		Pattern:   spec.Traffic.Pattern,
 		Seed:      cfg.Seed,
-		VirtualUS: sim.Duration(c.Engine.Now()).Microseconds(),
+		VirtualUS: sim.Duration(c.Now()).Microseconds(),
 		Latency:   stats.Summarize(samples),
 		Events:    make(map[string]uint64),
 	}
-	for _, kind := range rec.Kinds() {
-		res.Events[string(kind)] = rec.Count(kind)
+	for _, rec := range recs {
+		for _, kind := range rec.Kinds() {
+			res.Events[string(kind)] += rec.Count(kind)
+		}
 	}
 	var receives uint64
 	for node, st := range c.Stacks {
@@ -109,6 +119,24 @@ func RunConfig(cfg cluster.Config, spec Spec, opts ...RunOption) (*Result, error
 	if len(c.NICs) > 0 {
 		fl := c.FrameLoss()
 		res.FrameLoss = &fl
+	}
+	if st, ok := c.PDESStats(); ok {
+		// Attached after sealing, like FrameLoss: the superstep counters
+		// are schedule-derived (identical for any worker count), but
+		// Workers is the one knob that may legitimately differ between
+		// two otherwise identical runs — and `make pdes-check` diffs
+		// exactly those digests.
+		res.PDES = &PDESResult{
+			Workers:              c.Partition.Workers(),
+			Shards:               c.Partition.Shards(),
+			LookaheadNS:          int64(c.Partition.Lookahead()),
+			Supersteps:           st.Supersteps,
+			RootSteps:            st.RootSteps,
+			RoutedEvents:         st.RoutedEvents,
+			MeanReady:            st.MeanReady(),
+			MaxReady:             st.MaxReady,
+			LookaheadUtilization: st.LookaheadUtilization(),
+		}
 	}
 	return res, nil
 }
@@ -140,7 +168,7 @@ func runPattern(c *cluster.Cluster, pat patternFunc, spec Spec) (samples []float
 // fault set and the stacks' transport counters.
 func degradation(c *cluster.Cluster) *Degradation {
 	d := &Degradation{}
-	end := c.Engine.Now()
+	end := c.Now()
 	var rto []float64
 	for node, st := range c.Stacks {
 		nd := NodeDegradation{

@@ -98,8 +98,8 @@ func runSim(c *cluster.Cluster, s Spec) error {
 		budget = defaultVirtualBudget
 	}
 	limit := sim.Time(0).Add(sim.Duration(budget * float64(sim.Millisecond)))
-	c.Engine.RunUntil(limit)
-	pending := c.Engine.Pending()
+	c.RunUntil(limit)
+	pending := c.Pending()
 	c.Shutdown()
 	if pending > 0 {
 		return fmt.Errorf("scenario: %w: %g ms elapsed with %d events still pending — protocol deadlock or retransmission livelock",

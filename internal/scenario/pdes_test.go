@@ -1,0 +1,127 @@
+package scenario
+
+import "testing"
+
+// The PDES contract at the scenario level: for any builtin on an
+// eligible topology, the result digest is byte-identical for ANY worker
+// count. (PDES results may legitimately differ from the sequential
+// engine's — shards draw from split RNG streams — which is why the
+// pinned-digest capture stays on the sequential path; the invariant
+// here is worker-count independence.)
+
+// pdesScenarios are the representative builtins the equality test runs:
+// switch and back-to-back fabrics, wire loss, a fault plan with
+// stateful Gilbert-Elliott bursts inside a collective, and a
+// data-dependent wavefront.
+var pdesScenarios = []string{
+	"paper-internode-pingpong", // back-to-back, the paper's testbed
+	"permutation",              // switch fabric, concurrent channels
+	"lossy-permutation",        // per-frame loss draws on shard RNGs
+	"flaky-link-allreduce",     // fault plan + per-direction burst chains
+	"wavefront",                // data-derived sizes and targets
+}
+
+func runBuiltinAt(t *testing.T, name string, workers int) *Result {
+	t.Helper()
+	return runBuiltinSeedAt(t, name, 0, workers)
+}
+
+// runBuiltinSeedAt runs a builtin with an optional seed override
+// (0 keeps the spec's own seed, like the CLI's -seed flag).
+func runBuiltinSeedAt(t *testing.T, name string, seed uint64, workers int) *Result {
+	t.Helper()
+	s, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 0 {
+		s.Seed = seed
+	}
+	s.ParallelWorkers = workers
+	res, err := Run(s)
+	if err != nil {
+		t.Fatalf("%s seed %d at %d workers: %v", name, seed, workers, err)
+	}
+	return res
+}
+
+// TestPDESWavefrontSeedsWorkerIndependent is the regression test for
+// the shared-reactor-state race: wavefront's data-dependent traffic
+// puts a reactor thread per directed channel on every node's shard, and
+// an early version let them append to one shared sample slice — at some
+// seeds (7 was one) concurrent shards interleaved and the digest
+// flapped between invocations and worker counts. The per-reactor
+// accumulators fix it; this pins digest equality across worker counts
+// and across repeated runs at those seeds specifically, since the
+// default-seed schedule never overlapped reactors enough to trip it.
+func TestPDESWavefrontSeedsWorkerIndependent(t *testing.T) {
+	for _, seed := range []uint64{7, 13} {
+		base := runBuiltinSeedAt(t, "wavefront", seed, 1)
+		if base.PDES == nil {
+			t.Fatalf("seed %d: eligible topology ran without a partition", seed)
+		}
+		rerun := runBuiltinSeedAt(t, "wavefront", seed, 4)
+		if rerun.Digest != runBuiltinSeedAt(t, "wavefront", seed, 4).Digest {
+			t.Errorf("seed %d: repeated 4-worker runs disagree", seed)
+		}
+		for _, w := range []int{2, 4, 8} {
+			res := runBuiltinSeedAt(t, "wavefront", seed, w)
+			if res.Digest != base.Digest {
+				t.Errorf("seed %d: digest differs at %d vs 1 workers:\n %s\n %s",
+					seed, w, res.Digest, base.Digest)
+			}
+		}
+	}
+}
+
+func TestPDESDigestsWorkerIndependent(t *testing.T) {
+	for _, name := range pdesScenarios {
+		base := runBuiltinAt(t, name, 1)
+		if base.PDES == nil {
+			t.Fatalf("%s: eligible topology ran without a partition", name)
+		}
+		for _, w := range []int{2, 4} {
+			res := runBuiltinAt(t, name, w)
+			if res.Digest != base.Digest {
+				t.Errorf("%s: digest differs at %d vs 1 workers:\n %s\n %s",
+					name, w, res.Digest, base.Digest)
+			}
+			if res.PDES == nil || res.PDES.Workers != w {
+				t.Errorf("%s: PDES section missing or mislabelled at %d workers: %+v", name, w, res.PDES)
+			}
+			// The orchestration counters are schedule-derived: identical
+			// regardless of workers.
+			if res.PDES != nil && (res.PDES.Supersteps != base.PDES.Supersteps ||
+				res.PDES.RoutedEvents != base.PDES.RoutedEvents) {
+				t.Errorf("%s: superstep counters differ across worker counts:\n %+v\n %+v",
+					name, res.PDES, base.PDES)
+			}
+		}
+	}
+}
+
+// TestPDESFallbackSequential pins the eligibility gate: topologies with
+// no conservative lookahead (one shared hub segment, a single SMP node)
+// silently run on the plain sequential engine — same digest as
+// workers=0, no PDES section.
+func TestPDESFallbackSequential(t *testing.T) {
+	for _, name := range []string{"hub-hotspot", "paper-intranode-pingpong"} {
+		seq := runBuiltinAt(t, name, 0)
+		par := runBuiltinAt(t, name, 4)
+		if par.PDES != nil {
+			t.Errorf("%s: ineligible topology reports a PDES section: %+v", name, par.PDES)
+		}
+		if par.Digest != seq.Digest {
+			t.Errorf("%s: fallback digest differs from sequential: %s vs %s", name, par.Digest, seq.Digest)
+		}
+	}
+}
+
+// TestPDESSequentialUnaffected pins that workers=0 still runs the plain
+// single-engine path with no PDES section, on an eligible topology.
+func TestPDESSequentialUnaffected(t *testing.T) {
+	res := runBuiltinAt(t, "permutation", 0)
+	if res.PDES != nil {
+		t.Errorf("workers=0 run reports a PDES section: %+v", res.PDES)
+	}
+}

@@ -1,0 +1,32 @@
+package scenario
+
+// PDESResult reports how the conservative-PDES run loop orchestrated a
+// partitioned run: the knobs (workers, shards, lookahead) and the
+// schedule-derived counters. Everything except Workers is a pure
+// function of the event schedule, so two runs of the same spec at
+// different worker counts report identical counters — and identical
+// digests, since the whole struct is attached after sealing.
+type PDESResult struct {
+	// Workers is the requested parallelism; Shards the number of child
+	// engines the topology was split into (one per node, plus one for
+	// the switch fabric when present).
+	Workers int `json:"workers"`
+	Shards  int `json:"shards"`
+	// LookaheadNS is the conservative window width: the minimum
+	// propagation delay over all inter-shard links.
+	LookaheadNS int64 `json:"lookaheadNS"`
+	// Supersteps counts parallel child windows; RootSteps exclusive
+	// root-engine phases; RoutedEvents cross-shard events exchanged at
+	// window barriers.
+	Supersteps   uint64 `json:"supersteps"`
+	RootSteps    uint64 `json:"rootSteps"`
+	RoutedEvents uint64 `json:"routedEvents"`
+	// MeanReady/MaxReady describe how many shards had work per
+	// superstep — the available parallelism.
+	MeanReady float64 `json:"meanReady"`
+	MaxReady  int     `json:"maxReady"`
+	// LookaheadUtilization is the mean fraction of the lookahead window
+	// each superstep actually spanned (1.0 = every window ran the full
+	// lookahead before a barrier was needed).
+	LookaheadUtilization float64 `json:"lookaheadUtilization"`
+}

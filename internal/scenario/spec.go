@@ -49,6 +49,14 @@ type Spec struct {
 	// loss bursts, switch-port blackouts, node pauses, NIC stalls. Runs
 	// with a plan report a degradation section in their Result.
 	Faults *fault.Plan `json:"faults,omitempty"`
+	// ParallelWorkers > 0 enables conservative-PDES execution: the
+	// topology is split into one shard per node (plus one for the switch)
+	// and that many worker goroutines drain lookahead-bounded windows in
+	// parallel. The digest is byte-identical for any worker count;
+	// topologies without a conservative lookahead (hub, intranode,
+	// zero-propagation links) silently run sequentially. 0 is the plain
+	// sequential engine.
+	ParallelWorkers int `json:"parallelWorkers,omitempty"`
 }
 
 // Topology selects the machines and the interconnect joining them.
@@ -235,6 +243,9 @@ func (s Spec) Validate() error {
 	if s.Traffic.SegmentBytes < 0 {
 		return fmt.Errorf("scenario: traffic segmentBytes %d is negative", s.Traffic.SegmentBytes)
 	}
+	if s.ParallelWorkers < 0 {
+		return fmt.Errorf("scenario: parallelWorkers %d is negative", s.ParallelWorkers)
+	}
 	cfg, err := s.clusterConfig()
 	if err != nil {
 		return err
@@ -370,6 +381,7 @@ func (s Spec) clusterConfig() (cluster.Config, error) {
 		return cluster.Config{}, err
 	}
 	cfg.FaultPlan = s.Faults
+	cfg.ParallelWorkers = s.ParallelWorkers
 	return cfg, nil
 }
 

@@ -28,17 +28,26 @@ type Sweep struct {
 
 // Grid names the swept axes. An empty axis keeps the base value; the
 // expansion is the cartesian product of the non-empty axes, ordered
-// nodes (outermost) > pushedBufBytes > sizes > lossRates > algorithms >
-// faultPlans > seeds (innermost).
+// nodes (outermost) > procsPerNode > pushedBufBytes > sizes >
+// lossRates > rtoMs > gbnWindow > algorithms > faultPlans > seeds
+// (innermost).
 type Grid struct {
 	// Nodes varies Topology.Nodes.
 	Nodes []int `json:"nodes,omitempty"`
+	// ProcsPerNode varies Topology.ProcsPerNode.
+	ProcsPerNode []int `json:"procsPerNode,omitempty"`
 	// PushedBufBytes varies Protocol.PushedBufBytes.
 	PushedBufBytes []int `json:"pushedBufBytes,omitempty"`
 	// Sizes varies Traffic.Size.
 	Sizes []int `json:"sizes,omitempty"`
 	// LossRates varies Topology.LossRate.
 	LossRates []float64 `json:"lossRates,omitempty"`
+	// RTOMs varies Protocol.RTOMs (the go-back-N fixed retransmission
+	// timeout, milliseconds).
+	RTOMs []float64 `json:"rtoMs,omitempty"`
+	// GBNWindows varies Protocol.GBNWindow (the go-back-N send window,
+	// frames).
+	GBNWindows []int `json:"gbnWindows,omitempty"`
 	// Algorithms varies Traffic.Algorithm (collective patterns only —
 	// expansion fails on a pattern with no algorithm axis).
 	Algorithms []string `json:"algorithms,omitempty"`
@@ -93,7 +102,8 @@ type Point struct {
 func (g Grid) Points() int {
 	n := 1
 	for _, axis := range []int{
-		len(g.Nodes), len(g.PushedBufBytes), len(g.Sizes), len(g.LossRates), len(g.Algorithms), len(g.FaultPlans), len(g.Seeds),
+		len(g.Nodes), len(g.ProcsPerNode), len(g.PushedBufBytes), len(g.Sizes), len(g.LossRates),
+		len(g.RTOMs), len(g.GBNWindows), len(g.Algorithms), len(g.FaultPlans), len(g.Seeds),
 	} {
 		if axis > 0 {
 			n *= axis
@@ -116,9 +126,24 @@ func (sw Sweep) Expand() ([]Point, error) {
 			return nil, fmt.Errorf("scenario: sweep grid nodes value %d is not positive", n)
 		}
 	}
+	for _, p := range sw.Grid.ProcsPerNode {
+		if p <= 0 {
+			return nil, fmt.Errorf("scenario: sweep grid procsPerNode value %d is not positive", p)
+		}
+	}
 	for _, b := range sw.Grid.PushedBufBytes {
 		if b <= 0 {
 			return nil, fmt.Errorf("scenario: sweep grid pushedBufBytes value %d is not positive", b)
+		}
+	}
+	for _, r := range sw.Grid.RTOMs {
+		if r <= 0 {
+			return nil, fmt.Errorf("scenario: sweep grid rtoMs value %g is not positive", r)
+		}
+	}
+	for _, w := range sw.Grid.GBNWindows {
+		if w <= 0 {
+			return nil, fmt.Errorf("scenario: sweep grid gbnWindows value %d is not positive", w)
 		}
 	}
 	for _, l := range sw.Grid.LossRates {
@@ -149,6 +174,9 @@ func (sw Sweep) Expand() ([]Point, error) {
 		{"nodes", len(sw.Grid.Nodes),
 			func(i int) string { return fmt.Sprintf("%d", sw.Grid.Nodes[i]) },
 			func(s *Spec, i int) { s.Topology.Nodes = sw.Grid.Nodes[i] }},
+		{"procs", len(sw.Grid.ProcsPerNode),
+			func(i int) string { return fmt.Sprintf("%d", sw.Grid.ProcsPerNode[i]) },
+			func(s *Spec, i int) { s.Topology.ProcsPerNode = sw.Grid.ProcsPerNode[i] }},
 		{"buf", len(sw.Grid.PushedBufBytes),
 			func(i int) string { return fmt.Sprintf("%d", sw.Grid.PushedBufBytes[i]) },
 			func(s *Spec, i int) { s.Protocol.PushedBufBytes = sw.Grid.PushedBufBytes[i] }},
@@ -158,6 +186,12 @@ func (sw Sweep) Expand() ([]Point, error) {
 		{"loss", len(sw.Grid.LossRates),
 			func(i int) string { return fmt.Sprintf("%g", sw.Grid.LossRates[i]) },
 			func(s *Spec, i int) { s.Topology.LossRate = sw.Grid.LossRates[i] }},
+		{"rto", len(sw.Grid.RTOMs),
+			func(i int) string { return fmt.Sprintf("%g", sw.Grid.RTOMs[i]) },
+			func(s *Spec, i int) { s.Protocol.RTOMs = sw.Grid.RTOMs[i] }},
+		{"win", len(sw.Grid.GBNWindows),
+			func(i int) string { return fmt.Sprintf("%d", sw.Grid.GBNWindows[i]) },
+			func(s *Spec, i int) { s.Protocol.GBNWindow = sw.Grid.GBNWindows[i] }},
 		{"alg", len(sw.Grid.Algorithms),
 			func(i int) string { return sw.Grid.Algorithms[i] },
 			func(s *Spec, i int) { s.Traffic.Algorithm = sw.Grid.Algorithms[i] }},
@@ -468,7 +502,20 @@ func BuiltinSweeps() []Sweep {
 		Seeds:      []uint64{1, 2},
 	}
 
-	return []Sweep{smoke, study, collSmoke, faultSmoke}
+	protoGrid := Sweep{
+		Name:        "proto-grid",
+		Description: "CI grid for the transport axes: internode ping-pong over procsPerNode x rtoMs x gbnWindow on a lossy wire (8 points, seconds)",
+		Base:        DefaultSpec(),
+	}
+	protoGrid.Base.Topology.LossRate = 0.002 // make the RTO/window axes matter
+	protoGrid.Base.Traffic = Traffic{Pattern: "pingpong", Size: 1400, Messages: 50}
+	protoGrid.Grid = Grid{
+		ProcsPerNode: []int{1, 2},
+		RTOMs:        []float64{2, 8},
+		GBNWindows:   []int{8, 32},
+	}
+
+	return []Sweep{smoke, study, collSmoke, faultSmoke, protoGrid}
 }
 
 // SweepNames lists the builtin sweep names, sorted.

@@ -1,0 +1,506 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Conservative barrier-synchronous PDES.
+//
+// A Partition shards one simulation across several Engines — one child
+// engine per topology shard plus a root engine for anything not pinned
+// to a shard — and executes them in supersteps. Each superstep opens a
+// conservative window [T, T+L) where T is the earliest pending child
+// event and L is the partition's lookahead (the minimum cross-shard
+// event latency, e.g. the minimum link propagation delay of the
+// topology). Inside the window every shard's event order depends only
+// on its own state, so worker goroutines drain the ready shards
+// concurrently; at the barrier the buffered cross-shard events are
+// merged in (time, prio, shard, seq) order and inserted into their
+// destinations, which makes the destination's subsequent event order —
+// and therefore every digest — byte-identical for ANY worker count.
+//
+// The root engine never runs concurrently with the children: whenever
+// its next event is at or before every child's, it executes exclusively
+// (root wins ties). Root-sourced events carry no lookahead guarantee
+// and are delivered no earlier than the destination's local clock;
+// child-sourced events that arrive in a destination's past are a
+// lookahead violation and panic — that is always a model bug (an
+// emitter bypassed the latency floor the partition was built with).
+
+// routedEvent is one cross-shard event parked in the source engine's
+// outbox until the next superstep barrier.
+type routedEvent struct {
+	dst *Engine
+	at  Time
+	fn  func()
+}
+
+// flushEntry is a routed event tagged with its merge key: source shard
+// and emission index, which together with the timestamp give the
+// deterministic (time, prio, shard, seq) total order (all routed events
+// share PriorityNormal).
+type flushEntry struct {
+	at    Time
+	shard int
+	idx   int
+	dst   *Engine
+	fn    func()
+}
+
+// workItem asks a worker to drain one shard up to bound (inclusive).
+type workItem struct {
+	e     *Engine
+	bound Time
+}
+
+// PartitionStats counts what the superstep orchestrator did. Every
+// field is derived from the event schedule alone, so the numbers are
+// identical for any worker count.
+type PartitionStats struct {
+	// Supersteps is the number of parallel child windows; RootSteps the
+	// number of exclusive root phases interleaved between them.
+	Supersteps uint64 `json:"supersteps"`
+	RootSteps  uint64 `json:"rootSteps"`
+	// RoutedEvents counts cross-shard events merged at barriers.
+	RoutedEvents uint64 `json:"routedEvents"`
+	// ReadySum sums the shards that had work per superstep (the
+	// parallelism the schedule exposed); MaxReady is the widest window.
+	ReadySum uint64 `json:"readySum"`
+	MaxReady int    `json:"maxReady"`
+	// WindowNS sums the widths of the windows actually opened and
+	// LookaheadNS the full lookahead budget (Supersteps × L): their
+	// ratio is how much of the conservative bound the schedule used.
+	WindowNS    int64 `json:"windowNS"`
+	LookaheadNS int64 `json:"lookaheadNS"`
+}
+
+// LookaheadUtilization is the fraction of the conservative lookahead
+// budget the opened windows actually spanned (0 when nothing ran).
+func (s PartitionStats) LookaheadUtilization() float64 {
+	if s.LookaheadNS == 0 {
+		return 0
+	}
+	return float64(s.WindowNS) / float64(s.LookaheadNS)
+}
+
+// MeanReady is the mean number of shards with work per superstep.
+func (s PartitionStats) MeanReady() float64 {
+	if s.Supersteps == 0 {
+		return 0
+	}
+	return float64(s.ReadySum) / float64(s.Supersteps)
+}
+
+// Partition is a set of engines executing one simulation under the
+// conservative superstep protocol above. Create with NewPartition,
+// drive with Run/RunUntil from a single goroutine (the orchestrator),
+// and tear down with Shutdown. Model code never sees the Partition:
+// it schedules through its local Engine, and cross-shard effects go
+// through Engine.ScheduleOn.
+type Partition struct {
+	root      *Engine
+	children  []*Engine
+	lookahead Duration
+	workers   int
+
+	work    chan workItem
+	wg      sync.WaitGroup
+	started bool
+	closed  bool
+	ran     bool
+
+	faults  []any // per shard ID, captured during a superstep
+	ready   []*Engine
+	scratch []flushEntry
+
+	stats PartitionStats
+}
+
+const maxTime = Time(1<<63 - 1)
+
+// NewPartition builds a root engine plus shards child engines. Each
+// engine gets its own RNG stream split deterministically from seed (the
+// root keeps the unsplit stream, matching a sequential engine), so
+// random draws on one shard never perturb another's sequence regardless
+// of execution interleaving. lookahead must be positive: it is the
+// latency floor every child-sourced cross-shard event respects, and a
+// zero floor admits no conservative window at all. workers bounds the
+// goroutines draining a superstep; any value is safe and none of them
+// changes results, only wall-clock.
+func NewPartition(seed uint64, shards, workers int, lookahead Duration) *Partition {
+	if shards <= 0 {
+		panic("sim: partition needs at least one shard")
+	}
+	if lookahead <= 0 {
+		panic("sim: conservative partition needs positive lookahead")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Partition{
+		lookahead: lookahead,
+		workers:   workers,
+		faults:    make([]any, shards+1),
+	}
+	p.root = NewEngine(seed)
+	p.root.part, p.root.shard = p, 0
+	p.children = make([]*Engine, shards)
+	for i := range p.children {
+		c := NewEngine(splitSeed(seed, i))
+		c.part, c.shard = p, i+1
+		p.children[i] = c
+	}
+	return p
+}
+
+// splitSeed derives shard i's RNG seed with a splitmix64-style
+// finalizer — deterministic, well-separated streams from one partition
+// seed, the same recipe internal/fault uses per fault event.
+func splitSeed(seed uint64, i int) uint64 {
+	z := seed + (uint64(i)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Root returns the partition's root engine (shard 0).
+func (p *Partition) Root() *Engine { return p.root }
+
+// Shards reports the number of child shards.
+func (p *Partition) Shards() int { return len(p.children) }
+
+// Shard returns child engine i (0-based).
+func (p *Partition) Shard(i int) *Engine { return p.children[i] }
+
+// Lookahead returns the latency floor the partition was built with.
+func (p *Partition) Lookahead() Duration { return p.lookahead }
+
+// SetLookahead replaces the latency floor — the topology hook for a
+// builder that only knows the exact floor once its links exist. It must
+// be called before the partition first runs, and the new floor must be
+// positive.
+func (p *Partition) SetLookahead(d Duration) {
+	if p.ran {
+		panic("sim: SetLookahead after the partition ran")
+	}
+	if d <= 0 {
+		panic("sim: conservative partition needs positive lookahead")
+	}
+	p.lookahead = d
+}
+
+// Workers returns the worker bound the partition was built with.
+func (p *Partition) Workers() int { return p.workers }
+
+// PlanWindow computes the next parallel superstep's conservative plan
+// without executing anything: the window start (the earliest child
+// event), the inclusive bound (start + lookahead - 1, clipped below the
+// root's next event), and how many shards have work inside it. ok is
+// false when the next phase would not be a parallel window — no child
+// has work, or the root's next event is at or before every child's
+// (root wins ties and runs exclusively). This mirrors the planning step
+// of RunUntil's loop, minus the caller's limit.
+func (p *Partition) PlanWindow() (start, bound Time, ready int, ok bool) {
+	rootNext, rootHas := p.root.NextEventTime()
+	var minChild Time
+	childHas := false
+	for _, c := range p.children {
+		if t, ok := c.NextEventTime(); ok {
+			if !childHas || t < minChild {
+				minChild = t
+			}
+			childHas = true
+		}
+	}
+	if !childHas || (rootHas && rootNext <= minChild) {
+		return 0, 0, 0, false
+	}
+	start = minChild
+	bound = start.Add(p.lookahead - 1)
+	if bound < start { // overflow at the far end of time
+		bound = maxTime
+	}
+	if rootHas && rootNext-1 < bound {
+		bound = rootNext - 1
+	}
+	for _, c := range p.children {
+		if t, ok := c.NextEventTime(); ok && t <= bound {
+			ready++
+		}
+	}
+	return start, bound, ready, true
+}
+
+// Stats returns the orchestration counters accumulated so far.
+func (p *Partition) Stats() PartitionStats { return p.stats }
+
+// Now reports the partition's virtual time: the maximum over its
+// engines' clocks, i.e. the last executed event anywhere (mirroring
+// Engine.RunUntil, which leaves the clock at the last executed event).
+func (p *Partition) Now() Time {
+	t := p.root.Now()
+	for _, c := range p.children {
+		if n := c.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}
+
+// Executed reports events run across all engines — the exact
+// whole-simulation counterpart of Engine.Executed.
+func (p *Partition) Executed() uint64 {
+	n := p.root.Executed()
+	for _, c := range p.children {
+		n += c.Executed()
+	}
+	return n
+}
+
+// Pending reports queued events across all engines plus routed events
+// still parked in outboxes — the exact whole-simulation counterpart of
+// Engine.Pending.
+func (p *Partition) Pending() int {
+	n := p.root.Pending() + len(p.root.outbox)
+	for _, c := range p.children {
+		n += c.Pending() + len(c.outbox)
+	}
+	return n
+}
+
+// Run executes the partition until every queue is empty. It returns the
+// final virtual time.
+func (p *Partition) Run() Time { return p.RunUntil(maxTime) }
+
+// RunUntil executes events with timestamps <= limit across all shards,
+// then returns the partition clock. The loop alternates two phases:
+// exclusive root execution whenever the root's next event is at or
+// before every child's, and parallel child supersteps otherwise. Both
+// phases end with a barrier flush of the cross-shard outboxes.
+func (p *Partition) RunUntil(limit Time) Time {
+	p.ran = true
+	for {
+		rootNext, rootHas := p.root.NextEventTime()
+		var minChild Time
+		childHas := false
+		for _, c := range p.children {
+			if t, ok := c.NextEventTime(); ok {
+				if !childHas || t < minChild {
+					minChild = t
+				}
+				childHas = true
+			}
+		}
+		if !childHas && !rootHas {
+			break
+		}
+		if rootHas && (!childHas || rootNext <= minChild) {
+			// Exclusive root phase: run the root alone up to the first
+			// child event (root wins ties — a fixed, worker-independent
+			// rule), never past limit.
+			if rootNext > limit {
+				break
+			}
+			bound := limit
+			if childHas && minChild < bound {
+				bound = minChild
+			}
+			p.root.RunUntil(bound)
+			p.stats.RootSteps++
+			p.flush()
+			continue
+		}
+		// Parallel superstep: window [T, T+L), clipped below the root's
+		// next event and the caller's limit. bound is inclusive.
+		if minChild > limit {
+			break
+		}
+		T := minChild
+		bound := T.Add(p.lookahead - 1)
+		if bound < T { // overflow at the far end of time
+			bound = maxTime
+		}
+		if rootHas && rootNext-1 < bound {
+			bound = rootNext - 1
+		}
+		if limit < bound {
+			bound = limit
+		}
+		ready := p.ready[:0]
+		for _, c := range p.children {
+			if t, ok := c.NextEventTime(); ok && t <= bound {
+				ready = append(ready, c)
+			}
+		}
+		p.runWindow(ready, bound)
+		p.stats.Supersteps++
+		p.stats.ReadySum += uint64(len(ready))
+		if len(ready) > p.stats.MaxReady {
+			p.stats.MaxReady = len(ready)
+		}
+		p.stats.WindowNS += int64(Duration(bound-T) + 1)
+		p.stats.LookaheadNS += int64(p.lookahead)
+		for i := range ready {
+			ready[i] = nil
+		}
+		p.ready = ready[:0]
+		p.flush()
+	}
+	return p.Now()
+}
+
+// runWindow drains every ready shard up to bound. With one worker (or
+// one ready shard) it runs inline on the orchestrator; otherwise the
+// shards go to the worker pool and the WaitGroup is the superstep
+// barrier. Shard panics are captured per shard — the rest of the window
+// still completes, so the partition state at the re-raise is identical
+// for any worker count — and the lowest-shard fault is re-raised on the
+// orchestrator.
+func (p *Partition) runWindow(ready []*Engine, bound Time) {
+	if p.workers <= 1 || len(ready) <= 1 {
+		for _, c := range ready {
+			p.runShard(workItem{e: c, bound: bound})
+		}
+	} else {
+		p.startWorkers()
+		p.wg.Add(len(ready))
+		for _, c := range ready {
+			p.work <- workItem{e: c, bound: bound}
+		}
+		p.wg.Wait()
+	}
+	for _, f := range p.faults {
+		if f != nil {
+			for j := range p.faults {
+				p.faults[j] = nil
+			}
+			panic(f)
+		}
+	}
+}
+
+// runShard executes one work item, capturing a panic under the shard's
+// slot so the barrier can re-raise deterministically.
+func (p *Partition) runShard(it workItem) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.faults[it.e.shard] = r
+		}
+	}()
+	it.e.RunUntil(it.bound)
+}
+
+// startWorkers lazily spins up the pool. The work channel is buffered
+// to the shard count so the orchestrator never blocks feeding a
+// superstep.
+func (p *Partition) startWorkers() {
+	if p.started {
+		return
+	}
+	p.started = true
+	p.work = make(chan workItem, len(p.children))
+	n := p.workers
+	if n > len(p.children) {
+		n = len(p.children)
+	}
+	for i := 0; i < n; i++ {
+		go func() {
+			for it := range p.work {
+				p.runShard(it)
+				p.wg.Done()
+			}
+		}()
+	}
+}
+
+// flush merges every outbox into the destination engines in
+// (time, prio, shard, seq) order — the partition's deterministic merge
+// rule (prio is constant: routed events are PriorityNormal). Insertion
+// order fixes the destination-side sequence numbers, so the resulting
+// execution order is independent of how the superstep was scheduled.
+func (p *Partition) flush() {
+	es := p.scratch[:0]
+	collect := func(e *Engine) {
+		for i := range e.outbox {
+			r := &e.outbox[i]
+			es = append(es, flushEntry{at: r.at, shard: e.shard, idx: i, dst: r.dst, fn: r.fn})
+			e.outbox[i] = routedEvent{}
+		}
+		e.outbox = e.outbox[:0]
+	}
+	collect(p.root)
+	for _, c := range p.children {
+		collect(c)
+	}
+	if len(es) == 0 {
+		p.scratch = es
+		return
+	}
+	sort.Slice(es, func(i, j int) bool {
+		a, b := &es[i], &es[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.shard != b.shard {
+			return a.shard < b.shard
+		}
+		return a.idx < b.idx
+	})
+	for i := range es {
+		en := &es[i]
+		t := en.at
+		if t < en.dst.now {
+			if en.shard == 0 {
+				// Root-sourced: no lookahead contract; deliver no earlier
+				// than the destination's clock. (In practice the root phase
+				// always runs strictly below the children's windows, so
+				// this clamp is a safety net, not a steady-state path.)
+				t = en.dst.now
+			} else {
+				panic(fmt.Sprintf("sim: lookahead violation: shard %d routed an event at %v into a shard already at %v (lookahead %v)",
+					en.shard-1, en.at, en.dst.now, p.lookahead))
+			}
+		}
+		en.dst.At(t, PriorityNormal, en.fn)
+		en.fn = nil
+		p.stats.RoutedEvents++
+	}
+	p.scratch = es[:0]
+}
+
+// Shutdown tears down every engine (root first, then shards in order,
+// unwinding parked processes exactly like Engine.Shutdown) and stops
+// the worker pool. If any engine's teardown re-raises a process fault,
+// the first one (in shard order) is re-raised after all engines are
+// down. The partition is dead afterwards.
+func (p *Partition) Shutdown() {
+	if p.started && !p.closed {
+		close(p.work)
+		p.closed = true
+	}
+	var fault any
+	down := func(e *Engine) {
+		defer func() {
+			if r := recover(); r != nil && fault == nil {
+				fault = r
+			}
+		}()
+		e.Shutdown()
+	}
+	down(p.root)
+	for _, c := range p.children {
+		down(c)
+	}
+	p.root.outbox = nil
+	for _, c := range p.children {
+		c.outbox = nil
+	}
+	if fault != nil {
+		panic(fault)
+	}
+}

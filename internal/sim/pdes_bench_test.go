@@ -1,0 +1,65 @@
+package sim
+
+import "testing"
+
+// The PDES microbenchmarks tracked by the lab's gobench series (see
+// internal/lab/gobench.go, which replicates these shapes on the
+// exported API): the superstep barrier, cross-shard routing, and the
+// per-superstep window planning scan.
+
+// BenchmarkPDESSuperstepBarrier measures one full parallel superstep —
+// feed the pool, drain 8 one-event shards, barrier — the fixed overhead
+// every window pays regardless of how much work it holds.
+func BenchmarkPDESSuperstepBarrier(b *testing.B) {
+	const shards = 8
+	p := NewPartition(1, shards, 4, 100)
+	defer p.Shutdown()
+	var tick [shards]func()
+	for i := 0; i < shards; i++ {
+		e := p.Shard(i)
+		tick[i] = func() { e.Schedule(100, tick[e.shard-1]) }
+		e.At(1, PriorityNormal, tick[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RunUntil(p.Now().Add(100))
+	}
+}
+
+// BenchmarkPDESCrossShardRouting measures one routed event end to end:
+// outbox append, barrier collection, merge sort and destination insert —
+// two shards ping-ponging a single event at exactly the lookahead.
+func BenchmarkPDESCrossShardRouting(b *testing.B) {
+	p := NewPartition(1, 2, 1, 100)
+	defer p.Shutdown()
+	a, c := p.Shard(0), p.Shard(1)
+	var fwd, back func()
+	fwd = func() { a.ScheduleOn(c, 100, back) }
+	back = func() { c.ScheduleOn(a, 100, fwd) }
+	a.At(1, PriorityNormal, fwd)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RunUntil(p.Now().Add(100))
+	}
+}
+
+// BenchmarkPDESWindowPlanning measures the conservative lookahead
+// computation alone: the PlanWindow scan over 16 loaded shards that the
+// run loop repeats before every superstep.
+func BenchmarkPDESWindowPlanning(b *testing.B) {
+	const shards = 16
+	p := NewPartition(1, shards, 1, 100)
+	defer p.Shutdown()
+	for i := 0; i < shards; i++ {
+		p.Shard(i).At(Time(1+i*10), PriorityNormal, func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, ok := p.PlanWindow(); !ok {
+			b.Fatal("unplannable window")
+		}
+	}
+}

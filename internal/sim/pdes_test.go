@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// pdesTrafficLog is the observable the determinism tests compare: every
+// event appends (shard, time, rng draw) to its own shard's slice, so the
+// combined transcript pins the exact per-shard execution order and RNG
+// sequence. Per-shard slices need no locking — one goroutine owns a
+// shard per superstep, and the barrier is the happens-before edge.
+type pdesTrafficLog struct {
+	byShard [][]string
+}
+
+func (l *pdesTrafficLog) add(shard int, t Time, draw uint64) {
+	l.byShard[shard] = append(l.byShard[shard], fmt.Sprintf("s%d@%d:%x", shard, t, draw))
+}
+
+func (l *pdesTrafficLog) transcript() string {
+	var b strings.Builder
+	for _, s := range l.byShard {
+		b.WriteString(strings.Join(s, " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// seedPDESTraffic loads a partition with a randomized mix of shard-local
+// and cross-shard traffic: every hop logs, draws from its shard's RNG,
+// reschedules locally at a random offset, and with probability ~1/3
+// routes a follow-up to a random shard at a delay >= lookahead. The root
+// participates too, fanning root-sourced events into every shard.
+func seedPDESTraffic(p *Partition, log *pdesTrafficLog, depth int) {
+	shards := p.Shards()
+	look := p.Lookahead()
+	var hop func(e *Engine, shard, depth int)
+	hop = func(e *Engine, shard, depth int) {
+		draw := e.Rand().Uint64()
+		log.add(shard, e.Now(), draw)
+		if depth <= 0 {
+			return
+		}
+		e.Schedule(Duration(1+draw%uint64(2*look)), func() { hop(e, shard, depth-1) })
+		if draw%3 == 0 {
+			t := int(draw>>8) % shards
+			dst := p.Shard(t)
+			e.ScheduleOn(dst, look+e.Rand().Duration(look), func() { hop(dst, t+1, depth-1) })
+		}
+	}
+	for i := 0; i < shards; i++ {
+		e, shard := p.Shard(i), i+1
+		e.At(Time(1+i), PriorityNormal, func() { hop(e, shard, depth) })
+	}
+	root := p.Root()
+	root.At(5, PriorityNormal, func() {
+		draw := root.Rand().Uint64()
+		log.add(0, root.Now(), draw)
+		for i := 0; i < shards; i++ {
+			dst, shard := p.Shard(i), i+1
+			root.ScheduleOn(dst, Duration(1+draw%7), func() { hop(dst, shard, depth/2) })
+		}
+	})
+}
+
+// TestPDESDigestAcrossWorkers is the determinism property test: for
+// several seeds, a randomized interleaving of shard-local and
+// cross-shard traffic must produce a byte-identical execution transcript
+// (and identical executed counts and clocks) at 1, 2 and 8 workers.
+func TestPDESDigestAcrossWorkers(t *testing.T) {
+	const shards, depth = 6, 8
+	const look = Duration(500)
+	for seed := uint64(1); seed <= 3; seed++ {
+		runAt := func(workers int) (string, uint64, Time) {
+			p := NewPartition(seed, shards, workers, look)
+			log := &pdesTrafficLog{byShard: make([][]string, shards+1)}
+			seedPDESTraffic(p, log, depth)
+			horizon := Time(0).Add(200 * look)
+			p.RunUntil(horizon)
+			defer p.Shutdown()
+			return log.transcript(), p.Executed(), p.Now()
+		}
+		baseTr, baseEx, baseNow := runAt(1)
+		if baseEx == 0 {
+			t.Fatalf("seed %d: traffic generator executed nothing", seed)
+		}
+		for _, w := range []int{2, 8} {
+			tr, ex, now := runAt(w)
+			if ex != baseEx || now != baseNow {
+				t.Errorf("seed %d workers %d: executed/now (%d, %d) != 1-worker (%d, %d)",
+					seed, w, ex, now, baseEx, baseNow)
+			}
+			if tr != baseTr {
+				t.Errorf("seed %d workers %d: execution transcript differs from 1-worker run", seed, w)
+			}
+		}
+	}
+}
+
+// TestPartitionExecutedPendingExact pins that Executed and Pending are
+// exact whole-simulation figures under sharded execution: Pending counts
+// queued events on every engine plus routed events still parked in
+// outboxes, and Executed sums every shard's executions including
+// barrier-merged cross-shard events.
+func TestPartitionExecutedPendingExact(t *testing.T) {
+	const shards = 3
+	p := NewPartition(7, shards, 2, 100)
+	defer p.Shutdown()
+	var ran [shards + 1]uint64
+	for i := 0; i < shards; i++ {
+		e, shard := p.Shard(i), i+1
+		for k := 1; k <= 5; k++ {
+			at := Time(10 * k)
+			e.At(at, PriorityNormal, func() {
+				ran[shard]++
+				if at == 10 {
+					dst := p.Shard((shard) % shards)
+					e.ScheduleOn(dst, 100, func() { ran[(shard%shards)+1]++ })
+				}
+			})
+		}
+	}
+	// A routed event parked in the root's outbox before the run starts
+	// must already be visible in Pending.
+	p.Root().ScheduleOn(p.Shard(0), 7, func() { ran[1]++ })
+	if got, want := p.Pending(), shards*5+1; got != want {
+		t.Fatalf("Pending() before run = %d, want %d (15 queued + 1 outbox)", got, want)
+	}
+	p.Run()
+	var total uint64
+	for _, n := range ran {
+		total += n
+	}
+	if want := uint64(shards*5 + shards + 1); total != want {
+		t.Fatalf("events ran = %d, want %d", total, want)
+	}
+	if got := p.Executed(); got != total {
+		t.Errorf("Executed() = %d, want the exact event count %d", got, total)
+	}
+	if got := p.Pending(); got != 0 {
+		t.Errorf("Pending() after run = %d, want 0", got)
+	}
+}
+
+// TestPDESLookaheadViolationPanics pins the conservative contract: a
+// child-sourced cross-shard event below the lookahead floor that lands
+// in its destination's past is a model bug and panics at the barrier.
+func TestPDESLookaheadViolationPanics(t *testing.T) {
+	p := NewPartition(1, 2, 1, 50)
+	defer p.Shutdown()
+	a, b := p.Shard(0), p.Shard(1)
+	b.At(59, PriorityNormal, func() {}) // advances b to the window bound
+	a.At(10, PriorityNormal, func() {
+		a.ScheduleOn(b, 1, func() {}) // d=1 < lookahead=50: lands at 11 < b's 59
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("sub-lookahead cross-shard event did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "lookahead violation") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	p.Run()
+}
+
+// TestPartitionShutdownUnwindsParked pins teardown: processes parked on
+// shard engines (and the root) when the run stops must be unwound by
+// Shutdown, leaving no live process on any engine.
+func TestPartitionShutdownUnwindsParked(t *testing.T) {
+	p := NewPartition(1, 4, 2, 100)
+	park := func(e *Engine, name string) {
+		c := NewCond(e)
+		e.Go(name, func(pr *Process) { c.Wait(pr) }) // parked forever
+	}
+	park(p.Root(), "root-pump")
+	for i := 0; i < p.Shards(); i++ {
+		park(p.Shard(i), fmt.Sprintf("shard%d-pump", i))
+		p.Shard(i).At(Time(10+i), PriorityNormal, func() {})
+	}
+	p.Run()
+	p.Shutdown()
+	if n := p.Root().Live(); n != 0 {
+		t.Errorf("root has %d live processes after Shutdown", n)
+	}
+	for i := 0; i < p.Shards(); i++ {
+		if n := p.Shard(i).Live(); n != 0 {
+			t.Errorf("shard %d has %d live processes after Shutdown", i, n)
+		}
+	}
+}
+
+// TestPlanWindow pins the conservative window arithmetic PlanWindow
+// shares with the run loop: start at the earliest child event, bound at
+// start+L-1 clipped below the root's next event, ready counting only
+// shards with work inside the bound.
+func TestPlanWindow(t *testing.T) {
+	p := NewPartition(1, 3, 1, 50)
+	defer p.Shutdown()
+	if _, _, _, ok := p.PlanWindow(); ok {
+		t.Fatal("empty partition reports a plannable window")
+	}
+	p.Shard(0).At(10, PriorityNormal, func() {})
+	p.Shard(1).At(40, PriorityNormal, func() {})
+	p.Shard(2).At(300, PriorityNormal, func() {})
+	start, bound, ready, ok := p.PlanWindow()
+	if !ok || start != 10 || bound != 59 || ready != 2 {
+		t.Fatalf("PlanWindow() = (%d, %d, %d, %v), want (10, 59, 2, true)", start, bound, ready, ok)
+	}
+	// A root event inside the window clips the bound below it.
+	p.Root().At(30, PriorityNormal, func() {})
+	start, bound, ready, ok = p.PlanWindow()
+	if !ok || start != 10 || bound != 29 || ready != 1 {
+		t.Fatalf("root-clipped PlanWindow() = (%d, %d, %d, %v), want (10, 29, 1, true)", start, bound, ready, ok)
+	}
+	// A root event at or before every child's means no parallel window:
+	// the root phase runs exclusively (root wins ties).
+	p.Root().At(10, PriorityNormal, func() {})
+	if _, _, _, ok := p.PlanWindow(); ok {
+		t.Fatal("root at the tie reports a parallel window; the root phase must win")
+	}
+}
+
+// TestPartitionStatsSchedule pins that the orchestration counters are
+// schedule-derived: identical for any worker count.
+func TestPartitionStatsSchedule(t *testing.T) {
+	capture := func(workers int) PartitionStats {
+		p := NewPartition(2, 4, workers, 200)
+		log := &pdesTrafficLog{byShard: make([][]string, 5)}
+		seedPDESTraffic(p, log, 6)
+		p.Run()
+		defer p.Shutdown()
+		return p.Stats()
+	}
+	base := capture(1)
+	if base.Supersteps == 0 || base.RoutedEvents == 0 {
+		t.Fatalf("traffic generator exercised no supersteps/routing: %+v", base)
+	}
+	if got := capture(4); got != base {
+		t.Errorf("stats differ across worker counts:\n 1: %+v\n 4: %+v", base, got)
+	}
+	if u := base.LookaheadUtilization(); u <= 0 || u > 1 {
+		t.Errorf("LookaheadUtilization() = %g, want in (0, 1]", u)
+	}
+	if m := base.MeanReady(); m <= 0 || m > 4 {
+		t.Errorf("MeanReady() = %g, want in (0, shards]", m)
+	}
+}

@@ -43,7 +43,14 @@
 // goroutine.
 //
 // All state is confined to a single Engine; engines are not safe for use
-// from multiple goroutines except through the process mechanism.
+// from multiple goroutines except through the process mechanism. For
+// parallelism inside one run, a Partition (conservative barrier-
+// synchronous PDES, see pdes.go) shards a simulation across several
+// engines: each engine is still driven by exactly one goroutine at a
+// time — a worker owns it for one superstep window, and the barrier
+// between supersteps establishes the happens-before edge before another
+// worker may touch it — so per-engine code keeps the single-threaded
+// model, and cross-shard effects go through Engine.ScheduleOn.
 package sim
 
 import "fmt"
