@@ -1,17 +1,33 @@
 GO ?= go
 
-# ci is the documented tier-1 gate: vet, build, the full test suite
-# under the race detector, one iteration of every benchmark (so the
-# benchmark-only files at the repo root are compiled AND executed), the
-# goroutine-leak check, the sweep determinism check, the fault-injection
-# determinism check, the PDES worker-independence check, the lab
-# artifact gate, and a smoke run of every example binary.
+# ci is the documented tier-1 gate: vet, the determinism/tier/pooling
+# lint pass, build, the full test suite under the race detector, one
+# iteration of every benchmark (so the benchmark-only files at the repo
+# root are compiled AND executed), the goroutine-leak check, the sweep
+# determinism check, the fault-injection determinism check, the PDES
+# worker-independence check, the lab artifact gate, and a smoke run of
+# every example binary.
 .PHONY: ci
-ci: vet build race bench leak-check sweep-check fault-check pdes-check lab-check examples
+ci: vet lint build race bench leak-check sweep-check fault-check pdes-check lab-check examples
 
 .PHONY: vet
 vet:
 	$(GO) vet ./...
+
+# lint runs gofmt cleanliness plus the five pushpull-lint analyzers
+# (walltime, globalrand, maprange, taskletblock, poolretain — see
+# README "Static analysis"). Findings exit nonzero; acknowledged sites
+# need a //pushpull:lint-allow <analyzer> <reason> directive.
+.PHONY: lint
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "lint FAILED: gofmt needed on:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
+	$(GO) run ./cmd/pushpull-lint ./...
+	@echo "lint OK"
 
 .PHONY: build
 build:

@@ -111,11 +111,13 @@ func runCmd(args []string) {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	//pushpull:lint-allow walltime wall-clock study duration for operator progress output; never enters an artifact digest
 	start := time.Now()
 	a, err := lab.RunStudy(st, w)
 	if err != nil {
 		fatal(err)
 	}
+	//pushpull:lint-allow walltime capture stamp recording when the artifact was produced; excluded from the artifact digest
 	a.CapturedAt = time.Now().UTC().Format(time.RFC3339)
 	a.Commit = gitCommit()
 	a.Workers = w
@@ -129,7 +131,7 @@ func runCmd(args []string) {
 			jr.Digest[:12])
 	}
 	fmt.Fprintf(os.Stderr, "%s: %d job(s) in %.2fs on %d worker(s), artifact digest %s\n",
-		a.Study, len(a.Jobs), time.Since(start).Seconds(), w, a.Digest[:12])
+		a.Study, len(a.Jobs), time.Since(start).Seconds(), w, a.Digest[:12]) //pushpull:lint-allow walltime wall-clock duration for operator progress output only
 
 	path := *out
 	if path != "" {
@@ -239,6 +241,7 @@ func gobenchCmd(args []string) {
 	}
 	fmt.Fprintln(os.Stderr, "pushpull-lab: running the tracked internal/sim microbenchmarks (wall clock — not part of any artifact)...")
 	entry := lab.BenchSeriesEntry{
+		//pushpull:lint-allow walltime capture stamp recording when the bench series entry was taken; not digested
 		CapturedAt: time.Now().UTC().Format(time.RFC3339),
 		Commit:     gitCommit(),
 		Comment:    *comment,

@@ -1,0 +1,60 @@
+// Command pushpull-lint runs the repo's five determinism/tier/pooling
+// analyzers (see internal/lint) over a package pattern, ./... by
+// default.
+//
+// Exit codes: 0 clean, 1 findings, 2 load or type error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pushpull/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("pushpull-lint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	jsonOut := flags.Bool("json", false, "emit findings as a JSON document")
+	dir := flags.String("dir", ".", "module root to analyze from")
+	flags.Usage = func() {
+		fmt.Fprintf(stderr, "usage: pushpull-lint [-json] [-dir root] [patterns]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nExit codes: 0 clean, 1 findings, 2 load/type error.\n")
+		flags.PrintDefaults()
+	}
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := lint.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	findings := lint.Run(prog, lint.Analyzers())
+	if *jsonOut {
+		if err := lint.WriteJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else if err := lint.WriteText(stdout, findings); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module so the exit-code contract can
+// be exercised without committing a bad file to the repo.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module lintprobe\n\ngo 1.21\n"
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestExitCodes pins the documented contract: 0 clean, 1 findings,
+// 2 load/type error.
+func TestExitCodes(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"ok.go": "package probe\n\nfunc Two() int { return 2 }\n",
+		})
+		code, stdout, stderr := runLint(t, "-dir", dir, "./...")
+		if code != 0 {
+			t.Fatalf("exit %d, want 0 (stdout %q, stderr %q)", code, stdout, stderr)
+		}
+		if stdout != "" {
+			t.Errorf("clean run printed %q", stdout)
+		}
+	})
+	t.Run("seeded violation", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"bad.go": "package probe\n\nimport \"time\"\n\nfunc Stamp() int64 { return time.Now().Unix() }\n",
+		})
+		code, stdout, _ := runLint(t, "-dir", dir, "./...")
+		if code != 1 {
+			t.Fatalf("exit %d, want 1 (stdout %q)", code, stdout)
+		}
+		if !strings.Contains(stdout, "bad.go:5:") || !strings.Contains(stdout, "walltime") {
+			t.Errorf("diagnostic missing position or analyzer: %q", stdout)
+		}
+	})
+	t.Run("type error", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"broken.go": "package probe\n\nfunc f() { undefined() }\n",
+		})
+		code, _, stderr := runLint(t, "-dir", dir, "./...")
+		if code != 2 {
+			t.Fatalf("exit %d, want 2", code)
+		}
+		if !strings.Contains(stderr, "undefined") {
+			t.Errorf("stderr should carry the type error, got %q", stderr)
+		}
+	})
+}
+
+// TestJSONOutput pins the -json document shape and its stable ordering.
+func TestJSONOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		// Two findings out of source order within one line-sorted file,
+		// plus a second file sorting ahead of it.
+		"b.go": "package probe\n\nimport \"time\"\n\nfunc B() { time.Sleep(time.Second); _ = time.Now() }\n",
+		"a.go": "package probe\n\nimport \"math/rand\"\n\nfunc A() int { return rand.Int() }\n",
+	})
+	code, stdout, stderr := runLint(t, "-json", "-dir", dir, "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, stderr)
+	}
+	var report struct {
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, stdout)
+	}
+	if len(report.Findings) != 3 {
+		t.Fatalf("got %d findings, want 3: %s", len(report.Findings), stdout)
+	}
+	wantOrder := []string{"globalrand", "walltime", "walltime"}
+	wantFiles := []string{"a.go", "b.go", "b.go"}
+	for i, f := range report.Findings {
+		if f.Analyzer != wantOrder[i] || f.File != wantFiles[i] {
+			t.Errorf("finding %d: got %s in %s, want %s in %s", i, f.Analyzer, f.File, wantOrder[i], wantFiles[i])
+		}
+	}
+	if a, b := report.Findings[1], report.Findings[2]; a.Line != b.Line || a.Col >= b.Col {
+		t.Errorf("same-line findings not column-sorted: %+v then %+v", a, b)
+	}
+}

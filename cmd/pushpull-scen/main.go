@@ -201,12 +201,13 @@ func sweepCmd(args []string) {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	//pushpull:lint-allow walltime wall-clock sweep duration for the points/s progress line; sweep digests depend only on virtual time
 	start := time.Now()
 	res, err := scenario.RunSweep(sw, w, opts...)
 	if err != nil {
 		fatal(err)
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //pushpull:lint-allow walltime wall-clock sweep duration for the points/s progress line; sweep digests depend only on virtual time
 	fmt.Fprintf(os.Stderr, "%s: %d points (%d failed) on %d workers in %.2fs (%.1f points/s), digest %s\n",
 		res.Sweep, res.Points, res.Failed, w, elapsed.Seconds(),
 		float64(res.Points)/elapsed.Seconds(), res.Digest[:12])

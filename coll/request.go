@@ -177,6 +177,7 @@ func (rq *Request) advance(got [][]byte) {
 			if rq.progressed {
 				op = rq.r.cm.IsendAsync(rq.r.peer(m.to), m.data, comm.WithTag(rq.tag))
 			} else {
+				//pushpull:lint-allow taskletblock guarded by rq.progressed: this branch runs only when the owning rank thread pumps the request, never from the progression tasklet
 				op = rq.r.cm.Isend(rq.r.t, rq.r.peer(m.to), m.data, comm.WithTag(rq.tag))
 			}
 			rq.sends = append(rq.sends, op)
@@ -186,6 +187,7 @@ func (rq *Request) advance(got [][]byte) {
 			if rq.progressed {
 				op = rq.r.cm.IrecvAsync(rq.r.peer(v.from), v.n, comm.WithTag(rq.tag))
 			} else {
+				//pushpull:lint-allow taskletblock guarded by rq.progressed: this branch runs only when the owning rank thread pumps the request, never from the progression tasklet
 				op = rq.r.cm.Irecv(rq.r.t, rq.r.peer(v.from), v.n, comm.WithTag(rq.tag))
 			}
 			rq.recvs = append(rq.recvs, op)

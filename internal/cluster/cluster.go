@@ -92,12 +92,12 @@ type Cluster struct {
 	// Partition is the conservative-PDES partition driving this cluster,
 	// nil for sequential execution.
 	Partition *sim.Partition
-	Nodes  []*smp.Node
-	Stacks []*pushpull.Stack
-	NICs   []*nic.NIC
-	Switch *ether.Switch
-	Hub    *ether.Hub
-	Links  []*ether.Link // back-to-back links, rail-major (empty otherwise)
+	Nodes     []*smp.Node
+	Stacks    []*pushpull.Stack
+	NICs      []*nic.NIC
+	Switch    *ether.Switch
+	Hub       *ether.Hub
+	Links     []*ether.Link // back-to-back links, rail-major (empty otherwise)
 	// SwitchLinks are the per-node access links of a switch topology, in
 	// node order (empty otherwise).
 	SwitchLinks []*ether.Link

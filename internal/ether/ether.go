@@ -106,10 +106,10 @@ type TxCursor struct {
 
 // TxCursor resume points shared by the Medium implementations.
 const (
-	txAcquire      = iota // first acquisition attempt (counts contention)
-	txReacquire           // wake-driven retry of the acquisition
-	txBackoffDone         // hub: jam+backoff slept, serialization next
-	txSerialized          // wire held for the serialization time; finish
+	txAcquire     = iota // first acquisition attempt (counts contention)
+	txReacquire          // wake-driven retry of the acquisition
+	txBackoffDone        // hub: jam+backoff slept, serialization next
+	txSerialized         // wire held for the serialization time; finish
 )
 
 // halfLink is one direction of a full-duplex link. Each half is homed

@@ -113,7 +113,7 @@ func TestBlackoutBackoffAndRecovery(t *testing.T) {
 	e := sim.NewEngine(1)
 	cfg := Config{Window: 4, RTO: sim.Millisecond, Adaptive: true,
 		MinRTO: 500 * sim.Microsecond}
-	from := sim.Time(0) // dark from the first transmission
+	from := sim.Time(0)                  // dark from the first transmission
 	to := from.Add(20 * sim.Millisecond) // ~5 doublings past the 1 ms initial RTO
 	seen := make(map[uint32]int)
 	var order []uint32

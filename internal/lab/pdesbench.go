@@ -78,9 +78,10 @@ func CapturePDESBench() (PDESBenchEntry, error) {
 		s.ParallelWorkers = workers
 		best := 0.0
 		for rep := 0; rep < 3; rep++ {
+			//pushpull:lint-allow walltime measures real parallel speedup of the PDES engine; wall time is the quantity under test and never enters a digest
 			start := time.Now()
 			res, err := scenario.Run(s)
-			elapsed := time.Since(start)
+			elapsed := time.Since(start) //pushpull:lint-allow walltime measures real parallel speedup of the PDES engine; wall time is the quantity under test and never enters a digest
 			if err != nil {
 				return PDESBenchEntry{}, err
 			}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"strings"
+)
+
+// directivePrefix introduces a lint-acknowledgement comment:
+//
+//	//pushpull:lint-allow <analyzer> <reason>
+//
+// The reason is mandatory: an allow without a recorded justification is
+// itself a finding. A directive suppresses findings of the named
+// analyzer on its own line (trailing-comment form) and on the first
+// line after its comment group (stacked standalone form), so several
+// directives for different analyzers may sit above one statement.
+const directivePrefix = "pushpull:lint-allow"
+
+// directive is one parsed lint-allow comment.
+type directive struct {
+	analyzer string
+	reason   string
+	file     string
+	// lines this directive suppresses findings on.
+	targets []int
+}
+
+// collectDirectives parses every lint-allow directive in the program
+// and reports malformed ones (missing analyzer, unknown analyzer, or
+// empty reason) as findings in their own right.
+func collectDirectives(prog *Program) (map[string]map[int][]*directive, []Finding) {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	// byFileLine: file -> line -> directives targeting that line.
+	byFileLine := make(map[string]map[int][]*directive)
+	var problems []Finding
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				groupEnd := prog.Fset.Position(cg.End()).Line
+				for _, c := range cg.List {
+					text, ok := directiveText(c.Text)
+					if !ok {
+						continue
+					}
+					file, line, _ := prog.posOf(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) == 0 || !known[fields[0]] {
+						problems = append(problems, prog.finding("directive", c.Pos(),
+							"malformed %s directive: first word must be one of %s",
+							directivePrefix, strings.Join(AnalyzerNames(), "|")))
+						continue
+					}
+					reason := strings.TrimSpace(strings.TrimPrefix(text, fields[0]))
+					if reason == "" {
+						problems = append(problems, prog.finding("directive", c.Pos(),
+							"%s %s directive needs a non-empty reason", directivePrefix, fields[0]))
+						continue
+					}
+					d := &directive{
+						analyzer: fields[0],
+						reason:   reason,
+						file:     file,
+						targets:  []int{line, groupEnd + 1},
+					}
+					if byFileLine[file] == nil {
+						byFileLine[file] = make(map[int][]*directive)
+					}
+					for _, t := range d.targets {
+						byFileLine[file][t] = append(byFileLine[file][t], d)
+					}
+				}
+			}
+		}
+	}
+	return byFileLine, problems
+}
+
+// directiveText extracts the payload after the directive prefix, or
+// reports that the comment is not a directive.
+func directiveText(comment string) (string, bool) {
+	body, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return "", false // block comments are not directive carriers
+	}
+	body = strings.TrimPrefix(body, " ")
+	rest, ok := strings.CutPrefix(body, directivePrefix)
+	if !ok {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// suppress drops findings acknowledged by a matching directive.
+func suppress(fs []Finding, dirs map[string]map[int][]*directive) []Finding {
+	if len(dirs) == 0 {
+		return fs
+	}
+	var kept []Finding
+	for _, f := range fs {
+		matched := false
+		for _, d := range dirs[f.File][f.Line] {
+			if d.analyzer == f.Analyzer {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}

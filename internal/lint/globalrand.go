@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors build independent generators from an explicit seed or
+// source; they do not touch the shared process-global stream and are
+// therefore allowed.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// sharedRandTypes are math/rand types that, held in a struct field or
+// package-level variable, become ordering-dependent shared state.
+var sharedRandTypes = map[string]bool{
+	"Source":   true,
+	"Source64": true,
+	"Rand":     true,
+}
+
+var globalrandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbid the process-global math/rand stream and shared " +
+		"rand.Source state: randomness must flow from the engine's " +
+		"seeded generator or a splitmix64-split stream.",
+	Run: runGlobalrand,
+}
+
+func isMathRand(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runGlobalrand(prog *Program) []Finding {
+	var fs []Finding
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					pkgPath, name, ok := pkgSelector(pkg.Info, n.Fun)
+					if ok && isMathRand(pkgPath) && !randConstructors[name] {
+						fs = append(fs, prog.finding("globalrand", n.Pos(),
+							"call to %s.%s uses the process-global random stream; draw from the engine's seeded RNG (or a splitmix64 split) instead",
+							pkgPath, name))
+					}
+				case *ast.StructType:
+					if n.Fields == nil {
+						return true
+					}
+					for _, field := range n.Fields.List {
+						tv, ok := pkg.Info.Types[field.Type]
+						if !ok {
+							continue
+						}
+						if isMathRand(namedTypePkg(tv.Type)) && sharedRandTypes[namedTypeName(tv.Type)] {
+							fs = append(fs, prog.finding("globalrand", field.Pos(),
+								"struct field of type %s is shared RNG state; store an engine-derived generator and split per consumer",
+								types.TypeString(tv.Type, nil)))
+						}
+					}
+				}
+				return true
+			})
+			// Package-level variable declarations of shared rand types.
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj := pkg.Info.Defs[name]
+						if obj == nil {
+							continue
+						}
+						if isMathRand(namedTypePkg(obj.Type())) && sharedRandTypes[namedTypeName(obj.Type())] {
+							fs = append(fs, prog.finding("globalrand", name.Pos(),
+								"package-level %s of type %s is shared RNG state; thread a seeded generator through the engine instead",
+								name.Name, types.TypeString(obj.Type(), nil)))
+						}
+					}
+				}
+			}
+		}
+	}
+	return fs
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// want is one parsed `// want `regex“ expectation from a testdata
+// package — the hand-rolled analysistest convention.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+func loadWants(t *testing.T, prog *Program) []*want {
+	t.Helper()
+	var ws []*want
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					rest = strings.TrimSpace(rest)
+					if len(rest) < 2 || !strings.HasPrefix(rest, "`") || !strings.HasSuffix(rest, "`") {
+						t.Fatalf("%s: malformed want comment %q (expected a backquoted regexp)", prog.Fset.Position(c.Pos()), c.Text)
+					}
+					pat := rest[1 : len(rest)-1]
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", prog.Fset.Position(c.Pos()), pat, err)
+					}
+					file, line, _ := prog.posOf(c.Pos())
+					ws = append(ws, &want{file: file, line: line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// runGolden analyzes testdata/src/<name> with the named analyzer
+// (directives included, as in production) and checks the findings
+// against the package's want comments, both ways.
+func runGolden(t *testing.T, name string) []Finding {
+	t.Helper()
+	var a *Analyzer
+	for _, x := range Analyzers() {
+		if x.Name == name {
+			a = x
+		}
+	}
+	if a == nil {
+		t.Fatalf("no analyzer named %q", name)
+	}
+	prog, err := LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(prog, []*Analyzer{a})
+	wants := loadWants(t, prog)
+	if len(wants) == 0 {
+		t.Fatalf("testdata/src/%s has no want comments", name)
+	}
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched %q", w.file, w.line, w.raw)
+		}
+	}
+	return findings
+}
+
+func TestWalltimeGolden(t *testing.T)     { runGolden(t, "walltime") }
+func TestGlobalrandGolden(t *testing.T)   { runGolden(t, "globalrand") }
+func TestMaprangeGolden(t *testing.T)     { runGolden(t, "maprange") }
+func TestTaskletblockGolden(t *testing.T) { runGolden(t, "taskletblock") }
+func TestPoolretainGolden(t *testing.T)   { runGolden(t, "poolretain") }
+
+// TestFindingsSorted pins the driver's output ordering: findings come
+// out sorted by (file, line, col, analyzer, message), across files.
+func TestFindingsSorted(t *testing.T) {
+	prog, err := LoadDir(filepath.Join("testdata", "src", "walltime"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Run(prog, Analyzers())
+	if len(fs) < 2 {
+		t.Fatalf("want at least 2 findings to check ordering, got %d", len(fs))
+	}
+	if !sort.SliceIsSorted(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	}) {
+		t.Errorf("findings not sorted: %v", fs)
+	}
+	// extra.go sorts before walltime.go, so the cross-file finding must
+	// lead even though walltime.go holds earlier-written cases.
+	if fs[0].File != "extra.go" {
+		t.Errorf("first finding in %s, want extra.go", fs[0].File)
+	}
+}
+
+// TestSortFindings pins the full comparison chain on a synthetic set.
+func TestSortFindings(t *testing.T) {
+	fs := []Finding{
+		{Analyzer: "b", File: "z.go", Line: 1, Col: 1, Message: "m"},
+		{Analyzer: "a", File: "a.go", Line: 9, Col: 1, Message: "m"},
+		{Analyzer: "a", File: "a.go", Line: 2, Col: 7, Message: "m"},
+		{Analyzer: "a", File: "a.go", Line: 2, Col: 3, Message: "m"},
+		{Analyzer: "b", File: "a.go", Line: 2, Col: 3, Message: "m"},
+	}
+	SortFindings(fs)
+	got := []string{}
+	for _, f := range fs {
+		got = append(got, f.String())
+	}
+	want := []string{
+		"a.go:2:3: a: m",
+		"a.go:2:3: b: m",
+		"a.go:2:7: a: m",
+		"a.go:9:1: a: m",
+		"z.go:1:1: b: m",
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("position %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}

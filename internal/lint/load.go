@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// needs. Only non-test GoFiles are analyzed: the invariants protect the
+// shipped simulation code that produces digests, while tests routinely
+// (and legitimately) use wall-clock timeouts and goroutine counting.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+}
+
+// goList discovers packages matching patterns under dir via the go
+// command — the stdlib-only stand-in for golang.org/x/tools/go/packages.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,Imports"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// topoSort orders pkgs so every in-set import precedes its importer,
+// breaking ties by import path for determinism.
+func topoSort(pkgs []*listedPackage) ([]*listedPackage, error) {
+	byPath := make(map[string]*listedPackage, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	indeg := make(map[string]int, len(pkgs))
+	dependents := make(map[string][]string)
+	for _, p := range pkgs {
+		for _, imp := range p.Imports {
+			if _, ok := byPath[imp]; ok {
+				indeg[p.ImportPath]++
+				dependents[imp] = append(dependents[imp], p.ImportPath)
+			}
+		}
+	}
+	var ready []string
+	for _, p := range pkgs {
+		if indeg[p.ImportPath] == 0 {
+			ready = append(ready, p.ImportPath)
+		}
+	}
+	sort.Strings(ready)
+	var order []*listedPackage
+	for len(ready) > 0 {
+		path := ready[0]
+		ready = ready[1:]
+		order = append(order, byPath[path])
+		next := append([]string(nil), dependents[path]...)
+		sort.Strings(next)
+		for _, dep := range next {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				ready = append(ready, dep)
+			}
+		}
+		sort.Strings(ready)
+	}
+	if len(order) != len(pkgs) {
+		return nil, fmt.Errorf("lint: import cycle among analyzed packages")
+	}
+	return order, nil
+}
+
+// moduleImporter resolves module-internal imports from the packages
+// already checked this load, and everything else (the stdlib) through a
+// source importer sharing the same FileSet.
+type moduleImporter struct {
+	mod map[string]*types.Package
+	std types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.mod[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// Load discovers, parses and type-checks the packages matching patterns
+// under dir (the module root).
+func Load(dir string, patterns []string) (*Program, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	order, err := topoSort(listed)
+	if err != nil {
+		return nil, err
+	}
+	absRoot, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: token.NewFileSet(), Root: absRoot}
+	imp := &moduleImporter{
+		mod: make(map[string]*types.Package),
+		std: importer.ForCompiler(prog.Fset, "source", nil),
+	}
+	for _, lp := range order {
+		if len(lp.GoFiles) == 0 {
+			continue // test-only package (e.g. the repo root)
+		}
+		pkg, err := checkPackage(prog, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		imp.mod[lp.ImportPath] = pkg.Types
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	prog.indexDecls()
+	return prog, nil
+}
+
+// LoadDir parses and type-checks the single package in dir, resolving
+// imports through the stdlib source importer only. The golden-file
+// tests use it to analyze self-contained testdata packages.
+func LoadDir(dir string) (*Program, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	absRoot, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: token.NewFileSet(), Root: absRoot}
+	imp := &moduleImporter{
+		mod: map[string]*types.Package{},
+		std: importer.ForCompiler(prog.Fset, "source", nil),
+	}
+	pkg, err := checkPackage(prog, imp, filepath.Base(dir), absRoot, files)
+	if err != nil {
+		return nil, err
+	}
+	prog.Pkgs = []*Package{pkg}
+	prog.indexDecls()
+	return prog, nil
+}
+
+// checkPackage parses files and runs the type checker, failing on the
+// first parse error and reporting up to a handful of type errors.
+func checkPackage(prog *Program, imp types.Importer, path, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(prog.Fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []string
+	cfg := &types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if len(typeErrs) < 10 {
+				typeErrs = append(typeErrs, err.Error())
+			}
+		},
+	}
+	tpkg, err := cfg.Check(path, prog.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s:\n  %s", path, strings.Join(typeErrs, "\n  "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// relPath makes file relative to root where possible, with forward
+// slashes, for stable cross-machine output.
+func relPath(root, file string) string {
+	if root == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}

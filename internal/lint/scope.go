@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// simFacingPackages are the packages whose code runs inside (or feeds)
+// a simulation: anything here can reach a digest, so the determinism
+// analyzers treat findings in them as hard violations. Directive policy
+// (README "Static analysis") is stricter for these than for the
+// tooling/CLI layers, where e.g. a wall-clock capture stamp is fine.
+var simFacingPackages = map[string]bool{
+	"pushpull/internal/sim":      true,
+	"pushpull/internal/ether":    true,
+	"pushpull/internal/nic":      true,
+	"pushpull/internal/gbn":      true,
+	"pushpull/internal/pushpull": true,
+	"pushpull/internal/fault":    true,
+	"pushpull/coll":              true,
+	"pushpull/comm":              true,
+	"pushpull/internal/scenario": true,
+}
+
+// simFacing reports whether the package's code can reach a digest.
+func simFacing(path string) bool { return simFacingPackages[path] }
+
+// exprString renders an expression as compact source text, for matching
+// append targets against later sort calls and for diagnostics.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// pkgSelector resolves expr as a qualified identifier pkg.Name and
+// returns the imported package path and selected identifier, e.g.
+// ("time", "Now") for time.Now. ok is false for anything else
+// (method calls, field selections, locals).
+func pkgSelector(info *types.Info, expr ast.Expr) (pkgPath, name string, ok bool) {
+	sel, isSel := unparen(expr).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// calleeFunc resolves the function or method object a call invokes,
+// for direct calls through an identifier, a qualified identifier, or a
+// method selection (concrete or interface). Dynamic calls through
+// function-valued variables resolve to nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Qualified identifier (pkg.Func).
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// namedTypeName reports the defining name of t's named type, unwrapping
+// pointers and generic instantiations: *sim.Queue[T] -> "Queue". Empty
+// for unnamed types.
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		return namedTypeName(p.Elem())
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// namedTypePkg reports the package path defining t's named type, or ""
+// for unnamed/builtin types.
+func namedTypePkg(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		return namedTypePkg(p.Elem())
+	}
+	if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+		return n.Obj().Pkg().Path()
+	}
+	return ""
+}
+
+// recvTypeName reports the receiver type name of a method object, or ""
+// for plain functions. Matching is by name rather than full package
+// identity so the self-contained golden testdata packages can model the
+// engine's API with local stand-ins.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return namedTypeName(sig.Recv().Type())
+}
+
+// funcDisplayName renders fn as Recv.Name or pkg.Name for diagnostics.
+func funcDisplayName(fn *types.Func) string {
+	if r := recvTypeName(fn); r != "" {
+		return r + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// isSortCall reports whether call invokes a recognized slice-sorting
+// function (sort.* / slices.Sort*) — the second half of the
+// collect-keys-then-sort idiom the maprange analyzer exempts.
+func isSortCall(info *types.Info, call *ast.CallExpr) (args []ast.Expr, ok bool) {
+	pkg, name, isQualified := pkgSelector(info, call.Fun)
+	if !isQualified {
+		return nil, false
+	}
+	base := pkg[strings.LastIndex(pkg, "/")+1:]
+	switch base {
+	case "sort":
+		switch name {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return call.Args, true
+		}
+	case "slices":
+		switch name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return call.Args, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,29 @@
+// Package globalrand exercises the globalrand analyzer: randomness must
+// flow from an explicitly seeded generator, never shared global state.
+package globalrand
+
+import "math/rand"
+
+// shared is ordering-dependent state: whichever goroutine draws first
+// changes every later draw.
+var shared = rand.New(rand.NewSource(1)) // want `package-level shared`
+
+type node struct {
+	src rand.Source // want `shared RNG state`
+	id  int
+}
+
+func draw() int {
+	return rand.Int() // want `process-global random stream`
+}
+
+func acknowledged() int {
+	//pushpull:lint-allow globalrand fixture shuffling in tooling; outputs are re-sorted before comparison
+	return rand.Intn(6)
+}
+
+// clean: a locally constructed generator from an explicit seed.
+func local(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int()
+}

@@ -1,0 +1,68 @@
+// Package poolretain exercises the poolretain analyzer: once a pooled
+// object is back on its free list, no new reference to it may be
+// stored.
+package poolretain
+
+// event is a local stand-in for the engine's pooled event record.
+type event struct {
+	fn  func()
+	seq uint64
+}
+
+type engine struct {
+	free []*event
+	heap []*event
+	last *event
+	byID map[uint64]*event
+}
+
+// release hands ev back to the free list — the append into e.free is
+// the release, not a retention.
+func (e *engine) release(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+func (e *engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+func (e *engine) fieldAfterRelease(ev *event) {
+	e.release(ev)
+	e.last = ev // want `after it was released`
+}
+
+func (e *engine) appendAfterRelease(ev *event) {
+	e.release(ev)
+	e.heap = append(e.heap, ev) // want `after it was released`
+}
+
+func (e *engine) mapAfterRelease(ev *event) {
+	e.release(ev)
+	e.byID[ev.seq] = ev // want `after it was released`
+}
+
+func (e *engine) acknowledged(ev *event) {
+	e.release(ev)
+	//pushpull:lint-allow poolretain debug breadcrumb; cleared before the pool can recycle the entry
+	e.last = ev
+}
+
+// clean: read what you need, then release last.
+func (e *engine) fire(ev *event) {
+	fn := ev.fn
+	e.release(ev)
+	fn()
+}
+
+// clean: rebinding the variable starts a fresh lifetime.
+func (e *engine) recycleOne(ev *event) {
+	e.release(ev)
+	ev = e.alloc()
+	e.last = ev
+}

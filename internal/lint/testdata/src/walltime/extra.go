@@ -1,0 +1,10 @@
+package walltime
+
+import "time"
+
+// deadline lives in a second file so the driver test can assert that
+// findings across files come out sorted.
+func deadline() {
+	timer := time.NewTimer(time.Second) // want `call to time\.NewTimer`
+	timer.Stop()
+}

@@ -1,0 +1,24 @@
+// Package walltime exercises the walltime analyzer: wall-clock reads
+// must not reach simulation state.
+package walltime
+
+import "time"
+
+func tick() time.Duration {
+	start := time.Now()            // want `call to time\.Now`
+	time.Sleep(time.Millisecond)   // want `call to time\.Sleep`
+	t := time.NewTicker(time.Hour) // want `call to time\.NewTicker`
+	t.Stop()
+	return time.Since(start) // want `call to time\.Since`
+}
+
+// stamp is a capture stamp: intentional wall-clock use, acknowledged.
+func stamp() string {
+	//pushpull:lint-allow walltime capture stamp for run metadata; never digested
+	return time.Now().UTC().Format(time.RFC3339)
+}
+
+// clean: pure duration arithmetic never touches the host clock.
+func clean(d time.Duration) time.Duration {
+	return 3 * d / 2
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the time-package entry points that read or depend
+// on the host clock. Pure value manipulation (time.Duration arithmetic,
+// time.Unix construction from simulated stamps) is fine.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+}
+
+var walltimeAnalyzer = &Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock reads (time.Now/Since/Sleep/...): simulated " +
+		"results must depend only on virtual time and the seed. Capture " +
+		"stamps in lab/bench tooling are acknowledged by directive.",
+	Run: runWalltime,
+}
+
+func runWalltime(prog *Program) []Finding {
+	var fs []Finding
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				pkgPath, name, ok := pkgSelector(pkg.Info, call.Fun)
+				if !ok || pkgPath != "time" || !wallClockFuncs[name] {
+					return true
+				}
+				why := "wall clock must not reach simulation state; use engine virtual time"
+				if !simFacing(pkg.Path) {
+					why = "wall clock is banned module-wide; acknowledge intentional capture stamps with //pushpull:lint-allow walltime <reason>"
+				}
+				fs = append(fs, prog.finding("walltime", call.Pos(),
+					"call to time.%s: %s", name, why))
+				return true
+			})
+		}
+	}
+	return fs
+}

@@ -103,7 +103,7 @@ func (tk *Tasklet) Wake() {
 }
 
 // wake and parkOn implement Waiter.
-func (tk *Tasklet) wake()         { tk.Wake() }
+func (tk *Tasklet) wake()          { tk.Wake() }
 func (tk *Tasklet) parkOn(c *Cond) { tk.waiting = true; tk.parked = c }
 
 // Sleep schedules the next step after virtual duration d. It must be the
